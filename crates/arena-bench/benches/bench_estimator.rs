@@ -1,0 +1,63 @@
+//! Criterion: the agile Cell estimator (Fig. 12's machinery) — cold
+//! estimation (profiles + tables + assembly) versus warm (cached)
+//! estimation, and offline table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use arena::estimator::{Cell, CellEstimator, CommTables};
+use arena::model::zoo::{ModelConfig, ModelFamily};
+use arena::perf::noise::NoiseModel;
+use arena::perf::{CostParams, HwTarget};
+use arena::prelude::{GpuSpec, NodeSpec};
+
+fn bench_estimate_cold(c: &mut Criterion) {
+    let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    let mut group = c.benchmark_group("estimator/estimate_cold");
+    group.sample_size(30);
+    for (name, fam, size, gpus, stages) in [
+        ("bert1.3_8g_4s", ModelFamily::Bert, 1.3, 8, 4),
+        ("moe2.4_16g_8s", ModelFamily::Moe, 2.4, 16, 8),
+        ("wres2_8g_2s", ModelFamily::WideResNet, 2.0, 8, 2),
+    ] {
+        let model = ModelConfig::new(fam, size, 256);
+        let graph = model.build();
+        let cell = Cell::new(&graph, gpus, stages).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Fresh estimator: pays profiling, table build and assembly.
+                let est = CellEstimator::new(CostParams::default(), 3);
+                black_box(est.estimate(&graph, 256, black_box(&cell), &hw))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate_warm(c: &mut Criterion) {
+    let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    let model = ModelConfig::new(ModelFamily::Bert, 2.6, 256);
+    let graph = model.build();
+    let cell = Cell::new(&graph, 8, 4).unwrap();
+    let est = CellEstimator::new(CostParams::default(), 3);
+    let _ = est.estimate(&graph, 256, &cell, &hw);
+    c.bench_function("estimator/estimate_warm_cached", |b| {
+        b.iter(|| black_box(est.estimate(&graph, 256, black_box(&cell), &hw)))
+    });
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    let noise = NoiseModel::new(0.02, 1);
+    c.bench_function("estimator/comm_tables_build_64", |b| {
+        b.iter(|| black_box(CommTables::build(&hw, 64, &noise)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_estimate_cold,
+    bench_estimate_warm,
+    bench_table_build
+);
+criterion_main!(benches);

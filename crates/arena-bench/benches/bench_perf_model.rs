@@ -1,0 +1,50 @@
+//! Criterion: cost of the analytical performance model itself — plan
+//! evaluation and stage determination (the substrate every experiment
+//! leans on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use arena::model::zoo::{ModelConfig, ModelFamily};
+use arena::parallelism::{determine_stages, PlanSpace};
+use arena::perf::{CostParams, HwTarget, PerfModel};
+use arena::prelude::{GpuSpec, NodeSpec};
+
+fn bench_evaluate(c: &mut Criterion) {
+    let model = PerfModel::new(CostParams::default());
+    let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    let mut group = c.benchmark_group("perf_model/evaluate");
+    for (name, fam, size, gpus, stages) in [
+        ("bert1.3_4g_1s", ModelFamily::Bert, 1.3, 4, 1),
+        ("bert2.6_8g_4s", ModelFamily::Bert, 2.6, 8, 4),
+        ("moe10_16g_8s", ModelFamily::Moe, 10.0, 16, 8),
+    ] {
+        let graph = ModelConfig::new(fam, size, 256).build();
+        let plan = PlanSpace::new(determine_stages(&graph, gpus, stages).unwrap())
+            .iter()
+            .next()
+            .unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.evaluate(&graph, 256, black_box(&plan), &hw)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_determination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_model/determine_stages");
+    for (name, fam, size) in [
+        ("wres2", ModelFamily::WideResNet, 2.0),
+        ("bert6.7", ModelFamily::Bert, 6.7),
+        ("moe27", ModelFamily::Moe, 27.0),
+    ] {
+        let graph = ModelConfig::new(fam, size, 256).build();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(determine_stages(black_box(&graph), 16, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate, bench_stage_determination);
+criterion_main!(benches);

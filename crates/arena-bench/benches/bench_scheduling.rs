@@ -1,0 +1,132 @@
+//! Criterion: one Arena scheduling decision under load, across search
+//! depths — the Fig. 21(a) axis measured on this implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use arena::prelude::*;
+use arena::sched::{JobView, PlacementView, SchedEvent, SchedView};
+
+fn make_jobs(n: u64, base_gpus: usize) -> Vec<JobView> {
+    (0..n)
+        .map(|i| {
+            let fam =
+                [ModelFamily::Bert, ModelFamily::Moe, ModelFamily::WideResNet][(i % 3) as usize];
+            let size = match fam {
+                ModelFamily::Bert => 1.3,
+                ModelFamily::Moe => 1.3,
+                ModelFamily::WideResNet => 1.0,
+            };
+            JobView {
+                spec: JobSpec {
+                    id: i,
+                    name: format!("j{i}"),
+                    submit_s: 0.0,
+                    model: ModelConfig::new(fam, size, 256),
+                    iterations: 5000,
+                    requested_gpus: base_gpus,
+                    requested_pool: (i % 2) as usize,
+                    deadline_s: None,
+                },
+                remaining_iters: 4000.0,
+                placement: None,
+            }
+        })
+        .collect()
+}
+
+fn bench_decision_by_depth(c: &mut Criterion) {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 21);
+
+    // A loaded cluster: 6 running jobs holding most GPUs, 8 queued.
+    let mut running = make_jobs(6, 8);
+    for (i, j) in running.iter_mut().enumerate() {
+        j.placement = Some(PlacementView {
+            pool: GpuTypeId(i % 2),
+            gpus: 8,
+            throughput_sps: 100.0,
+            opportunistic: false,
+        });
+    }
+    let queued = make_jobs(8, 8);
+    let mut pools = cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 8;
+
+    // Warm the service caches once so the bench measures decision logic,
+    // not first-touch exploration (as in a long-running scheduler).
+    {
+        let view = SchedView {
+            now_s: 0.0,
+            queued: &queued,
+            running: &running,
+            pools: &pools,
+            service: &service,
+        };
+        let mut p = ArenaPolicy::new().with_search_depth(5);
+        let _ = p.schedule(SchedEvent::Round, &view);
+    }
+
+    let mut group = c.benchmark_group("scheduling/arena_decision");
+    for depth in 1..=5_usize {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            let mut policy = ArenaPolicy::new().with_search_depth(depth);
+            b.iter(|| {
+                let view = SchedView {
+                    now_s: 0.0,
+                    queued: &queued,
+                    running: &running,
+                    pools: &pools,
+                    service: &service,
+                };
+                black_box(policy.schedule(SchedEvent::Round, &view))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_decisions(c: &mut Criterion) {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 22);
+    let queued = make_jobs(8, 8);
+    let running: Vec<JobView> = Vec::new();
+    let pools = cluster.pool_stats();
+
+    let mut group = c.benchmark_group("scheduling/baseline_decision");
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(FcfsPolicy::new()),
+        Box::new(GavelPolicy::new()),
+        Box::new(ElasticFlowPolicy::loosened()),
+    ];
+    for policy in &mut policies {
+        // Warm caches.
+        {
+            let view = SchedView {
+                now_s: 0.0,
+                queued: &queued,
+                running: &running,
+                pools: &pools,
+                service: &service,
+            };
+            let _ = policy.schedule(SchedEvent::Round, &view);
+        }
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let view = SchedView {
+                    now_s: 0.0,
+                    queued: &queued,
+                    running: &running,
+                    pools: &pools,
+                    service: &service,
+                };
+                black_box(policy.schedule(SchedEvent::Round, &view))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_by_depth, bench_baseline_decisions);
+criterion_main!(benches);

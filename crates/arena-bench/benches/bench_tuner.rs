@@ -1,0 +1,49 @@
+//! Criterion: Cell-guided pruned tuning versus unpruned full search
+//! (Fig. 13's machinery) — the computational cost of the searches
+//! themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use arena::estimator::{Cell, CellEstimator};
+use arena::model::zoo::{ModelConfig, ModelFamily};
+use arena::perf::{CostParams, GroundTruth, HwTarget};
+use arena::prelude::{GpuSpec, NodeSpec};
+use arena::tuner::{tune_full, tune_pruned};
+
+fn bench_tuning(c: &mut Criterion) {
+    let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    let model = ModelConfig::new(ModelFamily::Bert, 2.6, 512);
+    let graph = model.build();
+    let cell = Cell::new(&graph, 16, 4).unwrap();
+    let est = CellEstimator::new(CostParams::default(), 9);
+    let estimate = est
+        .estimate(&graph, 512, &cell, &hw)
+        .expect("cell estimates");
+
+    let mut group = c.benchmark_group("tuner");
+    group.sample_size(20);
+    group.bench_function("full_16g_4s", |b| {
+        b.iter(|| {
+            let gt = GroundTruth::new(CostParams::default(), 9);
+            black_box(tune_full(&gt, &graph, 512, black_box(&cell), &hw))
+        })
+    });
+    group.bench_function("pruned_16g_4s", |b| {
+        b.iter(|| {
+            let gt = GroundTruth::new(CostParams::default(), 9);
+            black_box(tune_pruned(
+                &gt,
+                &graph,
+                512,
+                black_box(&cell),
+                &estimate,
+                &hw,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

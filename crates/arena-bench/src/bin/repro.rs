@@ -1,0 +1,194 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! repro all            # everything at full scale
+//! repro --quick all    # everything at reduced scale (CI-sized)
+//! repro fig14 fig12    # a subset
+//! ```
+//!
+//! Each experiment prints its table(s) to stdout and writes the raw data
+//! as JSON under `results/`.
+
+use std::time::Instant;
+
+use arena::experiments::summary_table;
+use arena::experiments::{ablations, clustersim, generality, microbench, motivation, tables};
+use arena_bench::write_json;
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig12",
+    "fig13",
+    "budget",
+    "fig14",
+    "fidelity",
+    "fig15",
+    "fig16",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ablate_noise",
+    "ablate_mechanisms",
+    "ablate_checkpoint",
+    "ablate_zero",
+    "solver",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(ToString::to_string).collect();
+    }
+    for name in &wanted {
+        let t0 = Instant::now();
+        run(name, quick);
+        eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(name: &str, quick: bool) {
+    match name {
+        "table1" => {
+            let rows = tables::table1();
+            println!("{}", tables::table1_table(&rows).render());
+            write_json("table1", &rows).expect("write");
+        }
+        "table2" => {
+            let rows = tables::table2();
+            println!("{}", tables::table2_table(&rows).render());
+            write_json("table2", &rows).expect("write");
+        }
+        "fig1" => {
+            let schemes = motivation::fig1();
+            println!(
+                "{}",
+                motivation::schemes_table("Fig 1: scheduling cases A/B", &schemes).render()
+            );
+            write_json("fig1", &schemes).expect("write");
+        }
+        "fig3" => {
+            let schemes = motivation::fig3();
+            println!(
+                "{}",
+                motivation::schemes_table("Fig 3: scheduling opportunities", &schemes).render()
+            );
+            write_json("fig3", &schemes).expect("write");
+        }
+        "fig4" => {
+            let rows = motivation::fig4();
+            println!("{}", motivation::fig4_table(&rows).render());
+            write_json("fig4", &rows).expect("write");
+        }
+        "fig12" => {
+            let rows = microbench::fig12();
+            println!("{}", microbench::fig12_table(&rows).render());
+            write_json("fig12", &rows).expect("write");
+        }
+        "fig13" => {
+            let rows = microbench::fig13();
+            println!("{}", microbench::fig13_table(&rows).render());
+            write_json("fig13", &rows).expect("write");
+        }
+        "budget" => {
+            let b = microbench::profiling_budget();
+            println!("{}", microbench::budget_table(&b).render());
+            write_json("budget", &b).expect("write");
+        }
+        "fig14" => {
+            let exp = clustersim::fig14(quick);
+            println!("{}", exp.table().render());
+            write_json("fig14", &exp).expect("write");
+        }
+        "fidelity" => {
+            let f = clustersim::fidelity();
+            println!("{}", clustersim::fidelity_table(&f).render());
+            write_json("fidelity", &f).expect("write");
+        }
+        "fig15" => {
+            let rows = clustersim::fig15();
+            println!("{}", clustersim::fig15_table(&rows).render());
+            write_json("fig15", &rows).expect("write");
+        }
+        "fig16" => {
+            let exp = clustersim::fig16_17(quick);
+            println!("{}", exp.table().render());
+            println!("{}", clustersim::timeline_table(&exp).render());
+            write_json("fig16_17", &exp).expect("write");
+        }
+        "fig18" => {
+            for exp in clustersim::fig18(quick) {
+                println!("{}", exp.table().render());
+                write_json(
+                    &format!(
+                        "fig18_{}",
+                        if exp.name.contains("Helios") {
+                            "helios"
+                        } else {
+                            "pai"
+                        }
+                    ),
+                    &exp,
+                )
+                .expect("write");
+            }
+        }
+        "fig19" => {
+            let exp = generality::fig19(quick);
+            println!("{}", generality::fig19_table(&exp).render());
+            println!(
+                "{}",
+                summary_table("Fig 19 (full metrics)", &exp.summaries).render()
+            );
+            write_json("fig19", &exp).expect("write");
+        }
+        "fig20" => {
+            let exp = generality::fig20(quick);
+            println!("{}", generality::fig20_table(&exp).render());
+            println!(
+                "{}",
+                summary_table("Fig 20 (full metrics)", &exp.summaries).render()
+            );
+            write_json("fig20", &exp).expect("write");
+        }
+        "fig21" => {
+            let rows = generality::fig21(quick);
+            println!("{}", generality::fig21_table(&rows).render());
+            write_json("fig21", &rows).expect("write");
+        }
+        "ablate_noise" => {
+            let rows = ablations::noise_sensitivity();
+            println!("{}", ablations::noise_table(&rows).render());
+            write_json("ablate_noise", &rows).expect("write");
+        }
+        "ablate_mechanisms" => {
+            let rows = ablations::mechanism_ablation();
+            println!("{}", ablations::mechanism_table(&rows).render());
+            write_json("ablate_mechanisms", &rows).expect("write");
+        }
+        "ablate_checkpoint" => {
+            let rows = ablations::checkpoint_sensitivity();
+            println!("{}", ablations::checkpoint_table(&rows).render());
+            write_json("ablate_checkpoint", &rows).expect("write");
+        }
+        "ablate_zero" => {
+            let rows = ablations::zero1_ablation();
+            println!("{}", ablations::zero1_table(&rows).render());
+            write_json("ablate_zero", &rows).expect("write");
+        }
+        "solver" => {
+            let rows = ablations::solver_extension();
+            println!("{}", ablations::solver_table(&rows).render());
+            write_json("solver", &rows).expect("write");
+        }
+        other => eprintln!("unknown experiment '{other}'; known: {ALL:?}"),
+    }
+}

@@ -1,0 +1,40 @@
+//! Benchmark and reproduction harness for the Arena evaluation.
+//!
+//! * The `repro` binary (`cargo run --release -p arena-bench --bin repro`)
+//!   regenerates every table and figure of the paper; see
+//!   `repro --help`.
+//! * The Criterion benches (`cargo bench`) measure the wall-clock of the
+//!   reproduction's own machinery: the analytical performance model, the
+//!   agile estimator, the Cell-guided tuner and scheduling decisions at
+//!   various search depths (the Fig. 21(a) axis).
+
+use std::path::Path;
+
+/// Writes a serialisable experiment result as pretty JSON under
+/// `results/`, creating the directory if needed.
+///
+/// # Errors
+///
+/// Returns any I/O or serialisation error.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(file, value).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn write_json_roundtrip() {
+        let tmp = std::env::temp_dir().join("arena-bench-test");
+        let _ = std::fs::create_dir_all(&tmp);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        super::write_json("unit", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string("results/unit.json").unwrap();
+        assert!(body.contains('1'));
+        std::env::set_current_dir(old).unwrap();
+    }
+}

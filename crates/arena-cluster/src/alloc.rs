@@ -1,0 +1,101 @@
+//! GPU allocations handed to jobs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::GpuTypeId;
+
+/// The shape of the device mesh an allocation provides.
+///
+/// The performance model only needs to know how many servers the allocation
+/// spans and how many GPUs sit together on a server; the exact node ids are
+/// irrelevant because nodes in a pool are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshShape {
+    /// Number of servers spanned.
+    pub nodes: usize,
+    /// Largest number of allocated GPUs co-located on one server.
+    pub max_gpus_per_node: usize,
+    /// Total GPUs.
+    pub total_gpus: usize,
+}
+
+impl MeshShape {
+    /// A mesh fully contained in one server.
+    #[must_use]
+    pub fn single_node(gpus: usize) -> Self {
+        MeshShape {
+            nodes: 1,
+            max_gpus_per_node: gpus,
+            total_gpus: gpus,
+        }
+    }
+
+    /// Whether the mesh is contained in a single server.
+    #[must_use]
+    pub fn is_single_node(&self) -> bool {
+        self.nodes == 1
+    }
+}
+
+/// A concrete grant of GPUs of one type, possibly spanning several nodes.
+///
+/// Jobs in the paper always run on a single GPU type at a time;
+/// heterogeneity scaling moves a job between types by releasing one
+/// allocation and acquiring another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Which pool (GPU type) the GPUs come from.
+    pub pool: GpuTypeId,
+    /// `(node index within pool, GPUs taken on that node)` pairs.
+    pub node_gpus: Vec<(usize, usize)>,
+}
+
+impl Allocation {
+    /// Total number of GPUs in the allocation.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.node_gpus.iter().map(|&(_, g)| g).sum()
+    }
+
+    /// Number of distinct nodes spanned.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.node_gpus.len()
+    }
+
+    /// The mesh shape this allocation provides to the performance model.
+    #[must_use]
+    pub fn mesh(&self) -> MeshShape {
+        MeshShape {
+            nodes: self.num_nodes(),
+            max_gpus_per_node: self.node_gpus.iter().map(|&(_, g)| g).max().unwrap_or(0),
+            total_gpus: self.total_gpus(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_mesh() {
+        let a = Allocation {
+            pool: GpuTypeId(0),
+            node_gpus: vec![(0, 4), (1, 4), (2, 2)],
+        };
+        assert_eq!(a.total_gpus(), 10);
+        assert_eq!(a.num_nodes(), 3);
+        let m = a.mesh();
+        assert_eq!(m.nodes, 3);
+        assert_eq!(m.max_gpus_per_node, 4);
+        assert_eq!(m.total_gpus, 10);
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let m = MeshShape::single_node(8);
+        assert!(m.is_single_node());
+        assert_eq!(m.total_gpus, 8);
+    }
+}

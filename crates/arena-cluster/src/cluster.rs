@@ -1,0 +1,366 @@
+//! The cluster: pools of identical nodes, with a packing allocator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::Allocation;
+use crate::node::NodeSpec;
+
+/// Index of a GPU type (pool) inside a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuTypeId(pub usize);
+
+/// Errors returned by cluster allocation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The requested pool index does not exist.
+    UnknownPool(GpuTypeId),
+    /// Not enough free GPUs of the requested type.
+    Insufficient {
+        /// Requested GPU count.
+        requested: usize,
+        /// Currently free GPU count in the pool.
+        free: usize,
+    },
+    /// An allocation being released does not match the cluster's books.
+    BadRelease,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownPool(id) => write!(f, "unknown GPU pool {}", id.0),
+            ClusterError::Insufficient { requested, free } => {
+                write!(f, "requested {requested} GPUs but only {free} free")
+            }
+            ClusterError::BadRelease => write!(f, "released allocation does not match books"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One homogeneous pool: `num_nodes` identical servers of one [`NodeSpec`].
+#[derive(Debug, Clone, Serialize)]
+struct Pool {
+    spec: NodeSpec,
+    /// Free GPUs on each node (length = number of nodes).
+    free: Vec<usize>,
+}
+
+/// Aggregate statistics for one pool, used by scheduler policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolStats {
+    /// Pool identifier.
+    pub id: GpuTypeId,
+    /// Node spec of the pool.
+    pub spec: NodeSpec,
+    /// Total GPUs in the pool.
+    pub total_gpus: usize,
+    /// Currently free GPUs in the pool.
+    pub free_gpus: usize,
+}
+
+/// A heterogeneous cluster: several pools of identical nodes.
+///
+/// The allocator packs allocations onto as few nodes as possible (whole
+/// nodes first, then the fullest partially-used node), because locality
+/// determines which interconnect a job's collectives traverse.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cluster {
+    pools: Vec<Pool>,
+}
+
+impl Cluster {
+    /// Builds a cluster from `(node spec, number of nodes)` pool descriptions.
+    #[must_use]
+    pub fn new(pools: &[(NodeSpec, usize)]) -> Self {
+        Cluster {
+            pools: pools
+                .iter()
+                .map(|&(spec, n)| Pool {
+                    spec,
+                    free: vec![spec.gpus_per_node; n],
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of pools (distinct GPU types).
+    #[must_use]
+    pub fn num_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// All pool ids.
+    pub fn pool_ids(&self) -> impl Iterator<Item = GpuTypeId> + '_ {
+        (0..self.pools.len()).map(GpuTypeId)
+    }
+
+    /// The node spec of a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; pool ids are created by this cluster.
+    #[must_use]
+    pub fn spec(&self, id: GpuTypeId) -> NodeSpec {
+        self.pools[id.0].spec
+    }
+
+    /// Looks up a pool by GPU model name, e.g. `"A100"`.
+    #[must_use]
+    pub fn pool_by_gpu_name(&self, name: &str) -> Option<GpuTypeId> {
+        self.pools
+            .iter()
+            .position(|p| p.spec.gpu.name == name)
+            .map(GpuTypeId)
+    }
+
+    /// Total GPUs across all pools.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| p.free.len() * p.spec.gpus_per_node)
+            .sum()
+    }
+
+    /// Free GPUs in one pool.
+    #[must_use]
+    pub fn free_gpus(&self, id: GpuTypeId) -> usize {
+        self.pools.get(id.0).map_or(0, |p| p.free.iter().sum())
+    }
+
+    /// Free GPUs across all pools.
+    #[must_use]
+    pub fn total_free_gpus(&self) -> usize {
+        (0..self.pools.len())
+            .map(|i| self.free_gpus(GpuTypeId(i)))
+            .sum()
+    }
+
+    /// Statistics for every pool.
+    #[must_use]
+    pub fn pool_stats(&self) -> Vec<PoolStats> {
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PoolStats {
+                id: GpuTypeId(i),
+                spec: p.spec,
+                total_gpus: p.free.len() * p.spec.gpus_per_node,
+                free_gpus: p.free.iter().sum(),
+            })
+            .collect()
+    }
+
+    /// Whether `n` GPUs of type `id` could be allocated right now.
+    #[must_use]
+    pub fn can_alloc(&self, id: GpuTypeId, n: usize) -> bool {
+        n > 0 && self.free_gpus(id) >= n
+    }
+
+    /// Allocates `n` GPUs from pool `id`, packing onto as few nodes as
+    /// possible.
+    ///
+    /// Strategy: first try to fit the whole request on the single
+    /// partially-free node with the *least* sufficient free space (best
+    /// fit); otherwise take whole free nodes greedily and finish with a
+    /// best-fit remainder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use arena_cluster::{presets, GpuTypeId};
+    ///
+    /// let mut cluster = presets::physical_testbed();
+    /// let a40 = cluster.pool_by_gpu_name("A40").unwrap();
+    /// let alloc = cluster.allocate(a40, 8).unwrap();
+    /// assert_eq!(alloc.total_gpus(), 8);
+    /// assert_eq!(alloc.num_nodes(), 4); // 2-GPU A40 servers
+    /// cluster.release(&alloc).unwrap();
+    /// assert_eq!(cluster.free_gpus(a40), 32);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] for a bad pool id and
+    /// [`ClusterError::Insufficient`] when fewer than `n` GPUs are free.
+    pub fn allocate(&mut self, id: GpuTypeId, n: usize) -> Result<Allocation, ClusterError> {
+        let pool = self
+            .pools
+            .get_mut(id.0)
+            .ok_or(ClusterError::UnknownPool(id))?;
+        let free_total: usize = pool.free.iter().sum();
+        if n == 0 || free_total < n {
+            return Err(ClusterError::Insufficient {
+                requested: n,
+                free: free_total,
+            });
+        }
+
+        let mut node_gpus: Vec<(usize, usize)> = Vec::new();
+        let mut remaining = n;
+
+        // Best fit on a single node if possible.
+        if let Some((node, _)) = pool
+            .free
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f >= remaining)
+            .min_by_key(|&(_, &f)| f)
+        {
+            pool.free[node] -= remaining;
+            node_gpus.push((node, remaining));
+            return Ok(Allocation {
+                pool: id,
+                node_gpus,
+            });
+        }
+
+        // Otherwise take the fullest nodes first to minimise node count.
+        let mut order: Vec<usize> = (0..pool.free.len()).filter(|&i| pool.free[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(pool.free[i]));
+        for node in order {
+            if remaining == 0 {
+                break;
+            }
+            let take = pool.free[node].min(remaining);
+            pool.free[node] -= take;
+            node_gpus.push((node, take));
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0);
+        Ok(Allocation {
+            pool: id,
+            node_gpus,
+        })
+    }
+
+    /// Releases a previously granted allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::BadRelease`] if the allocation refers to an
+    /// unknown pool/node or would push a node above its capacity (double
+    /// free).
+    pub fn release(&mut self, alloc: &Allocation) -> Result<(), ClusterError> {
+        let pool = self
+            .pools
+            .get_mut(alloc.pool.0)
+            .ok_or(ClusterError::BadRelease)?;
+        // Validate before mutating so a failed release leaves books intact.
+        for &(node, gpus) in &alloc.node_gpus {
+            let free = *pool.free.get(node).ok_or(ClusterError::BadRelease)?;
+            if free + gpus > pool.spec.gpus_per_node {
+                return Err(ClusterError::BadRelease);
+            }
+        }
+        for &(node, gpus) in &alloc.node_gpus {
+            pool.free[node] += gpus;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSpec;
+
+    fn small_cluster() -> Cluster {
+        // 4 nodes x 4 A100, 8 nodes x 2 A10.
+        Cluster::new(&[
+            (NodeSpec::with_default_links(GpuSpec::A100, 4), 4),
+            (NodeSpec::with_default_links(GpuSpec::A10, 2), 8),
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let c = small_cluster();
+        assert_eq!(c.total_gpus(), 16 + 16);
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 16);
+        assert_eq!(c.free_gpus(GpuTypeId(1)), 16);
+        assert_eq!(c.num_pools(), 2);
+    }
+
+    #[test]
+    fn single_node_best_fit() {
+        let mut c = small_cluster();
+        // Leave node 0 with 1 free GPU, then request 1: best fit should use
+        // the 1-free node, not break a fresh node.
+        let a = c.allocate(GpuTypeId(0), 3).unwrap();
+        assert_eq!(a.num_nodes(), 1);
+        let b = c.allocate(GpuTypeId(0), 1).unwrap();
+        assert_eq!(b.node_gpus, vec![(a.node_gpus[0].0, 1)]);
+    }
+
+    #[test]
+    fn multi_node_allocation_packs() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 10).unwrap();
+        assert_eq!(a.total_gpus(), 10);
+        // 10 GPUs over 4-GPU nodes must span exactly 3 nodes.
+        assert_eq!(a.num_nodes(), 3);
+        assert_eq!(a.mesh().max_gpus_per_node, 4);
+    }
+
+    #[test]
+    fn allocate_all_then_fail() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(1), 16).unwrap();
+        assert_eq!(a.total_gpus(), 16);
+        assert_eq!(
+            c.allocate(GpuTypeId(1), 1),
+            Err(ClusterError::Insufficient {
+                requested: 1,
+                free: 0
+            })
+        );
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 13).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 3);
+        c.release(&a).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 16);
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 16).unwrap();
+        c.release(&a).unwrap();
+        assert_eq!(c.release(&a), Err(ClusterError::BadRelease));
+        // Books untouched by failed release.
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 16);
+    }
+
+    #[test]
+    fn zero_request_rejected() {
+        let mut c = small_cluster();
+        assert!(matches!(
+            c.allocate(GpuTypeId(0), 0),
+            Err(ClusterError::Insufficient { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_rejected() {
+        let mut c = small_cluster();
+        assert_eq!(
+            c.allocate(GpuTypeId(9), 1),
+            Err(ClusterError::UnknownPool(GpuTypeId(9)))
+        );
+    }
+
+    #[test]
+    fn pool_lookup_by_name() {
+        let c = small_cluster();
+        assert_eq!(c.pool_by_gpu_name("A100"), Some(GpuTypeId(0)));
+        assert_eq!(c.pool_by_gpu_name("A10"), Some(GpuTypeId(1)));
+        assert_eq!(c.pool_by_gpu_name("H100"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! GPU device specifications.
+
+use serde::Serialize;
+
+use crate::link::LinkKind;
+
+/// GPU micro-architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum GpuArch {
+    /// NVIDIA Ampere (A100, A40, A10).
+    Ampere,
+    /// NVIDIA Volta (V100).
+    Volta,
+}
+
+/// Specification of one GPU device model.
+///
+/// `peak_tflops` is the mixed-precision (FP16 with FP32 accumulate) tensor
+/// throughput, which is what large-model training kernels are limited by.
+/// The achievable fraction of peak is modelled separately by the efficiency
+/// curve in `arena-perf`; this struct carries only device constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: &'static str,
+    /// Micro-architecture generation.
+    pub arch: GpuArch,
+    /// Device memory capacity in GiB.
+    pub mem_gib: f64,
+    /// Peak FP16 tensor throughput in TFLOP/s.
+    pub peak_tflops: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 40 GB (SXM): the fastest device in Table 1.
+    pub const A100: GpuSpec = GpuSpec {
+        name: "A100",
+        arch: GpuArch::Ampere,
+        mem_gib: 40.0,
+        peak_tflops: 312.0,
+    };
+
+    /// NVIDIA A40 48 GB: large memory, mid-range compute, PCIe only.
+    pub const A40: GpuSpec = GpuSpec {
+        name: "A40",
+        arch: GpuArch::Ampere,
+        mem_gib: 48.0,
+        peak_tflops: 150.0,
+    };
+
+    /// NVIDIA A10 24 GB: the smallest-memory device in the testbed.
+    pub const A10: GpuSpec = GpuSpec {
+        name: "A10",
+        arch: GpuArch::Ampere,
+        mem_gib: 24.0,
+        peak_tflops: 125.0,
+    };
+
+    /// NVIDIA V100 32 GB (SXM2): previous-generation NVLink device.
+    pub const V100: GpuSpec = GpuSpec {
+        name: "V100",
+        arch: GpuArch::Volta,
+        mem_gib: 32.0,
+        peak_tflops: 112.0,
+    };
+
+    /// Device memory capacity in bytes.
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
+    /// Peak throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+}
+
+/// All device models used in the paper's experiments, fastest first.
+pub const ALL_GPU_MODELS: [GpuSpec; 4] = [GpuSpec::A100, GpuSpec::A40, GpuSpec::A10, GpuSpec::V100];
+
+/// Returns the default intra-node interconnect for a device model.
+///
+/// A100 and V100 pools in Table 1 are NVLink-connected (dagger in the
+/// table); A40 and A10 servers use PCIe 4.0.
+#[must_use]
+pub fn default_intra_link(gpu: &GpuSpec) -> LinkKind {
+    match gpu.name {
+        "A100" => LinkKind::NvLink3,
+        "V100" => LinkKind::NvLink2,
+        _ => LinkKind::Pcie4,
+    }
+}
+
+/// Returns the default inter-node fabric for a device model per Table 1.
+#[must_use]
+pub fn default_inter_link(gpu: &GpuSpec) -> LinkKind {
+    match gpu.name {
+        "A10" => LinkKind::IbCx6,
+        _ => LinkKind::IbCx5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constants_match_table1() {
+        assert_eq!(GpuSpec::A100.mem_gib, 40.0);
+        assert_eq!(GpuSpec::A40.mem_gib, 48.0);
+        assert_eq!(GpuSpec::A10.mem_gib, 24.0);
+        assert_eq!(GpuSpec::V100.mem_gib, 32.0);
+        assert_eq!(GpuSpec::A100.arch, GpuArch::Ampere);
+        assert_eq!(GpuSpec::V100.arch, GpuArch::Volta);
+    }
+
+    #[test]
+    fn compute_ordering() {
+        // A100 > A40 > A10 > V100 in peak tensor TFLOPS.
+        let peaks: Vec<f64> = ALL_GPU_MODELS.iter().map(|g| g.peak_tflops).collect();
+        for w in peaks.windows(2) {
+            assert!(w[0] > w[1], "expected descending peaks, got {peaks:?}");
+        }
+    }
+
+    #[test]
+    fn default_links_match_table1_daggers() {
+        assert!(default_intra_link(&GpuSpec::A100).is_nvlink());
+        assert!(default_intra_link(&GpuSpec::V100).is_nvlink());
+        assert!(!default_intra_link(&GpuSpec::A40).is_nvlink());
+        assert!(!default_intra_link(&GpuSpec::A10).is_nvlink());
+        assert_eq!(default_inter_link(&GpuSpec::A10), LinkKind::IbCx6);
+        assert_eq!(default_inter_link(&GpuSpec::A40), LinkKind::IbCx5);
+    }
+
+    #[test]
+    fn mem_bytes_conversion() {
+        assert_eq!(GpuSpec::A100.mem_bytes(), 40 * 1024 * 1024 * 1024);
+    }
+}

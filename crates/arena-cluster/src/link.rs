@@ -1,0 +1,143 @@
+//! Interconnect link kinds and their performance parameters.
+
+use serde::Serialize;
+
+/// A kind of interconnect between GPUs (intra-node) or nodes (inter-node).
+///
+/// Bandwidths are *effective achievable* bandwidths for large collective
+/// transfers, not headline peak numbers: e.g. a 100 Gb/s ConnectX-5 NIC
+/// yields roughly 10 GiB/s of useful collective bandwidth in practice.
+///
+/// These values are the hardware constants the α–β communication model in
+/// `arena-perf` is built on. They only need to be *relatively* faithful
+/// (NVLink ≫ PCIe ≫ InfiniBand per-GPU) for the paper's decision structure —
+/// tensor parallelism favoured on NVLink, pipeline parallelism favoured over
+/// slow fabrics — to emerge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LinkKind {
+    /// Third-generation NVLink (A100-class NVSwitch topology).
+    NvLink3,
+    /// Second-generation NVLink (V100-class hybrid cube mesh).
+    NvLink2,
+    /// PCIe 4.0 x16 host bridge shared between GPUs on one node.
+    Pcie4,
+    /// PCIe 3.0 x16 host bridge.
+    Pcie3,
+    /// Mellanox InfiniBand ConnectX-5 (100 Gb/s EDR).
+    IbCx5,
+    /// Mellanox InfiniBand ConnectX-6 (200 Gb/s HDR).
+    IbCx6,
+    /// Commodity 10 GbE, used only in degraded-fabric experiments.
+    Ethernet10G,
+}
+
+impl LinkKind {
+    /// Effective large-message bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth_bps(self) -> f64 {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        match self {
+            LinkKind::NvLink3 => 200.0 * GIB,
+            LinkKind::NvLink2 => 120.0 * GIB,
+            LinkKind::Pcie4 => 16.0 * GIB,
+            LinkKind::Pcie3 => 10.0 * GIB,
+            LinkKind::IbCx5 => 10.0 * GIB,
+            LinkKind::IbCx6 => 20.0 * GIB,
+            LinkKind::Ethernet10G => 1.0 * GIB,
+        }
+    }
+
+    /// Base per-message latency (the α term) in seconds.
+    #[must_use]
+    pub fn latency_s(self) -> f64 {
+        match self {
+            LinkKind::NvLink3 | LinkKind::NvLink2 => 4.0e-6,
+            LinkKind::Pcie4 | LinkKind::Pcie3 => 8.0e-6,
+            LinkKind::IbCx5 | LinkKind::IbCx6 => 12.0e-6,
+            LinkKind::Ethernet10G => 50.0e-6,
+        }
+    }
+
+    /// Whether this link kind is an intra-node GPU-to-GPU interconnect.
+    #[must_use]
+    pub fn is_intra_node(self) -> bool {
+        matches!(
+            self,
+            LinkKind::NvLink3 | LinkKind::NvLink2 | LinkKind::Pcie4 | LinkKind::Pcie3
+        )
+    }
+
+    /// Whether this is a high-bandwidth NVLink-class interconnect.
+    ///
+    /// The paper marks such pools with a dagger in Table 1; the distinction
+    /// matters because tensor parallelism is only cheap on NVLink.
+    #[must_use]
+    pub fn is_nvlink(self) -> bool {
+        matches!(self, LinkKind::NvLink3 | LinkKind::NvLink2)
+    }
+
+    /// Short human-readable name used in experiment printouts.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            LinkKind::NvLink3 => "NVLink3",
+            LinkKind::NvLink2 => "NVLink2",
+            LinkKind::Pcie4 => "PCIe4",
+            LinkKind::Pcie3 => "PCIe3",
+            LinkKind::IbCx5 => "IB-CX5",
+            LinkKind::IbCx6 => "IB-CX6",
+            LinkKind::Ethernet10G => "10GbE",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering_matches_hardware_reality() {
+        // NVLink must dominate PCIe, which must dominate or equal InfiniBand
+        // per GPU; this ordering is what drives parallelism choices.
+        assert!(LinkKind::NvLink3.bandwidth_bps() > LinkKind::NvLink2.bandwidth_bps());
+        assert!(LinkKind::NvLink2.bandwidth_bps() > LinkKind::Pcie4.bandwidth_bps());
+        assert!(LinkKind::Pcie4.bandwidth_bps() > LinkKind::IbCx5.bandwidth_bps());
+        assert!(LinkKind::IbCx6.bandwidth_bps() > LinkKind::IbCx5.bandwidth_bps());
+    }
+
+    #[test]
+    fn intra_node_classification() {
+        assert!(LinkKind::NvLink3.is_intra_node());
+        assert!(LinkKind::Pcie4.is_intra_node());
+        assert!(!LinkKind::IbCx5.is_intra_node());
+        assert!(!LinkKind::Ethernet10G.is_intra_node());
+    }
+
+    #[test]
+    fn nvlink_classification() {
+        assert!(LinkKind::NvLink2.is_nvlink());
+        assert!(!LinkKind::Pcie4.is_nvlink());
+    }
+
+    #[test]
+    fn latencies_are_positive_and_small() {
+        for l in [
+            LinkKind::NvLink3,
+            LinkKind::NvLink2,
+            LinkKind::Pcie4,
+            LinkKind::Pcie3,
+            LinkKind::IbCx5,
+            LinkKind::IbCx6,
+            LinkKind::Ethernet10G,
+        ] {
+            assert!(l.latency_s() > 0.0);
+            assert!(l.latency_s() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Node (server) specifications.
+
+use serde::Serialize;
+
+use crate::gpu::GpuSpec;
+use crate::link::LinkKind;
+
+/// Specification of one server class: identical GPUs plus its interconnects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeSpec {
+    /// GPU device model installed in this server.
+    pub gpu: GpuSpec,
+    /// Number of GPUs per server.
+    pub gpus_per_node: usize,
+    /// GPU-to-GPU interconnect inside the server.
+    pub intra_link: LinkKind,
+    /// Fabric connecting servers of this class.
+    pub inter_link: LinkKind,
+}
+
+impl NodeSpec {
+    /// Creates a node spec with the default links for the device model.
+    #[must_use]
+    pub fn with_default_links(gpu: GpuSpec, gpus_per_node: usize) -> Self {
+        NodeSpec {
+            gpu,
+            gpus_per_node,
+            intra_link: crate::gpu::default_intra_link(&gpu),
+            inter_link: crate::gpu::default_inter_link(&gpu),
+        }
+    }
+
+    /// The slowest link a collective spanning `gpus` devices must cross.
+    ///
+    /// Collectives confined to a single server use the intra-node link; any
+    /// collective spanning servers is bottlenecked by the inter-node fabric.
+    #[must_use]
+    pub fn link_for_group(&self, gpus: usize) -> LinkKind {
+        if gpus <= self.gpus_per_node {
+            self.intra_link
+        } else {
+            self.inter_link
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_for_group_respects_node_boundary() {
+        let spec = NodeSpec::with_default_links(GpuSpec::A100, 4);
+        assert_eq!(spec.link_for_group(1), LinkKind::NvLink3);
+        assert_eq!(spec.link_for_group(4), LinkKind::NvLink3);
+        assert_eq!(spec.link_for_group(5), LinkKind::IbCx5);
+        assert_eq!(spec.link_for_group(64), LinkKind::IbCx5);
+    }
+
+    #[test]
+    fn default_links_applied() {
+        let a10 = NodeSpec::with_default_links(GpuSpec::A10, 2);
+        assert_eq!(a10.intra_link, LinkKind::Pcie4);
+        assert_eq!(a10.inter_link, LinkKind::IbCx6);
+    }
+}

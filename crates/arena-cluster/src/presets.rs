@@ -1,0 +1,80 @@
+//! Cluster presets used throughout the paper's evaluation.
+
+use crate::cluster::Cluster;
+use crate::gpu::GpuSpec;
+use crate::node::NodeSpec;
+
+/// The 1,280-GPU simulated heterogeneous cluster of Table 1.
+///
+/// | GPU  | Mem | Intra    | Inter  | Nodes | GPUs/node |
+/// |------|-----|----------|--------|-------|-----------|
+/// | A100 | 40  | NVLink3  | IB-CX5 | 80    | 4         |
+/// | A40  | 48  | PCIe4    | IB-CX5 | 160   | 2         |
+/// | A10  | 24  | PCIe4    | IB-CX6 | 160   | 2         |
+/// | V100 | 32  | NVLink2  | IB-CX5 | 20    | 16        |
+#[must_use]
+pub fn table1_simulated() -> Cluster {
+    Cluster::new(&[
+        (NodeSpec::with_default_links(GpuSpec::A100, 4), 80),
+        (NodeSpec::with_default_links(GpuSpec::A40, 2), 160),
+        (NodeSpec::with_default_links(GpuSpec::A10, 2), 160),
+        (NodeSpec::with_default_links(GpuSpec::V100, 16), 20),
+    ])
+}
+
+/// The 64-GPU physical testbed of §8.1: 16 servers with 2×A40 (IB-CX5)
+/// and 16 servers with 2×A10 (IB-CX6).
+#[must_use]
+pub fn physical_testbed() -> Cluster {
+    Cluster::new(&[
+        (NodeSpec::with_default_links(GpuSpec::A40, 2), 16),
+        (NodeSpec::with_default_links(GpuSpec::A10, 2), 16),
+    ])
+}
+
+/// The motivation-experiment hardware of Figure 1 / Figure 3(b):
+/// one 4×A100 NVLink server and one 4×V100 NVLink server.
+#[must_use]
+pub fn motivation_pair() -> Cluster {
+    Cluster::new(&[
+        (NodeSpec::with_default_links(GpuSpec::A100, 4), 1),
+        (NodeSpec::with_default_links(GpuSpec::V100, 4), 1),
+    ])
+}
+
+/// A small homogeneous cluster handy for unit tests: `nodes`×`gpn` A100s.
+#[must_use]
+pub fn tiny_a100(nodes: usize, gpn: usize) -> Cluster {
+    Cluster::new(&[(NodeSpec::with_default_links(GpuSpec::A100, gpn), nodes)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::GpuTypeId;
+
+    #[test]
+    fn table1_totals() {
+        let c = table1_simulated();
+        assert_eq!(c.total_gpus(), 1280);
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 320); // A100
+        assert_eq!(c.free_gpus(GpuTypeId(1)), 320); // A40
+        assert_eq!(c.free_gpus(GpuTypeId(2)), 320); // A10
+        assert_eq!(c.free_gpus(GpuTypeId(3)), 320); // V100
+    }
+
+    #[test]
+    fn testbed_totals() {
+        let c = physical_testbed();
+        assert_eq!(c.total_gpus(), 64);
+        assert_eq!(c.num_pools(), 2);
+    }
+
+    #[test]
+    fn motivation_pair_shape() {
+        let c = motivation_pair();
+        assert_eq!(c.total_gpus(), 8);
+        assert!(c.spec(GpuTypeId(0)).intra_link.is_nvlink());
+        assert!(c.spec(GpuTypeId(1)).intra_link.is_nvlink());
+    }
+}

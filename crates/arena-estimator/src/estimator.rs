@@ -1,0 +1,612 @@
+//! The agile Cell estimator: assembly of profiled parts (§5.1, Fig. 9).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use arena_model::ModelGraph;
+use arena_parallelism::{PipelinePlan, StageAssignment, StagePlan};
+use arena_perf::noise::NoiseModel;
+use arena_perf::{CostParams, HwTarget, ProfilingMeter};
+
+use crate::cell::{Cell, Favor};
+use crate::profile::{profile_cell, CellProfiles};
+use crate::tables::{CollectiveKind, CommTables};
+
+/// The estimator's verdict on one Cell.
+#[derive(Debug, Clone)]
+pub struct CellEstimate {
+    /// The best assembled plan (pure DP/TP per stage).
+    pub plan: PipelinePlan,
+    /// Estimated seconds per iteration for that plan.
+    pub iter_time_s: f64,
+    /// Estimated throughput in samples per second.
+    pub throughput_sps: f64,
+    /// Each stage's parallelism favor, used to prune tuning (§5.2).
+    pub favors: Vec<Favor>,
+    /// Largest estimated per-GPU memory footprint, bytes.
+    pub max_mem_bytes: f64,
+}
+
+/// Per-(stage, mode) terms entering the assembly.
+#[derive(Debug, Clone, Copy)]
+struct ModeTerm {
+    /// Steady-state busy time per micro-batch (compute + TP collectives +
+    /// expert dispatch).
+    busy: f64,
+    /// Data-parallel gradient synchronisation time.
+    sync: f64,
+    /// Per-GPU memory footprint (diagnostics).
+    #[allow(dead_code)]
+    mem: f64,
+    /// Whether this mode is feasible (memory and batch).
+    feasible: bool,
+}
+
+/// The agile Cell estimator.
+///
+/// Owns the offline communication tables (built lazily per node class),
+/// a cache of runtime stage profiles (a job is profiled once per GPU type,
+/// §6.1), and a [`ProfilingMeter`] charged for every profile it takes.
+pub struct CellEstimator {
+    params: CostParams,
+    noise: NoiseModel,
+    table_noise: NoiseModel,
+    meter: Arc<ProfilingMeter>,
+    tables: RwLock<HashMap<(String, usize), Arc<CommTables>>>,
+    profiles: RwLock<HashMap<String, Arc<CellProfiles>>>,
+    estimates: RwLock<HashMap<String, Option<CellEstimate>>>,
+}
+
+impl std::fmt::Debug for CellEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellEstimator")
+            .field("profiled_cells", &self.profiles.read().len())
+            .field("gpu_seconds", &self.meter.gpu_seconds())
+            .finish()
+    }
+}
+
+impl CellEstimator {
+    /// Creates an estimator with measurement noise derived from `seed`.
+    #[must_use]
+    pub fn new(params: CostParams, seed: u64) -> Self {
+        let noise = NoiseModel::new(params.noise_sigma, seed ^ 0x5eed_0001);
+        let table_noise = NoiseModel::new(params.table_sigma, seed ^ 0x5eed_0002);
+        CellEstimator {
+            params,
+            noise,
+            table_noise,
+            meter: Arc::new(ProfilingMeter::new()),
+            tables: RwLock::new(HashMap::new()),
+            profiles: RwLock::new(HashMap::new()),
+            estimates: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The meter charged by this estimator's profiling activity.
+    #[must_use]
+    pub fn meter(&self) -> &Arc<ProfilingMeter> {
+        &self.meter
+    }
+
+    /// The cost constants in use.
+    #[must_use]
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    fn tables_for(&self, hw: &HwTarget, max_group: usize) -> Arc<CommTables> {
+        let key = (hw.name().to_string(), hw.packed_gpn);
+        if let Some(t) = self.tables.read().get(&key) {
+            if t.max_group() >= max_group {
+                return t.clone();
+            }
+        }
+        let built = Arc::new(CommTables::build(hw, max_group.max(64), &self.table_noise));
+        self.tables.write().insert(key, built.clone());
+        built
+    }
+
+    fn profiles_for(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> Arc<CellProfiles> {
+        let key = format!(
+            "{}|{}|{}|{}|{}",
+            graph.name,
+            global_batch,
+            cell.label(),
+            hw.name(),
+            hw.packed_gpn
+        );
+        if let Some(p) = self.profiles.read().get(&key) {
+            return p.clone();
+        }
+        let prof = Arc::new(profile_cell(
+            &self.params,
+            &self.noise,
+            &self.meter,
+            graph,
+            global_batch,
+            cell,
+            hw,
+        ));
+        self.profiles.write().insert(key, prof.clone());
+        prof
+    }
+
+    /// Estimates a Cell: profiles its stages (cached), assembles the
+    /// `2^Ns` grid and returns the best feasible assembled plan.
+    ///
+    /// Returns `None` when no assembled plan fits in memory and batch —
+    /// the Cell is not schedulable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use arena_cluster::{GpuSpec, NodeSpec};
+    /// use arena_estimator::{Cell, CellEstimator};
+    /// use arena_model::zoo::{ModelConfig, ModelFamily};
+    /// use arena_perf::{CostParams, HwTarget};
+    ///
+    /// let graph = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+    /// let cell = Cell::new(&graph, 8, 4).unwrap();
+    /// let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+    /// let estimator = CellEstimator::new(CostParams::default(), 42);
+    /// let estimate = estimator.estimate(&graph, 256, &cell, &hw).unwrap();
+    /// assert!(estimate.throughput_sps > 0.0);
+    /// assert_eq!(estimate.favors.len(), 4);
+    /// // Two ~30 s single-GPU profiles per Cell (§8.2).
+    /// assert!(estimator.meter().gpu_seconds() < 120.0);
+    /// ```
+    #[must_use]
+    pub fn estimate(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> Option<CellEstimate> {
+        let key = format!(
+            "{}|{}|{}|{}|{}",
+            graph.name,
+            global_batch,
+            cell.label(),
+            hw.name(),
+            hw.packed_gpn
+        );
+        if let Some(e) = self.estimates.read().get(&key) {
+            return e.clone();
+        }
+        let est = self.estimate_uncached(graph, global_batch, cell, hw);
+        self.estimates.write().insert(key, est.clone());
+        est
+    }
+
+    fn estimate_uncached(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> Option<CellEstimate> {
+        let tables = self.tables_for(hw, cell.num_gpus);
+        let profiles = self.profiles_for(graph, global_batch, cell, hw);
+        let p = &self.params;
+        let base_b = 4 * cell.num_stages;
+        let budget = hw.node.gpu.mem_bytes() as f64 * p.usable_mem_frac;
+
+        // The estimator mirrors the runtime's gradient-accumulation
+        // escalation: derive each accumulation factor's terms from the
+        // single profile taken at the GPipe default (compute and payloads
+        // scale with the micro-batch; fixed memory does not).
+        let mut best_assembly: Option<(Vec<usize>, f64)> = None;
+        for accum in [1_usize, 2, 4, 8, 16] {
+            let f = accum as f64;
+            let b = base_b * accum;
+            let terms: Vec<[ModeTerm; 2]> = profiles
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(s, prof)| {
+                    let g = cell.partition.gpus[s];
+                    [0, 1].map(|m| {
+                        let pr = &prof[m];
+                        let tp_comm = if m == 1 {
+                            tables.lookup(CollectiveKind::AllReduce, g, pr.tp_payload / f)
+                        } else {
+                            0.0
+                        };
+                        let dispatch =
+                            tables.lookup(CollectiveKind::AllToAll, g, pr.dispatch_payload / f);
+                        let sync = if m == 0 {
+                            tables.lookup(CollectiveKind::AllReduce, g, pr.grad_bytes)
+                        } else {
+                            0.0
+                        };
+                        let mem = pr.fixed_mem_bytes + pr.scalable_mem_bytes / f;
+                        let compute =
+                            pr.fixed_compute_s + (pr.compute_s - pr.fixed_compute_s).max(0.0) / f;
+                        ModeTerm {
+                            busy: compute + tp_comm + dispatch,
+                            sync,
+                            mem,
+                            feasible: pr.batch_ok && pr.mb_samples / f >= 1.0 && mem <= budget,
+                        }
+                    })
+                })
+                .collect();
+
+            // Boundary cost between stage s-1 in mode mp and stage s in
+            // mode m, at this accumulation factor.
+            let boundary = |s: usize, mp: usize, m: usize| -> f64 {
+                let range = &cell.partition.ranges[s];
+                let bytes = graph.ops[range.start - 1].out_bytes * global_batch as f64 / b as f64;
+                let same_layout =
+                    mp == 0 && m == 0 && cell.partition.gpus[s - 1] == cell.partition.gpus[s];
+                let factor = if same_layout { 1.0 } else { p.reshard_factor };
+                tables.lookup(CollectiveKind::P2p, cell.num_gpus, bytes * factor)
+            };
+
+            if let Some((modes, iter)) = assemble_best(&terms, &boundary, b, 1.0 - p.dp_overlap) {
+                if best_assembly.as_ref().is_none_or(|(_, cur)| iter < *cur) {
+                    best_assembly = Some((modes, iter));
+                }
+            }
+        }
+        let (modes, iter_time_s) = best_assembly?;
+
+        let favors: Vec<Favor> = modes
+            .iter()
+            .map(|&m| if m == 0 { Favor::Dp } else { Favor::Tp })
+            .collect();
+        let plan = PipelinePlan {
+            stages: cell
+                .partition
+                .ranges
+                .iter()
+                .zip(&cell.partition.gpus)
+                .zip(&modes)
+                .map(|((r, &g), &m)| StageAssignment {
+                    op_range: r.clone(),
+                    plan: if m == 0 {
+                        StagePlan::dp_only(g)
+                    } else {
+                        StagePlan::tp_only(g)
+                    },
+                })
+                .collect(),
+        };
+        let max_mem_bytes = modes
+            .iter()
+            .enumerate()
+            .map(|(s, &m)| profiles.stages[s][m].mem_bytes)
+            .fold(0.0, f64::max);
+
+        Some(CellEstimate {
+            plan,
+            iter_time_s,
+            throughput_sps: global_batch as f64 / iter_time_s,
+            favors,
+            max_mem_bytes,
+        })
+    }
+}
+
+/// Finds the best assembled plan over the `2^Ns` grid *exactly*, without
+/// enumeration, via threshold-bounded chain DP.
+///
+/// The objective
+/// `Σ busy + Σ boundary + (B−1)·max(busy, boundary) + (1−ov)·max sync`
+/// couples stages only through the two max terms and adjacent-stage
+/// boundary costs. For each candidate pair of thresholds `(M1, M2)` drawn
+/// from the realised busy/boundary/sync values, a left-to-right DP picks
+/// per-stage modes minimising the separable part subject to
+/// `busy ≤ M1`, `boundary ≤ M1` and `sync ≤ M2`; the true objective of
+/// each reconstructed assignment is then scored, and the overall minimum
+/// is exact because the optimal assignment's own maxima appear among the
+/// candidates.
+fn assemble_best(
+    terms: &[[ModeTerm; 2]],
+    boundary: &dyn Fn(usize, usize, usize) -> f64,
+    b: usize,
+    one_minus_ov: f64,
+) -> Option<(Vec<usize>, f64)> {
+    let s_count = terms.len();
+    if s_count == 0 {
+        return None;
+    }
+    let mut busy_cands: Vec<f64> = terms
+        .iter()
+        .flatten()
+        .filter(|t| t.feasible)
+        .map(|t| t.busy)
+        .collect();
+    // Boundary transfers can bound the steady state too.
+    for s in 1..s_count {
+        for mp in 0..2 {
+            for m in 0..2 {
+                busy_cands.push(boundary(s, mp, m));
+            }
+        }
+    }
+    let mut sync_cands: Vec<f64> = terms
+        .iter()
+        .flatten()
+        .filter(|t| t.feasible)
+        .map(|t| t.sync)
+        .collect();
+    if busy_cands.is_empty() {
+        return None;
+    }
+    busy_cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    busy_cands.dedup();
+    sync_cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sync_cands.dedup();
+
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for &m1 in &busy_cands {
+        for &m2 in &sync_cands {
+            let Some(modes) = chain_dp(terms, boundary, m1, m2) else {
+                continue;
+            };
+            // True objective of the reconstructed assignment.
+            let sum_busy: f64 = modes
+                .iter()
+                .enumerate()
+                .map(|(s, &m)| terms[s][m].busy)
+                .sum();
+            let sum_bound: f64 = (1..s_count)
+                .map(|s| boundary(s, modes[s - 1], modes[s]))
+                .sum();
+            let max_steady = modes
+                .iter()
+                .enumerate()
+                .map(|(s, &m)| {
+                    let bnd = if s == 0 {
+                        0.0
+                    } else {
+                        boundary(s, modes[s - 1], m)
+                    };
+                    terms[s][m].busy.max(bnd)
+                })
+                .fold(0.0, f64::max);
+            let max_sync = modes
+                .iter()
+                .enumerate()
+                .map(|(s, &m)| terms[s][m].sync)
+                .fold(0.0, f64::max);
+            let obj =
+                sum_busy + sum_bound + (b as f64 - 1.0) * max_steady + one_minus_ov * max_sync;
+            if best.as_ref().is_none_or(|(_, cur)| obj < *cur) {
+                best = Some((modes, obj));
+            }
+        }
+    }
+    best
+}
+
+/// Left-to-right DP choosing per-stage modes under busy/sync caps.
+fn chain_dp(
+    terms: &[[ModeTerm; 2]],
+    boundary: &dyn Fn(usize, usize, usize) -> f64,
+    max_busy: f64,
+    max_sync: f64,
+) -> Option<Vec<usize>> {
+    const EPS: f64 = 1e-12;
+    let n = terms.len();
+    let ok = |t: &ModeTerm| t.feasible && t.busy <= max_busy + EPS && t.sync <= max_sync + EPS;
+
+    let mut cost = [[f64::INFINITY; 2]; 1].repeat(n);
+    let mut parent = vec![[usize::MAX; 2]; n];
+    for m in 0..2 {
+        if ok(&terms[0][m]) {
+            cost[0][m] = terms[0][m].busy;
+        }
+    }
+    for s in 1..n {
+        for m in 0..2 {
+            if !ok(&terms[s][m]) {
+                continue;
+            }
+            for mp in 0..2 {
+                let bnd = boundary(s, mp, m);
+                if bnd > max_busy + EPS {
+                    continue; // Transfer would exceed the steady threshold.
+                }
+                if cost[s - 1][mp].is_finite() {
+                    let c = cost[s - 1][mp] + bnd + terms[s][m].busy;
+                    if c < cost[s][m] {
+                        cost[s][m] = c;
+                        parent[s][m] = mp;
+                    }
+                }
+            }
+        }
+    }
+    let last = if cost[n - 1][0] <= cost[n - 1][1] {
+        0
+    } else {
+        1
+    };
+    if !cost[n - 1][last].is_finite() {
+        return None;
+    }
+    let mut modes = vec![0; n];
+    modes[n - 1] = last;
+    for s in (1..n).rev() {
+        modes[s - 1] = parent[s][modes[s]];
+        if modes[s - 1] == usize::MAX {
+            return None;
+        }
+    }
+    Some(modes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_cluster::{GpuSpec, NodeSpec};
+    use arena_model::zoo::{ModelConfig, ModelFamily};
+    use arena_parallelism::assembled_plans;
+    use arena_perf::GroundTruth;
+
+    fn a100() -> HwTarget {
+        HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4))
+    }
+
+    fn a10() -> HwTarget {
+        HwTarget::new(NodeSpec::with_default_links(GpuSpec::A10, 2))
+    }
+
+    #[test]
+    fn estimate_produces_feasible_assembled_plan() {
+        let est = CellEstimator::new(CostParams::default(), 3);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let e = est.estimate(&g, 256, &cell, &a100()).unwrap();
+        assert!(e.iter_time_s > 0.0);
+        assert_eq!(e.favors.len(), 4);
+        assert!(e.plan.is_valid_for(&g));
+        assert_eq!(e.plan.total_gpus(), 8);
+        // The estimated plan is one of the 2^Ns assembled plans.
+        let assembled: Vec<String> = assembled_plans(&cell.partition)
+            .iter()
+            .map(PipelinePlan::label)
+            .collect();
+        assert!(assembled.contains(&e.plan.label()));
+    }
+
+    #[test]
+    fn assembly_dp_matches_brute_force() {
+        // The threshold DP must pick the same-best plan a brute-force
+        // enumeration of the 2^Ns grid does (scored by ground truth-like
+        // composition over the same terms).
+        let est = CellEstimator::new(CostParams::default(), 9);
+        let g = ModelConfig::new(ModelFamily::Moe, 1.3, 512).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let hw = a100();
+        let e = est.estimate(&g, 512, &cell, &hw).unwrap();
+
+        // Brute force over the same profiled terms: rebuild terms by
+        // estimating each single assembled plan via a fresh estimator is
+        // not possible from outside, so instead verify optimality
+        // indirectly: the estimate must not be worse than any *measured*
+        // assembled plan by more than the noise margin.
+        let gt = GroundTruth::noiseless(CostParams::default());
+        let best_measured = assembled_plans(&cell.partition)
+            .iter()
+            .filter_map(|p| gt.measure(&g, 512, p, &hw).ok())
+            .map(|perf| perf.iter_time_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            e.iter_time_s < best_measured * 1.25,
+            "estimate {} vs best measured assembled {}",
+            e.iter_time_s,
+            best_measured
+        );
+    }
+
+    #[test]
+    fn noiseless_estimate_matches_brute_force_exactly() {
+        // With measurement and table noise disabled, the estimator's
+        // threshold-DP must return exactly the best assembled plan as
+        // priced by the exact cost model (minimised over the same
+        // gradient-accumulation factors).
+        let params = CostParams {
+            noise_sigma: 0.0,
+            table_sigma: 0.0,
+            ..CostParams::default()
+        };
+        let est = CellEstimator::new(params.clone(), 99);
+        let model = arena_perf::PerfModel::new(params);
+        for (fam, size, gb, gpus, stages) in [
+            (ModelFamily::Bert, 1.3, 256, 8, 4),
+            (ModelFamily::Moe, 1.3, 512, 8, 2),
+            (ModelFamily::WideResNet, 1.0, 512, 4, 2),
+        ] {
+            let g = ModelConfig::new(fam, size, gb).build();
+            let hw = a100();
+            let cell = Cell::new(&g, gpus, stages).unwrap();
+            let Some(e) = est.estimate(&g, gb, &cell, &hw) else {
+                panic!("{fam:?} cell infeasible");
+            };
+            let brute = assembled_plans(&cell.partition)
+                .iter()
+                .filter_map(|p| model.evaluate(&g, gb, p, &hw).ok())
+                .map(|perf| perf.iter_time_s)
+                .fold(f64::INFINITY, f64::min);
+            let rel = (e.iter_time_s - brute).abs() / brute;
+            assert!(
+                rel < 1e-9,
+                "{fam:?}: estimate {} vs brute force {brute} (rel {rel})",
+                e.iter_time_s
+            );
+        }
+    }
+
+    #[test]
+    fn estimation_error_is_small_but_nonzero() {
+        let params = CostParams::default();
+        let est = CellEstimator::new(params.clone(), 17);
+        let gt = GroundTruth::new(params, 17);
+        let g = ModelConfig::new(ModelFamily::Bert, 2.6, 256).build();
+        let cell = Cell::new(&g, 8, 2).unwrap();
+        let hw = a100();
+        let e = est.estimate(&g, 256, &cell, &hw).unwrap();
+        let measured = gt.measure(&g, 256, &e.plan, &hw).unwrap();
+        let rel = (e.iter_time_s - measured.iter_time_s).abs() / measured.iter_time_s;
+        assert!(rel > 0.0, "estimate is implausibly exact");
+        assert!(rel < 0.25, "estimate error {rel} too large");
+    }
+
+    #[test]
+    fn memory_pressure_flips_favor_to_tp() {
+        // BERT-2.6B on 24 GiB A10s: DP-only cannot hold the optimizer
+        // state, so the estimator must favor TP (or fail), never emit an
+        // infeasible DP plan.
+        let est = CellEstimator::new(CostParams::default(), 21);
+        let g = ModelConfig::new(ModelFamily::Bert, 2.6, 256).build();
+        let cell = Cell::new(&g, 4, 1).unwrap();
+        if let Some(e) = est.estimate(&g, 256, &cell, &a10()) {
+            assert_eq!(e.favors, vec![Favor::Tp]);
+        } // `None` is also acceptable: nothing fits.
+    }
+
+    #[test]
+    fn hopeless_cell_estimates_none() {
+        let est = CellEstimator::new(CostParams::default(), 23);
+        let g = ModelConfig::new(ModelFamily::Moe, 27.0, 256).build();
+        let cell = Cell::new(&g, 2, 1).unwrap();
+        assert!(est.estimate(&g, 256, &cell, &a10()).is_none());
+    }
+
+    #[test]
+    fn profiling_cost_is_cached_per_cell() {
+        let est = CellEstimator::new(CostParams::default(), 29);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let hw = a100();
+        let _ = est.estimate(&g, 256, &cell, &hw);
+        let after_first = est.meter().gpu_seconds();
+        assert!(after_first > 0.0);
+        let _ = est.estimate(&g, 256, &cell, &hw);
+        assert_eq!(est.meter().gpu_seconds(), after_first);
+    }
+
+    #[test]
+    fn per_cell_budget_is_about_a_minute() {
+        // §8.2: two parallelism profiles per Cell at ~30 s each on one GPU.
+        let est = CellEstimator::new(CostParams::default(), 31);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let _ = est.estimate(&g, 256, &cell, &a100());
+        let gpu_s = est.meter().gpu_seconds();
+        assert!(gpu_s > 40.0 && gpu_s < 120.0, "per-cell cost {gpu_s}s");
+    }
+}

@@ -1,0 +1,225 @@
+//! Single-device distributed profiling (§5.1, Fig. 10).
+//!
+//! For each stage of a Cell, the estimator compiles the stage's
+//! computation as it would execute under the DP-only and TP-only plans
+//! (distributed-equivalent compilation) and measures it on *one* GPU.
+//! Communication operators are never executed — they are priced later
+//! from the offline tables. Each per-parallelism profile charges roughly
+//! `setup + iters × stage time` of a single GPU to the estimator's meter,
+//! which is where the paper's "≈30 s per parallelism, ≈1 min per Cell"
+//! budget comes from (§8.2).
+
+use arena_model::ModelGraph;
+use arena_perf::noise::NoiseModel;
+use arena_perf::{compute, memory, CostParams, HwTarget, ProfilingMeter};
+
+use crate::cell::{Cell, Favor};
+
+/// One stage profiled under one pure parallelism.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// Which pure plan was compiled.
+    pub mode: Favor,
+    /// Measured per-micro-batch computation on one device, seconds.
+    pub compute_s: f64,
+    /// The per-micro-batch kernel-launch floor (visible in the CUPTI
+    /// timeline as inter-kernel gaps); does not shrink when gradient
+    /// accumulation reduces the micro-batch.
+    pub fixed_compute_s: f64,
+    /// Recorded per-GPU memory footprint, bytes.
+    pub mem_bytes: f64,
+    /// Memory that does not shrink under gradient accumulation
+    /// (parameters, optimizer state, input buffers), bytes.
+    pub fixed_mem_bytes: f64,
+    /// Live-activation memory, proportional to the micro-batch, bytes.
+    pub scalable_mem_bytes: f64,
+    /// Micro-batch size in samples under this mode.
+    pub mb_samples: f64,
+    /// Whether the global batch can feed this mode's micro-batch slots.
+    pub batch_ok: bool,
+    /// Tensor-parallel collective payload per micro-batch (fwd+bwd), bytes.
+    pub tp_payload: f64,
+    /// Expert-dispatch payload per micro-batch (fwd+bwd), bytes.
+    pub dispatch_payload: f64,
+    /// Gradient bytes per TP shard (the DP all-reduce payload).
+    pub grad_bytes: f64,
+}
+
+/// Both pure-parallelism profiles for every stage of a Cell.
+#[derive(Debug, Clone)]
+pub struct CellProfiles {
+    /// `stages[s][0]` is the DP-only profile, `stages[s][1]` TP-only.
+    pub stages: Vec<[StageProfile; 2]>,
+}
+
+#[allow(clippy::too_many_arguments)] // One call site; mirrors the profiling request tuple.
+fn profile_stage(
+    p: &CostParams,
+    noise: &NoiseModel,
+    graph: &ModelGraph,
+    global_batch: usize,
+    cell: &Cell,
+    stage: usize,
+    mode: Favor,
+    hw: &HwTarget,
+) -> StageProfile {
+    let range = cell.partition.ranges[stage].clone();
+    let g = cell.partition.gpus[stage];
+    let b = 4 * cell.num_stages;
+    let (dp, tp) = match mode {
+        Favor::Dp => (g, 1),
+        Favor::Tp => (1, g),
+    };
+    let mb = global_batch as f64 / (b * dp) as f64;
+    let batch_ok = mb >= 1.0;
+
+    // Distributed-equivalent compilation measures the per-device program.
+    let key = format!(
+        "profile|{}|{}|{}|{}|{:?}|{}",
+        graph.name,
+        global_batch,
+        cell.label(),
+        stage,
+        mode,
+        hw.name()
+    );
+    let compute_s =
+        compute::stage_compute_time(p, graph, range.clone(), mb.max(1.0), tp, &hw.node.gpu)
+            * noise.factor(&key);
+    let fixed_compute_s = range.len() as f64 * p.launch_overhead_s;
+    let (fixed_mem_bytes, scalable_mem_bytes) =
+        memory::stage_memory_parts_dp(p, graph, range.clone(), mb.max(1.0), dp, tp, b);
+    let mem_bytes = fixed_mem_bytes + scalable_mem_bytes;
+
+    let ops = &graph.ops[range];
+    let tp_payload = if tp > 1 {
+        ops.iter().map(|o| o.tp_comm_bytes).sum::<f64>() * mb.max(1.0) * 2.0
+    } else {
+        0.0
+    };
+    let dispatch_payload = ops.iter().map(|o| o.dispatch_bytes).sum::<f64>() * mb.max(1.0) * 2.0;
+    let grad_bytes = ops
+        .iter()
+        .map(arena_model::Operator::param_bytes)
+        .sum::<f64>()
+        / tp as f64;
+
+    StageProfile {
+        mode,
+        compute_s,
+        fixed_compute_s,
+        mem_bytes,
+        fixed_mem_bytes,
+        scalable_mem_bytes,
+        mb_samples: mb,
+        batch_ok,
+        tp_payload,
+        dispatch_payload,
+        grad_bytes,
+    }
+}
+
+/// Profiles every stage of `cell` under DP-only and TP-only on one device,
+/// charging two per-parallelism trials to `meter`.
+#[must_use]
+pub fn profile_cell(
+    p: &CostParams,
+    noise: &NoiseModel,
+    meter: &ProfilingMeter,
+    graph: &ModelGraph,
+    global_batch: usize,
+    cell: &Cell,
+    hw: &HwTarget,
+) -> CellProfiles {
+    let mut stages = Vec::with_capacity(cell.num_stages);
+    for s in 0..cell.num_stages {
+        let dp = profile_stage(p, noise, graph, global_batch, cell, s, Favor::Dp, hw);
+        let tp = profile_stage(p, noise, graph, global_batch, cell, s, Favor::Tp, hw);
+        stages.push([dp, tp]);
+    }
+    // One trial per parallelism: compile once, run the measured iterations
+    // of every stage back-to-back on the single profiling GPU.
+    for mode in 0..2 {
+        let measured: f64 = stages.iter().map(|s| s[mode].compute_s).sum();
+        meter.charge(
+            p.agile_profile_setup_s + p.agile_profile_iters * measured,
+            1,
+        );
+    }
+    CellProfiles { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_cluster::{GpuSpec, NodeSpec};
+    use arena_model::zoo::{ModelConfig, ModelFamily};
+
+    fn setup() -> (CostParams, NoiseModel, ModelGraph, HwTarget) {
+        (
+            CostParams::default(),
+            NoiseModel::new(0.03, 5),
+            ModelConfig::new(ModelFamily::Bert, 1.3, 256).build(),
+            HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4)),
+        )
+    }
+
+    #[test]
+    fn profiles_cover_both_modes_per_stage() {
+        let (p, n, g, hw) = setup();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let meter = ProfilingMeter::new();
+        let prof = profile_cell(&p, &n, &meter, &g, 256, &cell, &hw);
+        assert_eq!(prof.stages.len(), 4);
+        for st in &prof.stages {
+            assert_eq!(st[0].mode, Favor::Dp);
+            assert_eq!(st[1].mode, Favor::Tp);
+            assert!(st[0].compute_s > 0.0 && st[1].compute_s > 0.0);
+            // TP-only shards the work: per-device compute must be smaller
+            // than DP-only's (which runs the full stage on larger mb)...
+            assert!(st[0].tp_payload == 0.0);
+            assert!(st[1].tp_payload > 0.0);
+            // TP shards parameters, so its DP-sync payload is smaller.
+            assert!(st[1].grad_bytes < st[0].grad_bytes);
+        }
+    }
+
+    #[test]
+    fn profiling_charges_two_single_gpu_trials() {
+        let (p, n, g, hw) = setup();
+        let cell = Cell::new(&g, 8, 2).unwrap();
+        let meter = ProfilingMeter::new();
+        let _ = profile_cell(&p, &n, &meter, &g, 256, &cell, &hw);
+        assert_eq!(meter.trials(), 2);
+        // Two setups plus measured iterations, all on one GPU.
+        assert!(meter.gpu_seconds() >= 2.0 * p.agile_profile_setup_s);
+        assert!(meter.gpu_seconds() < 2.0 * p.agile_profile_setup_s + 60.0);
+        assert_eq!(meter.gpu_seconds(), meter.wall_seconds());
+    }
+
+    #[test]
+    fn starved_dp_mode_is_flagged() {
+        let (p, n, g, hw) = setup();
+        // 64 GPUs, 1 stage: DP-only needs 4x64 = 256 microbatch slots with
+        // batch 128 -> starved; TP-only stays fine.
+        let cell = Cell::new(&g, 64, 1).unwrap();
+        let meter = ProfilingMeter::new();
+        let prof = profile_cell(&p, &n, &meter, &g, 128, &cell, &hw);
+        assert!(!prof.stages[0][0].batch_ok);
+        assert!(prof.stages[0][1].batch_ok);
+    }
+
+    #[test]
+    fn profile_noise_is_deterministic() {
+        let (p, n, g, hw) = setup();
+        let cell = Cell::new(&g, 4, 2).unwrap();
+        let m1 = ProfilingMeter::new();
+        let m2 = ProfilingMeter::new();
+        let a = profile_cell(&p, &n, &m1, &g, 256, &cell, &hw);
+        let b = profile_cell(&p, &n, &m2, &g, 256, &cell, &hw);
+        for (x, y) in a.stages.iter().zip(&b.stages) {
+            assert_eq!(x[0].compute_s, y[0].compute_s);
+            assert_eq!(x[1].compute_s, y[1].compute_s);
+        }
+    }
+}

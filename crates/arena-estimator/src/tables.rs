@@ -1,0 +1,223 @@
+//! Offline communication tables (§5.1).
+//!
+//! "The interconnect hardly changes after hardware setup, so the latency
+//! performance of a communication operator only changes due to the volume
+//! of transferred data" — Arena therefore profiles every collective once
+//! per node class, offline, over a grid of volumes and group sizes, and
+//! interpolates at estimation time.
+
+use std::collections::HashMap;
+
+use arena_perf::noise::NoiseModel;
+use arena_perf::{collective, HwTarget};
+
+/// The communication collectives the estimator prices from tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (TP activations, DP gradients).
+    AllReduce,
+    /// Ring all-gather (resharding).
+    AllGather,
+    /// Point-to-point send/recv (pipeline boundaries).
+    P2p,
+    /// All-to-all (MoE expert dispatch).
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// All table-profiled collectives.
+    pub const ALL: [CollectiveKind; 4] = [
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::P2p,
+        CollectiveKind::AllToAll,
+    ];
+
+    fn truth(self, bytes: f64, group: usize, hw: &HwTarget) -> f64 {
+        let ch = hw.channel_for(group);
+        match self {
+            CollectiveKind::AllReduce => collective::allreduce(bytes, group, ch),
+            CollectiveKind::AllGather => collective::allgather(bytes, group, ch),
+            CollectiveKind::P2p => collective::p2p(bytes, ch),
+            CollectiveKind::AllToAll => collective::alltoall(bytes, group, ch),
+        }
+    }
+}
+
+/// Sampled time-vs-volume curve for one `(collective, group)` pair.
+#[derive(Debug, Clone)]
+struct VolumeCurve {
+    /// `(bytes, seconds)` samples at increasing volumes.
+    points: Vec<(f64, f64)>,
+}
+
+impl VolumeCurve {
+    /// Piecewise-linear interpolation in volume; linear extrapolation
+    /// beyond the last sample (the regime is bandwidth-bound and affine).
+    fn lookup(&self, bytes: f64) -> f64 {
+        let pts = &self.points;
+        if bytes <= pts[0].0 {
+            // Below the smallest sample the latency term dominates; scale
+            // only the bandwidth part by clamping to the first point.
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if bytes <= x1 {
+                return y0 + (y1 - y0) * (bytes - x0) / (x1 - x0);
+            }
+        }
+        // Extrapolate from the last segment's slope.
+        let (x0, y0) = pts[pts.len() - 2];
+        let (x1, y1) = pts[pts.len() - 1];
+        y1 + (y1 - y0) * (bytes - x1) / (x1 - x0)
+    }
+}
+
+/// Offline-profiled communication tables for one node class.
+///
+/// Built once per `(cluster, GPU type)` — the cost is paid before any job
+/// is scheduled, matching the paper's offline profiling on "all used
+/// GPUs". Table entries carry build-time measurement noise, so estimates
+/// derived from them are approximations of the live collectives.
+#[derive(Debug, Clone)]
+pub struct CommTables {
+    curves: HashMap<(CollectiveKind, usize), VolumeCurve>,
+    max_group: usize,
+}
+
+/// Volume grid: 1 KiB to 16 GiB in 4× steps.
+fn volume_grid() -> Vec<f64> {
+    (0..13).map(|i| 1024.0 * 4.0_f64.powi(i)).collect()
+}
+
+impl CommTables {
+    /// Profiles all collectives on `hw` for group sizes `1..=max_group`
+    /// (powers of two), with measurement noise drawn from `noise`.
+    #[must_use]
+    pub fn build(hw: &HwTarget, max_group: usize, noise: &NoiseModel) -> Self {
+        let mut curves = HashMap::new();
+        let mut group = 1;
+        while group <= max_group.max(1) {
+            for kind in CollectiveKind::ALL {
+                let points = volume_grid()
+                    .into_iter()
+                    .map(|v| {
+                        let t = kind.truth(v, group, hw);
+                        let key = format!("table|{}|{:?}|{}|{}", hw.name(), kind, group, v);
+                        (v, t * noise.factor(&key))
+                    })
+                    .collect();
+                curves.insert((kind, group), VolumeCurve { points });
+            }
+            group *= 2;
+        }
+        CommTables {
+            curves,
+            max_group: max_group.max(1),
+        }
+    }
+
+    /// Interpolated cost of a collective moving `bytes` over `group` ranks.
+    ///
+    /// Non-power-of-two groups use the next larger profiled group
+    /// (pessimistic); degenerate groups are free for group collectives.
+    #[must_use]
+    pub fn lookup(&self, kind: CollectiveKind, group: usize, bytes: f64) -> f64 {
+        if bytes <= 0.0 || (group <= 1 && kind != CollectiveKind::P2p) {
+            return 0.0;
+        }
+        let g = group.next_power_of_two().min(self.max_group).max(1);
+        let curve = self
+            .curves
+            .get(&(kind, g))
+            .or_else(|| self.curves.get(&(kind, 1)))
+            .expect("table always holds group 1");
+        curve.lookup(bytes)
+    }
+
+    /// Largest profiled group size.
+    #[must_use]
+    pub fn max_group(&self) -> usize {
+        self.max_group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_cluster::{GpuSpec, NodeSpec};
+    use arena_perf::CostParams;
+
+    fn hw() -> HwTarget {
+        HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4))
+    }
+
+    fn tables(noise_sigma: f64) -> CommTables {
+        let noise = if noise_sigma == 0.0 {
+            NoiseModel::disabled()
+        } else {
+            NoiseModel::new(noise_sigma, 11)
+        };
+        CommTables::build(&hw(), 16, &noise)
+    }
+
+    #[test]
+    fn noiseless_tables_interpolate_exactly() {
+        // The collectives are affine in volume, so piecewise-linear
+        // interpolation between noiseless samples is exact.
+        let t = tables(0.0);
+        for kind in CollectiveKind::ALL {
+            for group in [2_usize, 8] {
+                for bytes in [5e4, 3.3e6, 7.7e8] {
+                    let truth = kind.truth(bytes, group, &hw());
+                    let got = t.lookup(kind, group, bytes);
+                    let rel = (got - truth).abs() / truth;
+                    assert!(rel < 1e-9, "{kind:?}/{group} at {bytes}: rel {rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_tables_are_close_but_not_exact() {
+        let p = CostParams::default();
+        let t = tables(p.table_sigma);
+        let truth = CollectiveKind::AllReduce.truth(1e8, 8, &hw());
+        let got = t.lookup(CollectiveKind::AllReduce, 8, 1e8);
+        let rel = (got - truth).abs() / truth;
+        assert!(rel > 0.0, "noise did not perturb the table");
+        assert!(rel < 0.1, "table noise implausibly large: {rel}");
+    }
+
+    #[test]
+    fn degenerate_lookups_are_free() {
+        let t = tables(0.0);
+        assert_eq!(t.lookup(CollectiveKind::AllReduce, 1, 1e9), 0.0);
+        assert_eq!(t.lookup(CollectiveKind::AllToAll, 0, 1e9), 0.0);
+        assert_eq!(t.lookup(CollectiveKind::P2p, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn p2p_works_for_single_member_groups() {
+        let t = tables(0.0);
+        assert!(t.lookup(CollectiveKind::P2p, 1, 1e8) > 0.0);
+    }
+
+    #[test]
+    fn extrapolation_beyond_grid_is_monotone() {
+        let t = tables(0.0);
+        let at_16g = t.lookup(CollectiveKind::AllReduce, 8, 16.0 * (1 << 30) as f64);
+        let at_64g = t.lookup(CollectiveKind::AllReduce, 8, 64.0 * (1 << 30) as f64);
+        assert!(at_64g > 3.0 * at_16g);
+    }
+
+    #[test]
+    fn oversized_groups_clamp_to_largest_profiled() {
+        let t = tables(0.0);
+        let a = t.lookup(CollectiveKind::AllReduce, 16, 1e8);
+        let b = t.lookup(CollectiveKind::AllReduce, 64, 1e8);
+        assert_eq!(a, b);
+    }
+}

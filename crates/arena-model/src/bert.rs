@@ -1,0 +1,143 @@
+//! BERT-family transformer graphs (Table 2: 0.76B – 6.7B parameters).
+
+use crate::graph::ModelGraph;
+use crate::op::{OpKind, Operator};
+use crate::zoo::ModelFamily;
+
+/// Architecture hyper-parameters of one BERT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BertConfig {
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Sequence length per sample.
+    pub seq: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+/// Returns the architecture used for a nominal Table-2 size.
+///
+/// The `(hidden, layers)` pairs follow the Megatron-LM scaling ladder used
+/// by Alpa for the same nominal sizes.
+///
+/// # Panics
+///
+/// Panics on a size that is not listed in Table 2.
+#[must_use]
+pub fn config_for(params_b: f64) -> BertConfig {
+    let (hidden, layers) = match params_b {
+        x if (x - 0.76).abs() < 1e-6 => (1536, 24),
+        x if (x - 1.3).abs() < 1e-6 => (2048, 24),
+        x if (x - 2.6).abs() < 1e-6 => (2560, 32),
+        x if (x - 6.7).abs() < 1e-6 => (4096, 32),
+        other => panic!("BERT-{other}B is not a Table-2 configuration"),
+    };
+    BertConfig {
+        hidden,
+        layers,
+        seq: 512,
+        vocab: 30528,
+    }
+}
+
+/// Builds the operator graph for a nominal Table-2 BERT size.
+#[must_use]
+pub fn build(params_b: f64) -> ModelGraph {
+    let cfg = config_for(params_b);
+    let h = cfg.hidden as f64;
+    let s = cfg.seq as f64;
+    let v = cfg.vocab as f64;
+
+    let mut ops = Vec::with_capacity(cfg.layers + 2);
+
+    // Token + position embeddings: a lookup, negligible FLOPs.
+    ops.push(Operator {
+        name: "embedding".into(),
+        kind: OpKind::Embedding,
+        flops_fwd: 2.0 * s * h,
+        params: (cfg.vocab * cfg.hidden) as u64,
+        out_bytes: s * h * 2.0,
+        tp_comm_bytes: 0.0,
+        dispatch_bytes: 0.0,
+        act_bytes: 2.0 * s * h * 2.0,
+    });
+
+    // Transformer layers: 12h^2 parameters; forward FLOPs per sample are
+    // the standard 24·s·h^2 (QKV/proj/FFN matmuls) + 4·s^2·h (attention
+    // scores and context). Megatron-style tensor parallelism all-reduces
+    // the s×h activation twice per layer in the forward pass.
+    for i in 0..cfg.layers {
+        ops.push(Operator {
+            name: format!("layer{i}"),
+            kind: OpKind::TransformerLayer,
+            flops_fwd: 24.0 * s * h * h + 4.0 * s * s * h,
+            params: (12 * cfg.hidden * cfg.hidden + 13 * cfg.hidden) as u64,
+            out_bytes: s * h * 2.0,
+            tp_comm_bytes: 2.0 * s * h * 2.0,
+            dispatch_bytes: 0.0,
+            act_bytes: 14.0 * s * h * 2.0,
+        });
+    }
+
+    // Masked-LM head projecting back to the vocabulary.
+    ops.push(Operator {
+        name: "mlm_head".into(),
+        kind: OpKind::Head,
+        flops_fwd: 2.0 * s * h * v,
+        params: (cfg.vocab * cfg.hidden) as u64,
+        out_bytes: s * 4.0,
+        tp_comm_bytes: s * v * 2.0 / 16.0,
+        dispatch_bytes: 0.0,
+        act_bytes: s * v * 2.0,
+    });
+
+    ModelGraph::new(format!("BERT-{params_b}B"), ModelFamily::Bert, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realised_params_match_nominal() {
+        for &size in &[0.76, 1.3, 2.6, 6.7] {
+            let g = build(size);
+            let realised = g.params_billion();
+            let err = (realised - size).abs() / size;
+            assert!(
+                err < 0.1,
+                "BERT-{size}B realises {realised:.2}B params ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_config_has_more_flops() {
+        let small = build(0.76);
+        let large = build(6.7);
+        assert!(large.total_flops_fwd() > 4.0 * small.total_flops_fwd());
+    }
+
+    #[test]
+    fn layer_count_matches_config() {
+        let g = build(2.6);
+        let layers = g
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::TransformerLayer)
+            .count();
+        assert_eq!(layers, 32);
+        // Embedding first, head last.
+        assert_eq!(g.ops.first().unwrap().kind, OpKind::Embedding);
+        assert_eq!(g.ops.last().unwrap().kind, OpKind::Head);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Table-2 configuration")]
+    fn unknown_size_panics() {
+        let _ = config_for(5.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The model graph: a linear chain of coarse operators.
+
+use serde::Serialize;
+
+use crate::op::{Operator, FP16_BYTES};
+use crate::zoo::ModelFamily;
+
+/// A model to be trained: a named linear chain of [`Operator`]s.
+///
+/// Large-model training graphs are chains at the granularity relevant to
+/// pipeline partitioning (a residual block or transformer layer never
+/// spans a stage boundary), so a `Vec<Operator>` with implicit `i → i+1`
+/// edges is a faithful representation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelGraph {
+    /// Display name, e.g. `"BERT-2.6B"`.
+    pub name: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Operators in execution order.
+    pub ops: Vec<Operator>,
+}
+
+impl ModelGraph {
+    /// Creates a graph, validating that it is non-empty and all quantities
+    /// are finite and non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or any operator carries a negative or
+    /// non-finite quantity; graphs are constructed by the zoo builders,
+    /// which must produce valid data.
+    #[must_use]
+    pub fn new(name: String, family: ModelFamily, ops: Vec<Operator>) -> Self {
+        assert!(!ops.is_empty(), "model graph must have at least one op");
+        for op in &ops {
+            assert!(
+                op.flops_fwd.is_finite()
+                    && op.flops_fwd >= 0.0
+                    && op.out_bytes.is_finite()
+                    && op.out_bytes >= 0.0
+                    && op.tp_comm_bytes.is_finite()
+                    && op.tp_comm_bytes >= 0.0
+                    && op.dispatch_bytes.is_finite()
+                    && op.dispatch_bytes >= 0.0
+                    && op.act_bytes.is_finite()
+                    && op.act_bytes >= 0.0,
+                "operator {} carries invalid quantities",
+                op.name
+            );
+        }
+        ModelGraph { name, family, ops }
+    }
+
+    /// Number of operators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no operators (never true for zoo models).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.ops.iter().map(|o| o.params).sum()
+    }
+
+    /// Total parameter bytes at FP16.
+    #[must_use]
+    pub fn total_param_bytes(&self) -> f64 {
+        self.total_params() as f64 * FP16_BYTES
+    }
+
+    /// Total forward FLOPs per sample.
+    #[must_use]
+    pub fn total_flops_fwd(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops_fwd).sum()
+    }
+
+    /// Activation traffic in bytes/sample crossing the boundary after
+    /// operator `i` (i.e. between `ops[i]` and `ops[i + 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1 >= len()`: the boundary must be internal.
+    #[must_use]
+    pub fn boundary_bytes(&self, i: usize) -> f64 {
+        assert!(i + 1 < self.ops.len(), "boundary {i} is not internal");
+        self.ops[i].out_bytes
+    }
+
+    /// Parameter count in billions, convenient for printouts.
+    #[must_use]
+    pub fn params_billion(&self) -> f64 {
+        self.total_params() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn op(name: &str, flops: f64, params: u64, out: f64) -> Operator {
+        Operator {
+            name: name.into(),
+            kind: OpKind::TransformerLayer,
+            flops_fwd: flops,
+            params,
+            out_bytes: out,
+            tp_comm_bytes: 0.0,
+            dispatch_bytes: 0.0,
+            act_bytes: out,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let g = ModelGraph::new(
+            "toy".into(),
+            ModelFamily::Bert,
+            vec![op("a", 10.0, 100, 1.0), op("b", 20.0, 200, 2.0)],
+        );
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total_params(), 300);
+        assert_eq!(g.total_param_bytes(), 600.0);
+        assert_eq!(g.total_flops_fwd(), 30.0);
+        assert_eq!(g.boundary_bytes(0), 1.0);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_graph_rejected() {
+        let _ = ModelGraph::new("bad".into(), ModelFamily::Bert, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid quantities")]
+    fn nan_rejected() {
+        let mut bad = op("a", 1.0, 1, 1.0);
+        bad.flops_fwd = f64::NAN;
+        let _ = ModelGraph::new("bad".into(), ModelFamily::Bert, vec![bad]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not internal")]
+    fn boundary_out_of_range() {
+        let g = ModelGraph::new("toy".into(), ModelFamily::Bert, vec![op("a", 1.0, 1, 1.0)]);
+        let _ = g.boundary_bytes(0);
+    }
+}

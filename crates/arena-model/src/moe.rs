@@ -1,0 +1,178 @@
+//! GShard mixture-of-experts transformer graphs (Table 2: 0.69B – 27B).
+
+use crate::graph::ModelGraph;
+use crate::op::{OpKind, Operator};
+use crate::zoo::ModelFamily;
+
+/// Architecture hyper-parameters of one GShard-MoE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MoeConfig {
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Number of transformer layers (alternating dense / MoE FFN).
+    pub layers: usize,
+    /// Number of experts in each MoE layer.
+    pub experts: usize,
+    /// Number of experts each token is routed to.
+    pub top_k: usize,
+    /// Sequence length per sample.
+    pub seq: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+/// Returns the architecture used for a nominal Table-2 size.
+///
+/// Following GShard, every other layer replaces the dense FFN with an
+/// expert-parallel MoE FFN; parameter counts are dominated by expert
+/// weights while per-token FLOPs stay close to the dense model (top-2
+/// routing).
+///
+/// # Panics
+///
+/// Panics on a size that is not listed in Table 2.
+#[must_use]
+pub fn config_for(params_b: f64) -> MoeConfig {
+    let (hidden, layers, experts) = match params_b {
+        x if (x - 0.69).abs() < 1e-6 => (768, 8, 32),
+        x if (x - 1.3).abs() < 1e-6 => (768, 16, 32),
+        x if (x - 2.4).abs() < 1e-6 => (1024, 16, 32),
+        x if (x - 10.0).abs() < 1e-6 => (1536, 16, 64),
+        x if (x - 27.0).abs() < 1e-6 => (2048, 24, 64),
+        other => panic!("MoE-{other}B is not a Table-2 configuration"),
+    };
+    MoeConfig {
+        hidden,
+        layers,
+        experts,
+        top_k: 2,
+        seq: 1024,
+        vocab: 30528,
+    }
+}
+
+/// Builds the operator graph for a nominal Table-2 MoE size.
+#[must_use]
+pub fn build(params_b: f64) -> ModelGraph {
+    let cfg = config_for(params_b);
+    let h = cfg.hidden as f64;
+    let s = cfg.seq as f64;
+    let v = cfg.vocab as f64;
+    let k = cfg.top_k as f64;
+
+    let mut ops = Vec::with_capacity(cfg.layers + 2);
+
+    ops.push(Operator {
+        name: "embedding".into(),
+        kind: OpKind::Embedding,
+        flops_fwd: 2.0 * s * h,
+        params: (cfg.vocab * cfg.hidden) as u64,
+        out_bytes: s * h * 2.0,
+        tp_comm_bytes: 0.0,
+        dispatch_bytes: 0.0,
+        act_bytes: 2.0 * s * h * 2.0,
+    });
+
+    // Attention FLOPs/params shared by both layer kinds.
+    let attn_flops = 8.0 * s * h * h + 4.0 * s * s * h;
+    let attn_params = 4 * cfg.hidden * cfg.hidden;
+
+    for i in 0..cfg.layers {
+        if i % 2 == 1 {
+            // MoE layer: E experts of 8h^2 params each; each token runs
+            // through top_k experts (16h^2 FLOPs per token per expert).
+            // Expert dispatch moves each routed token's activation through
+            // an all-to-all twice (dispatch + combine).
+            ops.push(Operator {
+                name: format!("moe_layer{i}"),
+                kind: OpKind::MoeLayer,
+                flops_fwd: attn_flops + k * 16.0 * s * h * h,
+                params: (attn_params + cfg.experts * 8 * cfg.hidden * cfg.hidden) as u64,
+                out_bytes: s * h * 2.0,
+                tp_comm_bytes: 2.0 * s * h * 2.0,
+                dispatch_bytes: 2.0 * k * s * h * 2.0,
+                act_bytes: (14.0 + 2.0 * k) * s * h * 2.0,
+            });
+        } else {
+            // Dense transformer layer.
+            ops.push(Operator {
+                name: format!("dense_layer{i}"),
+                kind: OpKind::TransformerLayer,
+                flops_fwd: attn_flops + 16.0 * s * h * h,
+                params: (attn_params + 8 * cfg.hidden * cfg.hidden) as u64,
+                out_bytes: s * h * 2.0,
+                tp_comm_bytes: 2.0 * s * h * 2.0,
+                dispatch_bytes: 0.0,
+                act_bytes: 14.0 * s * h * 2.0,
+            });
+        }
+    }
+
+    ops.push(Operator {
+        name: "lm_head".into(),
+        kind: OpKind::Head,
+        flops_fwd: 2.0 * s * h * v,
+        params: (cfg.vocab * cfg.hidden) as u64,
+        out_bytes: s * 4.0,
+        tp_comm_bytes: s * v * 2.0 / 16.0,
+        dispatch_bytes: 0.0,
+        act_bytes: s * v * 2.0,
+    });
+
+    ModelGraph::new(format!("MoE-{params_b}B"), ModelFamily::Moe, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realised_params_match_nominal() {
+        for &size in &[0.69, 1.3, 2.4, 10.0, 27.0] {
+            let g = build(size);
+            let realised = g.params_billion();
+            let err = (realised - size).abs() / size;
+            assert!(
+                err < 0.12,
+                "MoE-{size}B realises {realised:.2}B params ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn moe_layers_alternate() {
+        let g = build(1.3);
+        let moe = g.ops.iter().filter(|o| o.kind == OpKind::MoeLayer).count();
+        let dense = g
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::TransformerLayer)
+            .count();
+        assert_eq!(moe, 8);
+        assert_eq!(dense, 8);
+    }
+
+    #[test]
+    fn flops_grow_much_slower_than_params() {
+        // MoE's defining property: 20x the parameters of the 1.3B model at
+        // far less than 20x the per-sample FLOPs.
+        let small = build(1.3);
+        let large = build(27.0);
+        let param_ratio = large.total_params() as f64 / small.total_params() as f64;
+        let flop_ratio = large.total_flops_fwd() / small.total_flops_fwd();
+        assert!(param_ratio > 15.0);
+        assert!(flop_ratio < param_ratio / 2.0);
+    }
+
+    #[test]
+    fn moe_layers_have_dispatch_traffic() {
+        let g = build(2.4);
+        for op in &g.ops {
+            match op.kind {
+                OpKind::MoeLayer => assert!(op.dispatch_bytes > 0.0),
+                _ => assert_eq!(op.dispatch_bytes, 0.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Coarse training operators.
+
+use serde::Serialize;
+
+/// Bytes per parameter / activation element in mixed-precision training.
+pub const FP16_BYTES: f64 = 2.0;
+
+/// The kind of a coarse operator.
+///
+/// The kind determines how the performance model treats the operator:
+/// achievable compute efficiency, whether tensor parallelism incurs
+/// activation collectives, and whether expert dispatch (all-to-all) traffic
+/// exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum OpKind {
+    /// Input embedding / patchify / stem convolution.
+    Embedding,
+    /// A convolutional residual block (WideResNet).
+    ConvBlock,
+    /// A dense transformer layer (attention + FFN).
+    TransformerLayer,
+    /// A transformer layer whose FFN is a mixture-of-experts.
+    MoeLayer,
+    /// Final classifier / language-model head.
+    Head,
+}
+
+impl OpKind {
+    /// Short label used in printouts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Embedding => "emb",
+            OpKind::ConvBlock => "conv",
+            OpKind::TransformerLayer => "xfmr",
+            OpKind::MoeLayer => "moe",
+            OpKind::Head => "head",
+        }
+    }
+}
+
+/// One coarse operator in a model graph.
+///
+/// All per-sample quantities are for the *forward* pass of one training
+/// sample (one image, one sequence); the cost model applies the standard
+/// 2× multiplier for the backward pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct Operator {
+    /// Human-readable name, e.g. `"layer17"`.
+    pub name: String,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Forward FLOPs per sample.
+    pub flops_fwd: f64,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Output activation size per sample in bytes (inter-operator traffic).
+    pub out_bytes: f64,
+    /// Bytes moved through tensor-parallel collectives per sample in the
+    /// forward pass when this operator is sharded across a TP group.
+    pub tp_comm_bytes: f64,
+    /// Bytes moved through expert-dispatch all-to-all per sample in the
+    /// forward pass (non-zero only for [`OpKind::MoeLayer`]).
+    pub dispatch_bytes: f64,
+    /// Peak live activation bytes per sample while computing this operator
+    /// (inputs + intermediates retained for the backward pass).
+    pub act_bytes: f64,
+}
+
+impl Operator {
+    /// Parameter bytes at FP16.
+    #[must_use]
+    pub fn param_bytes(&self) -> f64 {
+        self.params as f64 * FP16_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_bytes_is_fp16() {
+        let op = Operator {
+            name: "x".into(),
+            kind: OpKind::Head,
+            flops_fwd: 1.0,
+            params: 1000,
+            out_bytes: 1.0,
+            tp_comm_bytes: 0.0,
+            dispatch_bytes: 0.0,
+            act_bytes: 1.0,
+        };
+        assert_eq!(op.param_bytes(), 2000.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            OpKind::Embedding.label(),
+            OpKind::ConvBlock.label(),
+            OpKind::TransformerLayer.label(),
+            OpKind::MoeLayer.label(),
+            OpKind::Head.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

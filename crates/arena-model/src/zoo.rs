@@ -1,0 +1,165 @@
+//! The Table-2 model zoo: every `(family, size, global batch)` used in the
+//! paper's experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::ModelGraph;
+use crate::{bert, moe, wresnet};
+
+/// The three model families of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// WideResNet (vision).
+    WideResNet,
+    /// BERT (dense transformer).
+    Bert,
+    /// GShard mixture-of-experts transformer.
+    Moe,
+}
+
+impl ModelFamily {
+    /// Short label used in job names, e.g. `"WRes"`.
+    #[must_use]
+    pub fn short(self) -> &'static str {
+        match self {
+            ModelFamily::WideResNet => "WRes",
+            ModelFamily::Bert => "BERT",
+            ModelFamily::Moe => "MoE",
+        }
+    }
+
+    /// Nominal sizes (billions of parameters) listed in Table 2.
+    #[must_use]
+    pub fn table2_sizes(self) -> &'static [f64] {
+        match self {
+            ModelFamily::WideResNet => &[0.5, 1.0, 2.0, 4.0, 6.8],
+            ModelFamily::Bert => &[0.76, 1.3, 2.6, 6.7],
+            ModelFamily::Moe => &[0.69, 1.3, 2.4, 10.0, 27.0],
+        }
+    }
+
+    /// Global batch sizes listed in Table 2.
+    #[must_use]
+    pub fn table2_batches(self) -> &'static [usize] {
+        match self {
+            ModelFamily::WideResNet => &[256, 512, 1024],
+            ModelFamily::Bert => &[128, 256, 512],
+            ModelFamily::Moe => &[256, 512, 1024],
+        }
+    }
+
+    /// All three families.
+    #[must_use]
+    pub fn all() -> [ModelFamily; 3] {
+        [ModelFamily::WideResNet, ModelFamily::Bert, ModelFamily::Moe]
+    }
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+/// One trainable configuration: a family, a nominal size and a global
+/// batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Nominal size in billions of parameters (a Table-2 value).
+    pub params_b: f64,
+    /// Global (cluster-wide) batch size in samples.
+    pub global_batch: usize,
+}
+
+impl ModelConfig {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(family: ModelFamily, params_b: f64, global_batch: usize) -> Self {
+        ModelConfig {
+            family,
+            params_b,
+            global_batch,
+        }
+    }
+
+    /// Display name, e.g. `"BERT-2.6B"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{}-{}B", self.family.short(), self.params_b)
+    }
+
+    /// Builds the operator graph for this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a Table-2 value for the family.
+    #[must_use]
+    pub fn build(&self) -> ModelGraph {
+        match self.family {
+            ModelFamily::WideResNet => wresnet::build(self.params_b),
+            ModelFamily::Bert => bert::build(self.params_b),
+            ModelFamily::Moe => moe::build(self.params_b),
+        }
+    }
+}
+
+/// Every `(family, size)` pair of Table 2 at its middle global batch size.
+#[must_use]
+pub fn table2_configs() -> Vec<ModelConfig> {
+    let mut out = Vec::new();
+    for family in ModelFamily::all() {
+        let batch = family.table2_batches()[1];
+        for &size in family.table2_sizes() {
+            out.push(ModelConfig::new(family, size, batch));
+        }
+    }
+    out
+}
+
+/// Every `(family, size, batch)` combination of Table 2.
+#[must_use]
+pub fn table2_full_grid() -> Vec<ModelConfig> {
+    let mut out = Vec::new();
+    for family in ModelFamily::all() {
+        for &size in family.table2_sizes() {
+            for &batch in family.table2_batches() {
+                out.push(ModelConfig::new(family, size, batch));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_fourteen_sizes() {
+        assert_eq!(table2_configs().len(), 5 + 4 + 5);
+    }
+
+    #[test]
+    fn full_grid_is_cross_product() {
+        assert_eq!(table2_full_grid().len(), 5 * 3 + 4 * 3 + 5 * 3);
+    }
+
+    #[test]
+    fn every_table2_config_builds() {
+        for cfg in table2_configs() {
+            let g = cfg.build();
+            assert!(g.len() >= 3, "{} has too few ops", cfg.name());
+            assert!(g.total_flops_fwd() > 0.0);
+            assert_eq!(g.family, cfg.family);
+        }
+    }
+
+    #[test]
+    fn names_round_trip_family_and_size() {
+        let cfg = ModelConfig::new(ModelFamily::Moe, 2.4, 512);
+        assert_eq!(cfg.name(), "MoE-2.4B");
+        assert_eq!(cfg.build().name, "MoE-2.4B");
+    }
+}

@@ -1,0 +1,317 @@
+//! Stage determination (§4.2, Fig. 7).
+//!
+//! Given a model graph, an allocated GPU count and a desired stage count,
+//! Arena decides *where* to cut the model and *how many* GPUs each stage
+//! receives — before any data/tensor parallelism is chosen. The heuristic
+//! follows the paper:
+//!
+//! 1. Map the `G` allocated GPUs onto operators proportionally to their
+//!    FLOPs, so that every operator's "theoretical" execution time
+//!    `FLOPs / gpus` is equal (a full-state pipeline).
+//! 2. Choose the `S − 1` cut boundaries with the smallest inter-operator
+//!    activation traffic, subject to every resulting stage accumulating a
+//!    meaningful GPU share.
+//! 3. Accumulate each stage's fractional GPUs and round to a power of two
+//!    (the common GPU topology in training clusters), repairing the total
+//!    so it sums exactly to `G`.
+
+use std::ops::Range;
+
+use serde::Serialize;
+
+use arena_model::ModelGraph;
+
+/// A stage partition: where the model is cut and each stage's GPU share.
+///
+/// This is a [`crate::PipelinePlan`] without the per-stage `(dp, tp)`
+/// choice — exactly the information a Cell fixes (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StagePartition {
+    /// Operator ranges of each stage, in order.
+    pub ranges: Vec<Range<usize>>,
+    /// GPUs assigned to each stage (powers of two summing to the total).
+    pub gpus: Vec<usize>,
+}
+
+impl StagePartition {
+    /// Number of stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total GPUs across stages.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.gpus.iter().sum()
+    }
+}
+
+/// Largest power of two that is `<= x`, at least 1.
+#[must_use]
+pub fn pow2_floor(x: f64) -> usize {
+    if x <= 1.0 {
+        return 1;
+    }
+    1 << (x.log2().floor() as u32)
+}
+
+/// Rounds `x` to the nearest power of two (geometric midpoint), at least 1.
+#[must_use]
+pub fn pow2_round(x: f64) -> usize {
+    let lo = pow2_floor(x);
+    let hi = lo * 2;
+    // Geometric midpoint: sqrt(lo * hi) = lo * sqrt(2).
+    if x >= lo as f64 * std::f64::consts::SQRT_2 {
+        hi
+    } else {
+        lo
+    }
+}
+
+/// Splits `total` GPUs into `parts` power-of-two summands.
+///
+/// Starts from the binary decomposition of `total` and repeatedly splits
+/// the largest part in half until `parts` summands exist, yielding the
+/// most balanced composition (e.g. `8 = 4 + 2 + 2` for three stages).
+/// A composition exists iff `popcount(total) <= parts <= total`.
+#[must_use]
+pub fn pow2_composition(total: usize, parts: usize) -> Option<Vec<usize>> {
+    if parts == 0 || total < parts || (total.count_ones() as usize) > parts {
+        return None;
+    }
+    // Binary decomposition, largest first.
+    let mut out: Vec<usize> = (0..usize::BITS)
+        .rev()
+        .filter(|&b| total >> b & 1 == 1)
+        .map(|b| 1_usize << b)
+        .collect();
+    while out.len() < parts {
+        // Split the largest splittable part (front of the sorted vec).
+        let i = out
+            .iter()
+            .position(|&p| p > 1)
+            .expect("parts <= total guarantees a splittable part");
+        let half = out[i] / 2;
+        out[i] = half;
+        out.insert(i + 1, half);
+        // Keep descending order: the halves may be smaller than later
+        // parts only when duplicates exist, which descending insert keeps.
+        out.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    Some(out)
+}
+
+/// Determines the stage partition for a Cell (§4.2).
+///
+/// Returns `None` when no partition exists: fewer GPUs than stages, more
+/// stages than operators, no power-of-two composition of the GPU count, or
+/// the FLOPs distribution is so skewed that some stage would own no
+/// operator.
+///
+/// # Examples
+///
+/// ```
+/// use arena_model::zoo::{ModelConfig, ModelFamily};
+/// use arena_parallelism::determine_stages;
+///
+/// let graph = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+/// let part = determine_stages(&graph, 8, 4).unwrap();
+/// assert_eq!(part.gpus, vec![2, 2, 2, 2]); // homogeneous layers
+/// assert_eq!(part.total_gpus(), 8);
+/// ```
+#[must_use]
+pub fn determine_stages(
+    graph: &ModelGraph,
+    total_gpus: usize,
+    num_stages: usize,
+) -> Option<StagePartition> {
+    let n = graph.len();
+    if num_stages == 0 || num_stages > n || total_gpus < num_stages {
+        return None;
+    }
+    if num_stages == 1 {
+        let whole = 0..n;
+        return Some(StagePartition {
+            ranges: vec![whole],
+            gpus: vec![total_gpus],
+        });
+    }
+
+    // Step 1: fractional GPU share per operator, proportional to FLOPs
+    // (Fig. 7: every operator's FLOPs / GPUs is equal, a full-state
+    // pipeline in theory).
+    let total_flops = graph.total_flops_fwd();
+    if total_flops <= 0.0 {
+        return None;
+    }
+    let share: Vec<f64> = graph
+        .ops
+        .iter()
+        .map(|o| total_gpus as f64 * o.flops_fwd / total_flops)
+        .collect();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &s in &share {
+        prefix.push(prefix.last().unwrap() + s);
+    }
+
+    // Step 2: fix each stage's GPU count to a power of two (the common GPU
+    // topology in a training cluster) using the most balanced composition.
+    let gpus = pow2_composition(total_gpus, num_stages)?;
+
+    // Step 3: place each cut at the cheapest communication boundary whose
+    // prefix share is close to the stage's cumulative GPU target. The
+    // window of acceptable boundaries spans ±40% of the adjacent stage
+    // sizes, which keeps stages balanced while letting the cut slide to a
+    // low-traffic boundary (the paper's "minimise inter-stage
+    // communication" criterion).
+    let mut cuts: Vec<usize> = Vec::with_capacity(num_stages - 1);
+    let mut cum_target = 0.0;
+    let mut prev_cut = 0; // First op index of the current stage.
+    for s in 0..num_stages - 1 {
+        cum_target += gpus[s] as f64;
+        let slack = 0.4 * (gpus[s].min(gpus[s + 1]) as f64).max(1.0);
+        // A cut after op `c` keeps ops [prev_cut, c] in stage s; leave at
+        // least one op per remaining stage.
+        let candidates = prev_cut..n - (num_stages - 1 - s);
+        if candidates.is_empty() {
+            return None;
+        }
+        let dist = |c: usize| (prefix[c + 1] - cum_target).abs();
+        // Inside the balance window the cheapest boundary wins; if the
+        // window is empty, fall back to the most balanced cut.
+        let in_window: Vec<usize> = candidates.clone().filter(|&c| dist(c) <= slack).collect();
+        let cut = if in_window.is_empty() {
+            candidates
+                .min_by(|&a, &b| dist(a).partial_cmp(&dist(b)).unwrap())
+                .unwrap()
+        } else {
+            *in_window
+                .iter()
+                .min_by(|&&a, &&b| {
+                    graph
+                        .boundary_bytes(a)
+                        .partial_cmp(&graph.boundary_bytes(b))
+                        .unwrap()
+                        .then(dist(a).partial_cmp(&dist(b)).unwrap())
+                })
+                .unwrap()
+        };
+        cuts.push(cut);
+        prev_cut = cut + 1;
+    }
+
+    // Cuts must be strictly increasing with room for every later stage;
+    // the candidate range above guarantees it, but a skewed share profile
+    // can still produce an empty tail stage.
+    if prev_cut >= n {
+        return None;
+    }
+
+    let mut ranges = Vec::with_capacity(num_stages);
+    let mut start = 0;
+    for &c in &cuts {
+        ranges.push(start..c + 1);
+        start = c + 1;
+    }
+    ranges.push(start..n);
+
+    Some(StagePartition { ranges, gpus })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_model::zoo::{ModelConfig, ModelFamily};
+
+    fn bert() -> ModelGraph {
+        ModelConfig::new(ModelFamily::Bert, 1.3, 256).build()
+    }
+
+    #[test]
+    fn pow2_round_behaviour() {
+        assert_eq!(pow2_round(0.3), 1);
+        assert_eq!(pow2_round(1.3), 1);
+        assert_eq!(pow2_round(1.5), 2);
+        assert_eq!(pow2_round(3.0), 4);
+        assert_eq!(pow2_round(2.7), 2);
+        assert_eq!(pow2_round(6.0), 8);
+        assert_eq!(pow2_round(5.0), 4);
+    }
+
+    #[test]
+    fn single_stage_takes_everything() {
+        let g = bert();
+        let p = determine_stages(&g, 8, 1).unwrap();
+        assert_eq!(p.num_stages(), 1);
+        assert_eq!(p.gpus, vec![8]);
+        assert_eq!(p.ranges[0], 0..g.len());
+    }
+
+    #[test]
+    fn partition_covers_graph_and_sums_gpus() {
+        let g = bert();
+        for stages in [2, 4, 8] {
+            let p = determine_stages(&g, 8, stages)
+                .unwrap_or_else(|| panic!("no partition for {stages} stages"));
+            assert_eq!(p.num_stages(), stages);
+            assert_eq!(p.total_gpus(), 8);
+            // Contiguous cover.
+            let mut next = 0;
+            for r in &p.ranges {
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, g.len());
+            // All power-of-two stage sizes.
+            for &gp in &p.gpus {
+                assert!(gp.is_power_of_two(), "{gp} not a power of two");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_model_gets_balanced_stages() {
+        // BERT layers are homogeneous, so a 4-stage cut of 8 GPUs should
+        // give every stage 2 GPUs.
+        let g = bert();
+        let p = determine_stages(&g, 8, 4).unwrap();
+        assert_eq!(p.gpus, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn infeasible_requests_rejected() {
+        let g = bert();
+        assert!(determine_stages(&g, 2, 4).is_none()); // fewer GPUs than stages
+        assert!(determine_stages(&g, 8, 0).is_none());
+        assert!(determine_stages(&g, 1000, g.len() + 1).is_none());
+    }
+
+    #[test]
+    fn wresnet_partitions_at_cheap_boundaries() {
+        // WideResNet activations shrink with depth; cutting late is cheaper
+        // than cutting early, so a 2-stage partition should not cut in the
+        // first (most expensive) stage of blocks.
+        let g = ModelConfig::new(ModelFamily::WideResNet, 1.0, 512).build();
+        let p = determine_stages(&g, 8, 2).unwrap();
+        assert!(
+            p.ranges[0].end > 4,
+            "cut at {} is inside the early high-traffic blocks",
+            p.ranges[0].end
+        );
+    }
+
+    #[test]
+    fn works_for_all_table2_models() {
+        for cfg in arena_model::zoo::table2_configs() {
+            let g = cfg.build();
+            for (gpus, stages) in [(4, 2), (8, 4), (16, 4)] {
+                if let Some(p) = determine_stages(&g, gpus, stages) {
+                    assert_eq!(p.total_gpus(), gpus, "{}", cfg.name());
+                }
+            }
+        }
+    }
+}

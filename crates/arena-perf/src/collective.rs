@@ -1,0 +1,120 @@
+//! α–β cost model for communication collectives.
+//!
+//! Every cost is `steps × α + traffic / β` over an effective
+//! [`Channel`] (link parameters after NIC sharing), with traffic the
+//! bytes each participant moves under the bandwidth-optimal (ring)
+//! algorithm.
+
+use crate::target::Channel;
+
+/// Ring all-reduce of `bytes` over `n` participants.
+///
+/// Each rank sends `2 (n − 1) / n × bytes` in `2 (n − 1)` latency-bound
+/// steps. Degenerates to zero for `n <= 1`.
+#[must_use]
+pub fn allreduce(bytes: f64, n: usize, ch: Channel) -> f64 {
+    if n <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let steps = 2.0 * (nf - 1.0);
+    steps * ch.latency_s + 2.0 * (nf - 1.0) / nf * bytes / ch.bandwidth_bps
+}
+
+/// Ring all-gather of `bytes` (total gathered payload) over `n` ranks.
+#[must_use]
+pub fn allgather(bytes: f64, n: usize, ch: Channel) -> f64 {
+    if n <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    (nf - 1.0) * ch.latency_s + (nf - 1.0) / nf * bytes / ch.bandwidth_bps
+}
+
+/// Point-to-point transfer of `bytes` (pipeline send/recv).
+#[must_use]
+pub fn p2p(bytes: f64, ch: Channel) -> f64 {
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    ch.latency_s + bytes / ch.bandwidth_bps
+}
+
+/// All-to-all of `bytes` (each rank's total payload) over `n` ranks.
+#[must_use]
+pub fn alltoall(bytes: f64, n: usize, ch: Channel) -> f64 {
+    if n <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    (nf - 1.0) * ch.latency_s + (nf - 1.0) / nf * bytes / ch.bandwidth_bps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_cluster::LinkKind;
+
+    fn nv() -> Channel {
+        Channel::from_link(LinkKind::NvLink3)
+    }
+
+    fn ib() -> Channel {
+        Channel::from_link(LinkKind::IbCx5)
+    }
+
+    #[test]
+    fn degenerate_groups_are_free() {
+        assert_eq!(allreduce(1e9, 1, nv()), 0.0);
+        assert_eq!(allgather(1e9, 0, nv()), 0.0);
+        assert_eq!(alltoall(1e9, 1, nv()), 0.0);
+        assert_eq!(p2p(0.0, nv()), 0.0);
+        assert_eq!(allreduce(0.0, 8, nv()), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_volume() {
+        assert!(allreduce(2e9, 4, nv()) > allreduce(1e9, 4, nv()));
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_saturates_in_n() {
+        // For large volumes, ring all-reduce cost approaches 2 x bytes/BW
+        // regardless of n; n=64 must cost < 2x of n=2.
+        let small_n = allreduce(10e9, 2, nv());
+        let large_n = allreduce(10e9, 64, nv());
+        assert!(large_n < 2.0 * small_n);
+        assert!(large_n > small_n);
+    }
+
+    #[test]
+    fn slower_links_cost_more() {
+        assert!(allreduce(1e9, 4, ib()) > 10.0 * allreduce(1e9, 4, nv()));
+    }
+
+    #[test]
+    fn p2p_is_latency_plus_bandwidth() {
+        let t = p2p(10e9, ib());
+        let expected = ib().latency_s + 10e9 / ib().bandwidth_bps;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_costs_about_twice_allgather() {
+        let ar = allreduce(8e9, 8, nv());
+        let ag = allgather(8e9, 8, nv());
+        assert!(ar / ag > 1.8 && ar / ag < 2.2);
+    }
+
+    #[test]
+    fn shared_nic_halves_throughput() {
+        let full = ib();
+        let shared = Channel {
+            latency_s: full.latency_s,
+            bandwidth_bps: full.bandwidth_bps / 2.0,
+        };
+        let t_full = allreduce(4e9, 8, full);
+        let t_shared = allreduce(4e9, 8, shared);
+        assert!(t_shared / t_full > 1.9 && t_shared / t_full < 2.1);
+    }
+}

@@ -1,0 +1,107 @@
+//! GPU-time accounting for profiling activity.
+
+use parking_lot::Mutex;
+
+/// Accumulates the GPU-seconds spent on profiling.
+///
+/// The paper's overhead results (Fig. 12(b), Fig. 13(b)) compare how much
+/// *GPU time* different strategies pay to acquire performance data:
+/// direct profiling occupies a plan's whole allocation for compilation,
+/// warm-up and measured iterations, while the agile estimator occupies a
+/// single GPU per stage profile. Both paths charge this meter, so the
+/// reported reductions are real accounting rather than assumed ratios.
+#[derive(Debug, Default)]
+pub struct ProfilingMeter {
+    inner: Mutex<MeterState>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MeterState {
+    gpu_seconds: f64,
+    wall_seconds: f64,
+    trials: u64,
+}
+
+impl ProfilingMeter {
+    /// A fresh meter with zero charge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one profiling trial: `wall_seconds` of wall-clock occupying
+    /// `gpus` devices.
+    pub fn charge(&self, wall_seconds: f64, gpus: usize) {
+        debug_assert!(wall_seconds >= 0.0);
+        let mut st = self.inner.lock();
+        st.gpu_seconds += wall_seconds * gpus as f64;
+        st.wall_seconds += wall_seconds;
+        st.trials += 1;
+    }
+
+    /// Total GPU-seconds charged so far.
+    #[must_use]
+    pub fn gpu_seconds(&self) -> f64 {
+        self.inner.lock().gpu_seconds
+    }
+
+    /// Total wall-clock seconds charged so far (trials are assumed
+    /// sequential).
+    #[must_use]
+    pub fn wall_seconds(&self) -> f64 {
+        self.inner.lock().wall_seconds
+    }
+
+    /// Number of trials charged.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.inner.lock().trials
+    }
+
+    /// Resets the meter to zero and returns the GPU-seconds it held.
+    pub fn reset(&self) -> f64 {
+        let mut st = self.inner.lock();
+        let total = st.gpu_seconds;
+        *st = MeterState::default();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let m = ProfilingMeter::new();
+        m.charge(10.0, 4);
+        m.charge(5.0, 1);
+        assert_eq!(m.gpu_seconds(), 45.0);
+        assert_eq!(m.wall_seconds(), 15.0);
+        assert_eq!(m.trials(), 2);
+    }
+
+    #[test]
+    fn reset_returns_and_clears() {
+        let m = ProfilingMeter::new();
+        m.charge(2.0, 2);
+        assert_eq!(m.reset(), 4.0);
+        assert_eq!(m.gpu_seconds(), 0.0);
+        assert_eq!(m.trials(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(ProfilingMeter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.charge(1.0, 1))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.gpu_seconds(), 8.0);
+    }
+}

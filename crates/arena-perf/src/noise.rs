@@ -1,0 +1,101 @@
+//! Deterministic measurement noise.
+
+use std::hash::{Hash, Hasher};
+
+/// Multiplicative, deterministic measurement noise.
+///
+/// Real profiling never returns the analytical truth: kernel scheduling,
+/// clock throttling and network jitter perturb every measurement. The
+/// noise is a pure function of `(seed, key)`, so measuring the same plan
+/// on the same hardware twice agrees — but an estimator composing
+/// *different* measurements (per-stage profiles, offline tables) cannot be
+/// trivially exact against an end-to-end measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    sigma: f64,
+    seed: u64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with relative standard deviation `sigma`.
+    #[must_use]
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!((0.0..0.5).contains(&sigma), "sigma {sigma} out of range");
+        NoiseModel { sigma, seed }
+    }
+
+    /// A model that returns exactly 1.0 for every key.
+    #[must_use]
+    pub fn disabled() -> Self {
+        NoiseModel {
+            sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The multiplicative factor for a measurement identified by `key`.
+    ///
+    /// Approximately `N(1, sigma)`, clamped to `1 ± 3 sigma` so a factor
+    /// can never be negative.
+    #[must_use]
+    pub fn factor(&self, key: &str) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        // Sum of four uniforms approximates a Gaussian (Irwin–Hall).
+        let mut z = 0.0;
+        for salt in 0..4_u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (self.seed, salt, key).hash(&mut h);
+            let u = (h.finish() >> 11) as f64 / (1_u64 << 53) as f64; // [0, 1)
+            z += u - 0.5;
+        }
+        // Var of one uniform(-0.5, 0.5) is 1/12; of the sum, 1/3.
+        let gauss = z * 3.0_f64.sqrt();
+        (1.0 + self.sigma * gauss).clamp(1.0 - 3.0 * self.sigma, 1.0 + 3.0 * self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let n = NoiseModel::new(0.05, 42);
+        assert_eq!(n.factor("abc"), n.factor("abc"));
+        assert_ne!(n.factor("abc"), n.factor("abd"));
+    }
+
+    #[test]
+    fn seed_changes_draws() {
+        let a = NoiseModel::new(0.05, 1);
+        let b = NoiseModel::new(0.05, 2);
+        assert_ne!(a.factor("k"), b.factor("k"));
+    }
+
+    #[test]
+    fn disabled_is_identity() {
+        assert_eq!(NoiseModel::disabled().factor("anything"), 1.0);
+    }
+
+    #[test]
+    fn factors_are_bounded_and_centred() {
+        let n = NoiseModel::new(0.05, 7);
+        let mut sum = 0.0;
+        const COUNT: usize = 2000;
+        for i in 0..COUNT {
+            let f = n.factor(&format!("key{i}"));
+            assert!(f > 0.8 && f < 1.2, "factor {f} out of bounds");
+            sum += f;
+        }
+        let mean = sum / COUNT as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} biased");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn huge_sigma_rejected() {
+        let _ = NoiseModel::new(0.9, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tunable constants of the cost model.
+
+use arena_model::OpKind;
+
+/// All tunable constants of the analytical performance model.
+///
+/// The defaults are calibrated against public large-model training
+/// benchmarks at the *qualitative* level the reproduction needs (see the
+/// crate docs); every experiment uses [`CostParams::default`] unless it is
+/// explicitly studying a parameter.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// Achievable fraction of peak FLOPs for large kernels, per op kind.
+    pub eff_conv: f64,
+    /// Achievable efficiency of dense transformer layers.
+    pub eff_xfmr: f64,
+    /// Achievable efficiency of MoE layers (routing overhead included).
+    pub eff_moe: f64,
+    /// Achievable efficiency of embedding/lookup operators.
+    pub eff_emb: f64,
+    /// Achievable efficiency of classifier/LM heads.
+    pub eff_head: f64,
+    /// Multiplier applied on Volta-class devices (older tensor cores).
+    pub volta_eff: f64,
+    /// Additive kernel-launch/dispatch overhead per operator per
+    /// micro-batch, seconds. This term caps strong scaling: as per-GPU
+    /// work shrinks the overhead dominates.
+    pub launch_overhead_s: f64,
+    /// Tensor-parallel fragmentation penalty: efficiency is divided by
+    /// `1 + frag * (tp - 1)`.
+    pub tp_fragmentation: f64,
+    /// Backward/forward FLOP ratio; total per-sample compute is
+    /// `(1 + bwd_ratio) × flops_fwd`.
+    pub bwd_ratio: f64,
+    /// Bytes of optimizer + gradient state per parameter *byte* of FP16
+    /// weights (weights + FP16 grads + FP32 master/m/v = 16 B per param =
+    /// 8× the FP16 weight bytes).
+    pub state_bytes_per_param_byte: f64,
+    /// Fraction of the data-parallel gradient all-reduce hidden under the
+    /// backward pass.
+    pub dp_overlap: f64,
+    /// Multiplier on boundary traffic when crossing stages requires
+    /// resharding (all-gather) rather than plain send/recv.
+    pub reshard_factor: f64,
+    /// Fraction of device memory usable by a training job (the runtime,
+    /// CUDA context and fragmentation claim the rest).
+    pub usable_mem_frac: f64,
+    /// Seconds of compilation + warm-up paid when directly profiling one
+    /// parallelism plan on its full allocation (Alpa-style trial).
+    pub direct_profile_setup_s: f64,
+    /// Measured iterations per direct profiling trial.
+    pub direct_profile_iters: f64,
+    /// Seconds of single-device distributed-equivalent compilation paid
+    /// per stage profile in the agile estimator (§5.1).
+    pub agile_profile_setup_s: f64,
+    /// Measured iterations per agile stage profile.
+    pub agile_profile_iters: f64,
+    /// Standard deviation of multiplicative measurement noise.
+    pub noise_sigma: f64,
+    /// Standard deviation of the noise baked into offline communication
+    /// tables (NCCL profiling jitter at table-build time).
+    pub table_sigma: f64,
+    /// ZeRO-1 optimizer-state sharding: the FP32 master weights and Adam
+    /// moments (12 of the 16 bytes/param) are partitioned across
+    /// data-parallel replicas instead of replicated. Off by default — the
+    /// paper's systems replicate optimizer state, and the DP-memory
+    /// overestimation its ElasticFlow critique rests on (§8.3) assumes
+    /// that; the `ablate_zero` experiment studies turning it on.
+    pub zero1: bool,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            eff_conv: 0.50,
+            eff_xfmr: 0.62,
+            eff_moe: 0.55,
+            eff_emb: 0.25,
+            eff_head: 0.55,
+            volta_eff: 0.88,
+            launch_overhead_s: 25.0e-6,
+            tp_fragmentation: 0.03,
+            bwd_ratio: 2.0,
+            state_bytes_per_param_byte: 8.0,
+            dp_overlap: 0.3,
+            reshard_factor: 1.5,
+            usable_mem_frac: 0.92,
+            direct_profile_setup_s: 60.0,
+            direct_profile_iters: 5.0,
+            agile_profile_setup_s: 25.0,
+            agile_profile_iters: 5.0,
+            noise_sigma: 0.03,
+            table_sigma: 0.02,
+            zero1: false,
+        }
+    }
+}
+
+impl CostParams {
+    /// Achievable large-kernel efficiency for an operator kind.
+    #[must_use]
+    pub fn eff_for(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::ConvBlock => self.eff_conv,
+            OpKind::TransformerLayer => self.eff_xfmr,
+            OpKind::MoeLayer => self.eff_moe,
+            OpKind::Embedding => self.eff_emb,
+            OpKind::Head => self.eff_head,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = CostParams::default();
+        for kind in [
+            OpKind::ConvBlock,
+            OpKind::TransformerLayer,
+            OpKind::MoeLayer,
+            OpKind::Embedding,
+            OpKind::Head,
+        ] {
+            let e = p.eff_for(kind);
+            assert!(e > 0.0 && e < 1.0);
+        }
+        assert!(p.dp_overlap >= 0.0 && p.dp_overlap < 1.0);
+        assert!(p.usable_mem_frac > 0.5 && p.usable_mem_frac <= 1.0);
+        assert!(p.noise_sigma < 0.2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Hardware targets: where a plan runs.
+
+use arena_cluster::{Allocation, LinkKind, MeshShape, NodeSpec};
+
+/// An effective communication channel: the α–β parameters a communicator
+/// group actually sees after link selection and NIC sharing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// Base per-message latency, seconds.
+    pub latency_s: f64,
+    /// Effective bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Channel {
+    /// A channel with a link's nominal parameters.
+    #[must_use]
+    pub fn from_link(link: LinkKind) -> Self {
+        Channel {
+            latency_s: link.latency_s(),
+            bandwidth_bps: link.bandwidth_bps(),
+        }
+    }
+}
+
+/// The hardware a plan is evaluated against: a node class plus how densely
+/// the allocation is packed onto nodes.
+///
+/// `packed_gpn` is the number of co-located GPUs a communicator group can
+/// rely on: the node's GPU count, reduced when the allocation is spread
+/// over partially-used nodes. Any group no larger than `packed_gpn` runs
+/// over the intra-node link; larger groups cross the inter-node fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwTarget {
+    /// The node class (GPU spec + links).
+    pub node: NodeSpec,
+    /// Co-located GPUs available to communicator groups.
+    pub packed_gpn: usize,
+}
+
+impl HwTarget {
+    /// A target assuming ideally packed allocations on this node class.
+    #[must_use]
+    pub fn new(node: NodeSpec) -> Self {
+        HwTarget {
+            node,
+            packed_gpn: node.gpus_per_node.max(1),
+        }
+    }
+
+    /// A target reflecting a concrete allocation's packing.
+    #[must_use]
+    pub fn with_mesh(node: NodeSpec, mesh: MeshShape) -> Self {
+        HwTarget {
+            node,
+            packed_gpn: node.gpus_per_node.min(mesh.max_gpus_per_node).max(1),
+        }
+    }
+
+    /// A target for an allocation on the owning cluster's node class.
+    #[must_use]
+    pub fn for_allocation(node: NodeSpec, alloc: &Allocation) -> Self {
+        Self::with_mesh(node, alloc.mesh())
+    }
+
+    /// The link a communicator group of `group` GPUs crosses.
+    #[must_use]
+    pub fn link_for(&self, group: usize) -> LinkKind {
+        if group <= self.packed_gpn {
+            self.node.intra_link
+        } else {
+            self.node.inter_link
+        }
+    }
+
+    /// The effective channel for a communicator group of `group` GPUs.
+    ///
+    /// A group contained in one node uses the intra-node link at full
+    /// bandwidth. A group spanning nodes is bottlenecked by the node's
+    /// single fabric adapter, which all co-located members share — the
+    /// effective per-group bandwidth is the NIC divided by the co-located
+    /// member count. This NIC-sharing effect is why wide data parallelism
+    /// collapses on dense multi-GPU nodes with thin fabrics, and why the
+    /// paper's workloads pipeline across nodes instead.
+    #[must_use]
+    pub fn channel_for(&self, group: usize) -> Channel {
+        if group <= self.packed_gpn {
+            Channel::from_link(self.node.intra_link)
+        } else {
+            let per_node = self.packed_gpn.min(group).max(1) as f64;
+            let link = self.node.inter_link;
+            Channel {
+                latency_s: link.latency_s(),
+                bandwidth_bps: link.bandwidth_bps() / per_node,
+            }
+        }
+    }
+
+    /// Display name, e.g. `"A100"`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.node.gpu.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_cluster::GpuSpec;
+
+    #[test]
+    fn link_selection() {
+        let t = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+        assert_eq!(t.link_for(2), LinkKind::NvLink3);
+        assert_eq!(t.link_for(4), LinkKind::NvLink3);
+        assert_eq!(t.link_for(8), LinkKind::IbCx5);
+    }
+
+    #[test]
+    fn sparse_mesh_degrades_locality() {
+        let node = NodeSpec::with_default_links(GpuSpec::A100, 4);
+        let sparse = MeshShape {
+            nodes: 4,
+            max_gpus_per_node: 1,
+            total_gpus: 4,
+        };
+        let t = HwTarget::with_mesh(node, sparse);
+        // Even a 2-GPU group must cross InfiniBand when GPUs are scattered.
+        assert_eq!(t.link_for(2), LinkKind::IbCx5);
+    }
+
+    #[test]
+    fn cross_node_channel_shares_the_nic() {
+        let t = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A40, 2));
+        let intra = t.channel_for(2);
+        let inter = t.channel_for(8);
+        assert_eq!(intra, Channel::from_link(LinkKind::Pcie4));
+        // Two co-located GPUs share one ConnectX-5.
+        assert!((inter.bandwidth_bps - LinkKind::IbCx5.bandwidth_bps() / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn for_allocation_uses_actual_packing() {
+        let node = NodeSpec::with_default_links(GpuSpec::A40, 2);
+        let alloc = Allocation {
+            pool: arena_cluster::GpuTypeId(0),
+            node_gpus: vec![(0, 2), (1, 2)],
+        };
+        let t = HwTarget::for_allocation(node, &alloc);
+        assert_eq!(t.packed_gpn, 2);
+        assert_eq!(t.link_for(2), LinkKind::Pcie4);
+        assert_eq!(t.link_for(4), LinkKind::IbCx5);
+    }
+}

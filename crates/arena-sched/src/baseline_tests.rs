@@ -1,0 +1,171 @@
+//! Unit tests for the four baseline policies.
+
+use arena_cluster::GpuTypeId;
+use arena_model::zoo::{ModelConfig, ModelFamily};
+
+use crate::policy::{Action, PlacementView, Policy, SchedEvent};
+use crate::test_fixtures::{job, Fixture};
+use crate::{ElasticFlowPolicy, FcfsPolicy, GandivaPolicy, GavelPolicy};
+
+#[test]
+fn fcfs_respects_arrival_order_and_blocks() {
+    let f = Fixture::new();
+    // Head job wants 32 GPUs; only 8 free; the small job behind must NOT run.
+    let queued = vec![job(1, 1.3, 32, 0), job(2, 0.76, 2, 0)];
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 0;
+    let actions = FcfsPolicy::new().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    assert!(
+        actions.is_empty(),
+        "FCFS must head-of-line block: {actions:?}"
+    );
+}
+
+#[test]
+fn fcfs_places_in_order_when_capacity_allows() {
+    let f = Fixture::new();
+    let queued = vec![job(1, 1.3, 8, 0), job(2, 0.76, 4, 0)];
+    let pools = f.cluster.pool_stats();
+    let actions = FcfsPolicy::new().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    let ids: Vec<u64> = actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Place { job, .. } => Some(*job),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ids, vec![1, 2]);
+}
+
+#[test]
+fn gandiva_backfills_behind_blocked_head() {
+    let f = Fixture::new();
+    let queued = vec![job(1, 1.3, 32, 0), job(2, 0.76, 2, 0)];
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 0;
+    let actions = GandivaPolicy::new().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, Action::Place { job: 2, .. })),
+        "Gandiva should backfill job 2: {actions:?}"
+    );
+}
+
+#[test]
+fn gandiva_is_heterogeneity_blind() {
+    let f = Fixture::new();
+    // A10 pool (slower) has more free GPUs: blind placement goes there.
+    let queued = vec![job(1, 0.76, 4, 0)];
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus = 4; // A40 (faster)
+    pools[1].free_gpus = 32; // A10 (slower, emptier)
+    let actions = GandivaPolicy::new().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    match actions.as_slice() {
+        [Action::Place { pool, .. }] => assert_eq!(pool.0, 1, "expected the emptier pool"),
+        other => panic!("unexpected actions {other:?}"),
+    }
+}
+
+#[test]
+fn gavel_prefers_the_faster_pool() {
+    let f = Fixture::new();
+    // Same free capacity on both pools: Gavel must pick by throughput.
+    let queued = vec![job(1, 0.76, 4, 1)];
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 8;
+    let actions = GavelPolicy::new().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    match actions.as_slice() {
+        [Action::Place { pool, .. }] => {
+            assert_eq!(pool.0, 0, "A40 outruns A10 for BERT-0.76B");
+        }
+        other => panic!("unexpected actions {other:?}"),
+    }
+}
+
+#[test]
+fn gavel_migrates_only_for_significant_gains() {
+    let f = Fixture::new();
+    // A job already on the faster pool must not migrate to the slower one.
+    let mut running = vec![job(1, 0.76, 4, 0)];
+    running[0].placement = Some(PlacementView {
+        pool: GpuTypeId(0),
+        gpus: 4,
+        throughput_sps: 100.0,
+        opportunistic: false,
+    });
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus -= 4;
+    let actions = GavelPolicy::new().schedule(SchedEvent::Round, &f.view(&[], &running, &pools));
+    assert!(actions.is_empty(), "needless migration: {actions:?}");
+}
+
+#[test]
+fn elasticflow_admits_everyone_at_min_share_under_pressure() {
+    let f = Fixture::new();
+    // Three jobs requesting 8 GPUs each, only 8 free on their pool: the
+    // elastic policy shrinks shares so all of them run.
+    let queued = vec![job(1, 0.76, 8, 0), job(2, 0.76, 8, 0), job(3, 0.76, 8, 0)];
+    let mut pools = f.cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 0;
+    let actions =
+        ElasticFlowPolicy::loosened().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    let placed = actions
+        .iter()
+        .filter(|a| matches!(a, Action::Place { .. }))
+        .count();
+    assert_eq!(placed, 3, "EF-LS should admit all three: {actions:?}");
+}
+
+#[test]
+fn elasticflow_grows_shares_with_spare_capacity() {
+    let f = Fixture::new();
+    // One small job alone on an idle pool gets more than its minimum.
+    let queued = vec![job(1, 0.76, 8, 0)];
+    let pools = f.cluster.pool_stats();
+    let actions =
+        ElasticFlowPolicy::loosened().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    match actions.as_slice() {
+        [Action::Place { gpus, .. }] => assert!(*gpus >= 8, "no growth: {gpus}"),
+        other => panic!("unexpected actions {other:?}"),
+    }
+}
+
+#[test]
+fn elasticflow_deadline_mode_drops_hopeless_jobs() {
+    let f = Fixture::new();
+    let mut j = job(1, 1.3, 8, 0);
+    j.spec.deadline_s = Some(1.0);
+    let queued = vec![j];
+    let pools = f.cluster.pool_stats();
+    let actions =
+        ElasticFlowPolicy::deadline().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    assert!(
+        actions.contains(&Action::Drop { job: 1 }),
+        "hopeless job kept: {actions:?}"
+    );
+}
+
+#[test]
+fn elasticflow_overestimates_big_job_shares() {
+    let f = Fixture::new();
+    // BERT-2.6B cannot run pure-DP at any width (42.7 GiB of state per
+    // replica), so EF's minimum share comes from the inflated fallback.
+    let mut j = job(1, 2.6, 4, 0);
+    j.spec.model = ModelConfig::new(ModelFamily::Bert, 2.6, 256);
+    let queued = vec![j];
+    let mut pools = f.cluster.pool_stats();
+    pools[1].free_gpus = 0;
+    let actions =
+        ElasticFlowPolicy::loosened().schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+    match actions.iter().find(|a| matches!(a, Action::Place { .. })) {
+        Some(Action::Place { gpus, .. }) => {
+            assert!(*gpus >= 4, "EF share {gpus} not overestimated");
+        }
+        other => panic!("job not placed: {other:?}"),
+    }
+}

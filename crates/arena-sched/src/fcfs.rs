@@ -1,0 +1,59 @@
+//! First-Come-First-Served (Kubernetes/YARN-style) baseline.
+
+use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
+
+/// Strict FCFS: jobs run in arrival order on their requested pool at
+/// their requested GPU count; the head of the queue blocks everyone
+/// behind it. No scaling, no migration, no heterogeneity awareness.
+#[derive(Debug, Default)]
+pub struct FcfsPolicy;
+
+impl FcfsPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        FcfsPolicy
+    }
+}
+
+impl Policy for FcfsPolicy {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn plan_mode(&self) -> PlanMode {
+        PlanMode::Adaptive
+    }
+
+    fn schedule(&mut self, _event: SchedEvent, view: &SchedView<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut free: Vec<usize> = view.pools.iter().map(|p| p.free_gpus).collect();
+        for job in view.queued {
+            let pool = arena_cluster::GpuTypeId(job.spec.requested_pool);
+            let need = job.spec.requested_gpus;
+            // A job that can never run on its requested configuration is
+            // rejected up front rather than blocking the queue forever.
+            if view
+                .service
+                .adaptive_run(&job.spec.model, need, pool)
+                .is_none()
+            {
+                actions.push(Action::Drop { job: job.id() });
+                continue;
+            }
+            if free[pool.0] >= need {
+                free[pool.0] -= need;
+                actions.push(Action::Place {
+                    job: job.id(),
+                    pool,
+                    gpus: need,
+                    opportunistic: false,
+                });
+            } else {
+                // Head-of-line blocking: nothing behind this job runs.
+                break;
+            }
+        }
+        actions
+    }
+}

@@ -1,0 +1,148 @@
+//! Gandiva-style introspective baseline.
+
+use arena_cluster::GpuTypeId;
+
+use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
+
+/// Gandiva: introspective scheduling with backfilling and migration, but
+/// *blind to GPU heterogeneity* — any pool with free capacity is as good
+/// as any other. Jobs keep their requested GPU count (no scaling).
+///
+/// Compared to FCFS it (a) backfills: a job behind a blocked head may run
+/// if it fits anywhere, and (b) migrates: each round, a queued job that
+/// fits nowhere may displace a running job to another pool with room.
+#[derive(Debug, Default)]
+pub struct GandivaPolicy;
+
+impl GandivaPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        GandivaPolicy
+    }
+
+    /// Picks the pool with the most free GPUs that can hold `need`
+    /// (heterogeneity-blind: capacity is the only criterion).
+    fn blind_pick(free: &[usize], need: usize) -> Option<usize> {
+        (0..free.len())
+            .filter(|&p| free[p] >= need)
+            .max_by_key(|&p| free[p])
+    }
+}
+
+impl Policy for GandivaPolicy {
+    fn name(&self) -> &'static str {
+        "Gandiva"
+    }
+
+    fn plan_mode(&self) -> PlanMode {
+        PlanMode::Adaptive
+    }
+
+    fn schedule(&mut self, event: SchedEvent, view: &SchedView<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut free: Vec<usize> = view.pools.iter().map(|p| p.free_gpus).collect();
+
+        for job in view.queued {
+            let need = job.spec.requested_gpus;
+            if let Some(p) = Self::blind_pick(&free, need) {
+                let pool = GpuTypeId(p);
+                if view
+                    .service
+                    .adaptive_run(&job.spec.model, need, pool)
+                    .is_none()
+                {
+                    // Infeasible here; blind retry on other pools, else drop
+                    // if it cannot run anywhere at its fixed size.
+                    let alt = (0..free.len())
+                        .filter(|&q| q != p && free[q] >= need)
+                        .find(|&q| {
+                            view.service
+                                .adaptive_run(&job.spec.model, need, GpuTypeId(q))
+                                .is_some()
+                        });
+                    match alt {
+                        Some(q) => {
+                            free[q] -= need;
+                            actions.push(Action::Place {
+                                job: job.id(),
+                                pool: GpuTypeId(q),
+                                gpus: need,
+                                opportunistic: false,
+                            });
+                        }
+                        None => {
+                            let feasible_somewhere = (0..free.len()).any(|q| {
+                                view.service
+                                    .adaptive_run(&job.spec.model, need, GpuTypeId(q))
+                                    .is_some()
+                            });
+                            if !feasible_somewhere {
+                                actions.push(Action::Drop { job: job.id() });
+                            }
+                        }
+                    }
+                    continue;
+                }
+                free[p] -= need;
+                actions.push(Action::Place {
+                    job: job.id(),
+                    pool,
+                    gpus: need,
+                    opportunistic: false,
+                });
+            }
+        }
+
+        // Introspective migration (rounds only): if the oldest still-queued
+        // job fits nowhere, move one running job of at least its size to
+        // another pool with room, freeing its slot.
+        if event == SchedEvent::Round {
+            if let Some(stuck) = view.queued.iter().find(|j| {
+                !actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Place { job, .. } if *job == j.id()))
+            }) {
+                let need = stuck.spec.requested_gpus;
+                'outer: for running in view.running {
+                    let Some(pl) = running.placement else {
+                        continue;
+                    };
+                    if pl.gpus < need {
+                        continue;
+                    }
+                    for (q, &free_q) in free.iter().enumerate() {
+                        if q != pl.pool.0
+                            && free_q >= pl.gpus
+                            && view
+                                .service
+                                .adaptive_run(&running.spec.model, pl.gpus, GpuTypeId(q))
+                                .is_some()
+                            && view
+                                .service
+                                .adaptive_run(&stuck.spec.model, need, pl.pool)
+                                .is_some()
+                        {
+                            // Move the running job, then admit the stuck one.
+                            actions.push(Action::Place {
+                                job: running.id(),
+                                pool: GpuTypeId(q),
+                                gpus: pl.gpus,
+                                opportunistic: false,
+                            });
+                            actions.push(Action::Place {
+                                job: stuck.id(),
+                                pool: pl.pool,
+                                gpus: need,
+                                opportunistic: false,
+                            });
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        actions
+    }
+}

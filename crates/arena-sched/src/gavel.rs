@@ -1,0 +1,115 @@
+//! Gavel-style heterogeneity-aware baseline.
+
+use arena_cluster::GpuTypeId;
+
+use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
+
+/// Gavel: heterogeneity-aware throughput maximisation over a job×GPU-type
+/// throughput matrix built from *data-parallel profiles* (§8.1), with a
+/// fixed GPU count per job (no scaling).
+///
+/// Queued jobs are admitted onto the feasible pool with the highest
+/// normalised throughput; each round, running jobs may migrate to a pool
+/// offering a significantly better rate if capacity allows.
+#[derive(Debug)]
+pub struct GavelPolicy {
+    /// Minimum relative gain before a migration is worth its restart.
+    migration_gain: f64,
+    /// Maximum migrations per round.
+    migrations_per_round: usize,
+}
+
+impl Default for GavelPolicy {
+    fn default() -> Self {
+        GavelPolicy {
+            migration_gain: 1.25,
+            migrations_per_round: 2,
+        }
+    }
+}
+
+impl GavelPolicy {
+    /// Creates the policy with default migration thresholds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DP-profiled throughput of `job` at its fixed size on `pool`.
+    fn rate(view: &SchedView<'_>, job: &crate::policy::JobView, pool: usize) -> Option<f64> {
+        view.service
+            .dp_profile(&job.spec.model, job.spec.requested_gpus, GpuTypeId(pool))
+    }
+}
+
+impl Policy for GavelPolicy {
+    fn name(&self) -> &'static str {
+        "Gavel"
+    }
+
+    fn plan_mode(&self) -> PlanMode {
+        PlanMode::Adaptive
+    }
+
+    fn schedule(&mut self, event: SchedEvent, view: &SchedView<'_>) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut free: Vec<usize> = view.pools.iter().map(|p| p.free_gpus).collect();
+
+        // Admit queued jobs onto their best feasible pool by profiled rate.
+        for job in view.queued {
+            let need = job.spec.requested_gpus;
+            let best = (0..free.len())
+                .filter(|&p| free[p] >= need)
+                .filter_map(|p| Self::rate(view, job, p).map(|r| (p, r)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            if let Some((p, _)) = best {
+                free[p] -= need;
+                actions.push(Action::Place {
+                    job: job.id(),
+                    pool: GpuTypeId(p),
+                    gpus: need,
+                    opportunistic: false,
+                });
+            } else {
+                // No pool is DP-feasible at the fixed size with capacity;
+                // if none is DP-feasible at all, Gavel rejects the job.
+                let feasible_anywhere = (0..free.len()).any(|p| Self::rate(view, job, p).is_some());
+                if !feasible_anywhere {
+                    actions.push(Action::Drop { job: job.id() });
+                }
+            }
+        }
+
+        // Round: migrate running jobs to substantially better pools.
+        if event == SchedEvent::Round {
+            let mut moved = 0;
+            for job in view.running {
+                if moved >= self.migrations_per_round {
+                    break;
+                }
+                let Some(pl) = job.placement else { continue };
+                let Some(cur) = Self::rate(view, job, pl.pool.0) else {
+                    continue;
+                };
+                let better = (0..free.len())
+                    .filter(|&p| p != pl.pool.0 && free[p] >= pl.gpus)
+                    .filter_map(|p| Self::rate(view, job, p).map(|r| (p, r)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                if let Some((p, r)) = better {
+                    if r > cur * self.migration_gain {
+                        free[p] -= pl.gpus;
+                        moved += 1;
+                        actions.push(Action::Place {
+                            job: job.id(),
+                            pool: GpuTypeId(p),
+                            gpus: pl.gpus,
+                            opportunistic: false,
+                        });
+                    }
+                }
+            }
+        }
+
+        actions
+    }
+}

@@ -1,0 +1,124 @@
+//! The policy interface between schedulers and the simulator.
+
+use arena_cluster::{GpuTypeId, PoolStats};
+use arena_trace::JobSpec;
+
+use crate::service::PlanService;
+
+/// How the simulator acquires a run plan for a policy's placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Full adaptive-parallelism exploration at (re)start — what the
+    /// baselines' jobs do (§8.1).
+    Adaptive,
+    /// Cell estimation + Cell-guided pruned tuning — Arena's path.
+    Cell,
+}
+
+/// What a running job currently holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementView {
+    /// Pool the job runs in.
+    pub pool: GpuTypeId,
+    /// GPUs held.
+    pub gpus: usize,
+    /// Achieved throughput, samples/second.
+    pub throughput_sps: f64,
+    /// Whether the job was placed opportunistically (evictable first).
+    pub opportunistic: bool,
+}
+
+/// A job as a policy sees it.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// The submitted job.
+    pub spec: JobSpec,
+    /// Iterations still to run.
+    pub remaining_iters: f64,
+    /// Current placement, if running.
+    pub placement: Option<PlacementView>,
+}
+
+impl JobView {
+    /// Job id shorthand.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.spec.id
+    }
+}
+
+/// The cluster as a policy sees it at a scheduling point.
+pub struct SchedView<'a> {
+    /// Current simulation time, seconds.
+    pub now_s: f64,
+    /// Jobs waiting to run, in arrival order.
+    pub queued: &'a [JobView],
+    /// Jobs currently running.
+    pub running: &'a [JobView],
+    /// Per-pool capacity and free GPUs.
+    pub pools: &'a [PoolStats],
+    /// Gateway to performance data.
+    pub service: &'a PlanService,
+}
+
+impl SchedView<'_> {
+    /// Free GPUs in a pool.
+    #[must_use]
+    pub fn free(&self, pool: GpuTypeId) -> usize {
+        self.pools
+            .iter()
+            .find(|p| p.id == pool)
+            .map_or(0, |p| p.free_gpus)
+    }
+}
+
+/// What fires a scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A new job arrived (its id).
+    Arrival(u64),
+    /// A job finished (its id).
+    Departure(u64),
+    /// The periodic scheduling round (every 5 minutes, §7).
+    Round,
+}
+
+/// A scheduling decision. The simulator executes evictions/drops before
+/// placements and ignores placements that exceed capacity or have no
+/// feasible plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Run `job` on `gpus` devices of `pool` (re-placing if running).
+    Place {
+        /// Job id.
+        job: u64,
+        /// Target pool.
+        pool: GpuTypeId,
+        /// Target GPU count.
+        gpus: usize,
+        /// Mark the placement opportunistic (Arena's starvation valve).
+        opportunistic: bool,
+    },
+    /// Stop `job` and return it to the queue.
+    Evict {
+        /// Job id.
+        job: u64,
+    },
+    /// Permanently reject `job` (infeasible or deadline-hopeless).
+    Drop {
+        /// Job id.
+        job: u64,
+    },
+}
+
+/// A cluster scheduling policy.
+pub trait Policy {
+    /// Display name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// How run plans are acquired for this policy's placements.
+    fn plan_mode(&self) -> PlanMode;
+
+    /// Produces scheduling actions for an event.
+    fn schedule(&mut self, event: SchedEvent, view: &SchedView<'_>) -> Vec<Action>;
+}

@@ -1,0 +1,60 @@
+//! Shared fixtures for policy unit tests.
+
+use arena_cluster::{Cluster, PoolStats};
+use arena_model::zoo::{ModelConfig, ModelFamily};
+use arena_perf::CostParams;
+use arena_trace::JobSpec;
+
+use crate::policy::{JobView, SchedView};
+use crate::service::PlanService;
+
+/// A testbed cluster plus a service, bundled for policy tests.
+pub struct Fixture {
+    /// The 64-GPU physical testbed.
+    pub cluster: Cluster,
+    /// A plan service over it.
+    pub service: PlanService,
+}
+
+impl Fixture {
+    /// Creates the fixture with a fixed seed.
+    pub fn new() -> Self {
+        let cluster = arena_cluster::presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 1234);
+        Fixture { cluster, service }
+    }
+
+    /// Builds a view over explicit queues and pool states.
+    pub fn view<'a>(
+        &'a self,
+        queued: &'a [JobView],
+        running: &'a [JobView],
+        pools: &'a [PoolStats],
+    ) -> SchedView<'a> {
+        SchedView {
+            now_s: 0.0,
+            queued,
+            running,
+            pools,
+            service: &self.service,
+        }
+    }
+}
+
+/// A queued BERT job of the given size/GPU request on `pool`.
+pub fn job(id: u64, params_b: f64, gpus: usize, pool: usize) -> JobView {
+    JobView {
+        spec: JobSpec {
+            id,
+            name: format!("j{id}"),
+            submit_s: 0.0,
+            model: ModelConfig::new(ModelFamily::Bert, params_b, 256),
+            iterations: 1000,
+            requested_gpus: gpus,
+            requested_pool: pool,
+            deadline_s: None,
+        },
+        remaining_iters: 1000.0,
+        placement: None,
+    }
+}

@@ -1,0 +1,210 @@
+//! Metric collection and aggregation.
+
+use serde::Serialize;
+
+/// Final record of one job's life.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Submission time, seconds.
+    pub submit_s: f64,
+    /// First time the job began making progress (None if never started).
+    pub start_s: Option<f64>,
+    /// Completion time (None if unfinished at the horizon or dropped).
+    pub finish_s: Option<f64>,
+    /// Whether the scheduler rejected the job.
+    pub dropped: bool,
+    /// Times the job was restarted (evicted, rescaled or migrated).
+    pub restarts: u32,
+    /// Deadline satisfaction (None for jobs without deadlines).
+    pub deadline_met: Option<bool>,
+}
+
+impl JobRecord {
+    /// Job completion time, if the job finished.
+    #[must_use]
+    pub fn jct_s(&self) -> Option<f64> {
+        self.finish_s.map(|f| f - self.submit_s)
+    }
+
+    /// Queueing time (submission to first progress), if it ever started.
+    #[must_use]
+    pub fn queue_s(&self) -> Option<f64> {
+        self.start_s.map(|s| s - self.submit_s)
+    }
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metrics {
+    /// Mean JCT over finished jobs, seconds.
+    pub avg_jct_s: f64,
+    /// Median JCT over finished jobs, seconds.
+    pub median_jct_s: f64,
+    /// Max JCT over finished jobs, seconds.
+    pub max_jct_s: f64,
+    /// Mean queueing time over started jobs, seconds.
+    pub avg_queue_s: f64,
+    /// Jobs finished before the horizon.
+    pub finished: usize,
+    /// Jobs rejected by the scheduler.
+    pub dropped: usize,
+    /// Jobs still queued or running at the horizon.
+    pub unfinished: usize,
+    /// Time-average of normalised cluster throughput.
+    pub avg_throughput: f64,
+    /// Peak of the normalised cluster-throughput timeline.
+    pub peak_throughput: f64,
+    /// Time-average of raw cluster throughput, samples/s (the paper's
+    /// metric; incommensurable across model families but reported for
+    /// completeness).
+    pub avg_raw_throughput_sps: f64,
+    /// Mean restarts per started job.
+    pub avg_restarts: f64,
+    /// Fraction of deadline-carrying jobs that met their deadline.
+    pub deadline_satisfaction: f64,
+    /// Mean wall-clock (this process) per scheduling decision, seconds.
+    pub avg_decision_s: f64,
+}
+
+/// Aggregates job records and a throughput timeline into [`Metrics`].
+#[must_use]
+pub fn aggregate(
+    records: &[JobRecord],
+    timeline: &[(f64, f64)],
+    raw_timeline: &[(f64, f64)],
+    decision_times: &[f64],
+) -> Metrics {
+    let mut jcts: Vec<f64> = records.iter().filter_map(JobRecord::jct_s).collect();
+    jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let queues: Vec<f64> = records.iter().filter_map(JobRecord::queue_s).collect();
+    let started = records.iter().filter(|r| r.start_s.is_some()).count();
+    let restarts: u32 = records.iter().map(|r| r.restarts).sum();
+    let ddl_total = records.iter().filter(|r| r.deadline_met.is_some()).count();
+    let ddl_met = records
+        .iter()
+        .filter(|r| r.deadline_met == Some(true))
+        .count();
+
+    // Time-weighted averages over the (piecewise-constant) timelines.
+    let time_avg = |tl: &[(f64, f64)]| -> (f64, f64) {
+        let (mut area, mut span, mut peak) = (0.0, 0.0, 0.0_f64);
+        for w in tl.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            area += w[0].1 * dt;
+            span += dt;
+            peak = peak.max(w[0].1);
+        }
+        if let Some(last) = tl.last() {
+            peak = peak.max(last.1);
+        }
+        (if span > 0.0 { area / span } else { 0.0 }, peak)
+    };
+    let (avg_norm, peak_norm) = time_avg(timeline);
+    let (avg_raw, _) = time_avg(raw_timeline);
+
+    Metrics {
+        avg_jct_s: mean(&jcts),
+        median_jct_s: if jcts.is_empty() {
+            0.0
+        } else {
+            jcts[jcts.len() / 2]
+        },
+        max_jct_s: jcts.last().copied().unwrap_or(0.0),
+        avg_queue_s: mean(&queues),
+        finished: records.iter().filter(|r| r.finish_s.is_some()).count(),
+        dropped: records.iter().filter(|r| r.dropped).count(),
+        unfinished: records
+            .iter()
+            .filter(|r| !r.dropped && r.finish_s.is_none())
+            .count(),
+        avg_throughput: avg_norm,
+        peak_throughput: peak_norm,
+        avg_raw_throughput_sps: avg_raw,
+        avg_restarts: if started > 0 {
+            f64::from(restarts) / started as f64
+        } else {
+            0.0
+        },
+        deadline_satisfaction: if ddl_total > 0 {
+            ddl_met as f64 / ddl_total as f64
+        } else {
+            1.0
+        },
+        avg_decision_s: mean(decision_times),
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, submit: f64, start: Option<f64>, finish: Option<f64>) -> JobRecord {
+        JobRecord {
+            id,
+            name: format!("j{id}"),
+            submit_s: submit,
+            start_s: start,
+            finish_s: finish,
+            dropped: false,
+            restarts: 0,
+            deadline_met: None,
+        }
+    }
+
+    #[test]
+    fn jct_and_queue() {
+        let r = rec(1, 10.0, Some(25.0), Some(100.0));
+        assert_eq!(r.jct_s(), Some(90.0));
+        assert_eq!(r.queue_s(), Some(15.0));
+        assert_eq!(rec(2, 0.0, None, None).jct_s(), None);
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let records = vec![
+            rec(1, 0.0, Some(5.0), Some(50.0)),
+            rec(2, 0.0, Some(10.0), Some(110.0)),
+            rec(3, 0.0, Some(20.0), None),
+            JobRecord {
+                dropped: true,
+                ..rec(4, 0.0, None, None)
+            },
+        ];
+        let timeline = vec![(0.0, 2.0), (50.0, 4.0), (100.0, 0.0)];
+        let m = aggregate(&records, &timeline, &timeline, &[0.1, 0.3]);
+        assert_eq!(m.finished, 2);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.unfinished, 1);
+        assert_eq!(m.avg_jct_s, (50.0 + 110.0) / 2.0);
+        assert_eq!(m.max_jct_s, 110.0);
+        assert!((m.avg_queue_s - 35.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.peak_throughput, 4.0);
+        assert!((m.avg_throughput - 3.0).abs() < 1e-9);
+        assert!((m.avg_decision_s - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_satisfaction() {
+        let mut a = rec(1, 0.0, Some(1.0), Some(10.0));
+        a.deadline_met = Some(true);
+        let mut b = rec(2, 0.0, Some(1.0), Some(10.0));
+        b.deadline_met = Some(false);
+        let m = aggregate(&[a, b], &[], &[], &[]);
+        assert_eq!(m.deadline_satisfaction, 0.5);
+        // No deadline jobs: vacuously satisfied.
+        let m2 = aggregate(&[rec(1, 0.0, None, None)], &[], &[], &[]);
+        assert_eq!(m2.deadline_satisfaction, 1.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Synthetic production-trace generators.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use arena_model::zoo::{ModelConfig, ModelFamily};
+
+use crate::job::JobSpec;
+use crate::rng::{exponential, lognormal, weighted_choice};
+
+/// Which production trace's shape to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Microsoft Philly: heavy, bursty load (§8.3/§8.4).
+    PhillyHeavy,
+    /// Helios Venus: moderate load (§8.4).
+    HeliosModerate,
+    /// Alibaba PAI: low load (§8.4).
+    PaiLow,
+}
+
+impl TraceKind {
+    /// Offered load as a fraction of cluster GPU capacity.
+    #[must_use]
+    pub fn load(self) -> f64 {
+        match self {
+            TraceKind::PhillyHeavy => 1.15,
+            TraceKind::HeliosModerate => 0.7,
+            TraceKind::PaiLow => 0.40,
+        }
+    }
+
+    /// Median job duration in seconds and log-space sigma.
+    #[must_use]
+    pub fn duration_dist(self) -> (f64, f64) {
+        match self {
+            TraceKind::PhillyHeavy => (600.0, 1.15),
+            TraceKind::HeliosModerate => (700.0, 1.2),
+            TraceKind::PaiLow => (600.0, 1.4),
+        }
+    }
+}
+
+/// Configuration of one synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Trace shape to reproduce.
+    pub kind: TraceKind,
+    /// Trace length in seconds (submissions stop after this point).
+    pub duration_s: f64,
+    /// RNG seed; the same config always yields the same trace.
+    pub seed: u64,
+    /// Total GPUs of the target cluster (drives the arrival rate).
+    pub cluster_gpus: usize,
+    /// Device memory (GiB) of each pool of the target cluster, used to
+    /// pick feasible initial GPU counts per model size.
+    pub pool_mem_gib: Vec<f64>,
+    /// Relative popularity of each pool (same length as `pool_mem_gib`).
+    pub pool_weights: Vec<f64>,
+    /// Fraction of jobs carrying a deadline (0 outside DDL experiments).
+    pub deadline_fraction: f64,
+    /// Extra multiplier on the arrival rate (1.0 = the kind's load).
+    pub load_scale: f64,
+    /// Multiplier on job durations; large-cluster experiments use longer
+    /// (multi-hour) pre-training jobs than the testbed trace.
+    pub duration_scale: f64,
+}
+
+impl TraceConfig {
+    /// A config for `kind` on a cluster described by its pool memories and
+    /// total GPU count.
+    #[must_use]
+    pub fn new(
+        kind: TraceKind,
+        duration_s: f64,
+        cluster_gpus: usize,
+        pool_mem_gib: Vec<f64>,
+    ) -> Self {
+        let pools = pool_mem_gib.len().max(1);
+        TraceConfig {
+            kind,
+            duration_s,
+            seed: 0xA0EA,
+            cluster_gpus,
+            pool_weights: vec![1.0; pools],
+            pool_mem_gib,
+            deadline_fraction: 0.0,
+            load_scale: 1.0,
+            duration_scale: 1.0,
+        }
+    }
+}
+
+/// GPU-count menu users pick from, before feasibility lifting.
+const GPU_MENU: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Popularity of each menu entry (small jobs dominate production traces).
+const GPU_WEIGHTS: [f64; 7] = [0.22, 0.20, 0.20, 0.16, 0.12, 0.07, 0.03];
+
+/// Size-rank popularity inside a family (Fig. 15: small models dominate).
+const SIZE_WEIGHTS: [f64; 5] = [0.34, 0.27, 0.19, 0.12, 0.08];
+/// Family mix: WideResNet / BERT / MoE.
+const FAMILY_WEIGHTS: [f64; 3] = [0.30, 0.40, 0.30];
+
+/// Minimum power-of-two GPU count on which `params_b` billions of
+/// parameters can hold their 16 B/param training state in `mem_gib`
+/// devices, assuming ideal sharding and a memory head-room factor.
+#[must_use]
+pub fn min_feasible_gpus(params_b: f64, mem_gib: f64) -> usize {
+    let state_gib = params_b * 16.0; // 16 bytes per parameter.
+    let per_gpu = mem_gib * 0.70; // Head-room for activations.
+    let need = (state_gib / per_gpu).ceil().max(1.0) as usize;
+    need.next_power_of_two()
+}
+
+/// Effective-throughput proxy used to convert a target duration into an
+/// iteration count (the simulator computes real durations later).
+fn proxy_iter_time(model: &ModelConfig, flops_fwd: f64, gpus: usize) -> f64 {
+    let effective_flops = gpus as f64 * 120e12 * 0.45;
+    3.0 * flops_fwd * model.global_batch as f64 / effective_flops
+}
+
+/// Generates a seeded synthetic trace.
+///
+/// # Examples
+///
+/// ```
+/// use arena_trace::{generate, TraceConfig, TraceKind};
+///
+/// let cfg = TraceConfig::new(TraceKind::HeliosModerate, 3600.0, 64, vec![48.0, 24.0]);
+/// let jobs = generate(&cfg);
+/// assert!(!jobs.is_empty());
+/// assert!(jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s));
+/// // Determinism: the same config yields the same trace.
+/// assert_eq!(generate(&cfg).len(), jobs.len());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the config carries no pools or non-positive weights.
+#[must_use]
+pub fn generate(cfg: &TraceConfig) -> Vec<JobSpec> {
+    assert!(!cfg.pool_mem_gib.is_empty(), "need at least one pool");
+    assert_eq!(cfg.pool_mem_gib.len(), cfg.pool_weights.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Calibrate the base arrival rate so that offered GPU demand matches
+    // the kind's load: rate = load x capacity / (E[duration] x E[gpus]).
+    let (base_median, dur_sigma) = cfg.kind.duration_dist();
+    let dur_median = base_median * cfg.duration_scale;
+    let e_duration = dur_median * (dur_sigma * dur_sigma / 2.0).exp();
+    let e_gpus: f64 = GPU_MENU
+        .iter()
+        .zip(&GPU_WEIGHTS)
+        .map(|(&g, &w)| g as f64 * w)
+        .sum::<f64>()
+        / GPU_WEIGHTS.iter().sum::<f64>();
+    let base_rate =
+        cfg.kind.load() * cfg.load_scale * cfg.cluster_gpus as f64 / (e_duration * e_gpus);
+
+    let mut flops_cache: HashMap<String, f64> = HashMap::new();
+    let mut jobs = Vec::new();
+    let mut t = 0.0_f64;
+    let mut id = 0_u64;
+    loop {
+        // Diurnal modulation of the Poisson rate.
+        let diurnal = 1.0 + 0.6 * (2.0 * std::f64::consts::PI * t / 86_400.0).sin();
+        let rate = (base_rate * diurnal).max(base_rate * 0.2);
+        t += exponential(&mut rng, rate);
+        if t > cfg.duration_s {
+            break;
+        }
+
+        // Model: family, size rank (small-dominated), batch.
+        let family = ModelFamily::all()[weighted_choice(&mut rng, &FAMILY_WEIGHTS)];
+        let sizes = family.table2_sizes();
+        let rank = weighted_choice(&mut rng, &SIZE_WEIGHTS[..sizes.len()]);
+        let batches = family.table2_batches();
+        let batch = batches[rng.random_range(0..batches.len())];
+        let model = ModelConfig::new(family, sizes[rank], batch);
+
+        // Pool and a feasible initial GPU count.
+        let pool = weighted_choice(&mut rng, &cfg.pool_weights);
+        let sampled = GPU_MENU[weighted_choice(&mut rng, &GPU_WEIGHTS)];
+        let floor = min_feasible_gpus(model.params_b, cfg.pool_mem_gib[pool]);
+        let requested_gpus = sampled.max(floor).min(64);
+
+        // Duration target -> iterations via the throughput proxy.
+        let duration = lognormal(&mut rng, dur_median, dur_sigma).clamp(60.0, 1_209_600.0);
+        let flops = *flops_cache
+            .entry(model.name())
+            .or_insert_with(|| model.build().total_flops_fwd());
+        let iters = (duration / proxy_iter_time(&model, flops, requested_gpus))
+            .round()
+            .max(20.0) as u64;
+
+        let deadline_s = if rng.random::<f64>() < cfg.deadline_fraction {
+            let slack = 1.5 + 2.5 * rng.random::<f64>();
+            Some(t + duration * slack)
+        } else {
+            None
+        };
+
+        jobs.push(JobSpec {
+            id,
+            name: format!("job{id}-{}", model.name()),
+            submit_s: t,
+            model,
+            iterations: iters,
+            requested_gpus,
+            requested_pool: pool,
+            deadline_s,
+        });
+        id += 1;
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed_cfg(kind: TraceKind) -> TraceConfig {
+        TraceConfig::new(kind, 6.0 * 3600.0, 64, vec![48.0, 24.0])
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let cfg = testbed_cfg(TraceKind::PhillyHeavy);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() > 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit_s, y.submit_s);
+            assert_eq!(x.requested_gpus, y.requested_gpus);
+            assert_eq!(x.model.name(), y.model.name());
+        }
+    }
+
+    #[test]
+    fn philly_testbed_scale_matches_paper() {
+        // §8.3 uses a 6-hour trace of 244 jobs on 64 GPUs; ours should land
+        // in the same regime (within 2x).
+        let jobs = generate(&testbed_cfg(TraceKind::PhillyHeavy));
+        assert!(
+            jobs.len() > 100 && jobs.len() < 500,
+            "6h/64-GPU Philly trace has {} jobs",
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn submissions_are_ordered_and_bounded() {
+        let cfg = testbed_cfg(TraceKind::HeliosModerate);
+        let jobs = generate(&cfg);
+        for w in jobs.windows(2) {
+            assert!(w[0].submit_s <= w[1].submit_s);
+        }
+        assert!(jobs.iter().all(|j| j.submit_s <= cfg.duration_s));
+        assert!(jobs.iter().all(|j| j.iterations >= 20));
+        assert!(jobs.iter().all(|j| j.requested_gpus.is_power_of_two()));
+    }
+
+    #[test]
+    fn load_ordering_across_kinds() {
+        let heavy = generate(&testbed_cfg(TraceKind::PhillyHeavy)).len();
+        let moderate = generate(&testbed_cfg(TraceKind::HeliosModerate)).len();
+        let low = generate(&testbed_cfg(TraceKind::PaiLow)).len();
+        assert!(heavy > moderate && moderate > low);
+    }
+
+    #[test]
+    fn big_models_get_feasible_gpu_counts() {
+        let jobs = generate(&testbed_cfg(TraceKind::PhillyHeavy));
+        for j in &jobs {
+            let mem = [48.0, 24.0][j.requested_pool];
+            assert!(
+                j.requested_gpus >= min_feasible_gpus(j.model.params_b, mem),
+                "{} got only {} GPUs on {mem} GiB pool",
+                j.name,
+                j.requested_gpus
+            );
+        }
+    }
+
+    #[test]
+    fn min_feasible_gpus_scales_with_size() {
+        assert_eq!(min_feasible_gpus(0.5, 48.0), 1);
+        assert!(min_feasible_gpus(6.7, 24.0) >= 8);
+        assert!(min_feasible_gpus(27.0, 24.0) >= 32);
+        assert!(min_feasible_gpus(27.0, 48.0) >= 16);
+    }
+
+    #[test]
+    fn deadline_fraction_respected() {
+        let mut cfg = testbed_cfg(TraceKind::PhillyHeavy);
+        cfg.deadline_fraction = 1.0;
+        let jobs = generate(&cfg);
+        assert!(jobs.iter().all(|j| j.deadline_s.is_some()));
+        for j in &jobs {
+            assert!(j.deadline_s.unwrap() > j.submit_s);
+        }
+        cfg.deadline_fraction = 0.0;
+        assert!(generate(&cfg).iter().all(|j| j.deadline_s.is_none()));
+    }
+
+    #[test]
+    fn model_mix_covers_all_families() {
+        let jobs = generate(&testbed_cfg(TraceKind::PhillyHeavy));
+        for family in ModelFamily::all() {
+            assert!(
+                jobs.iter().any(|j| j.model.family == family),
+                "{family} missing from trace"
+            );
+        }
+    }
+}

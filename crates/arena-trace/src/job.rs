@@ -1,0 +1,55 @@
+//! Job records.
+
+use serde::{Deserialize, Serialize};
+
+use arena_model::ModelConfig;
+
+/// One training job as submitted to the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job id (dense, trace order).
+    pub id: u64,
+    /// Display name, e.g. `"job17-BERT-1.3B"`.
+    pub name: String,
+    /// Submission time, seconds from trace start.
+    pub submit_s: f64,
+    /// The model configuration to train.
+    pub model: ModelConfig,
+    /// Total training iterations.
+    pub iterations: u64,
+    /// The user-specified initial GPU count `N_G` (§6.1), a power of two.
+    pub requested_gpus: usize,
+    /// Index of the user's preferred GPU pool in the target cluster.
+    pub requested_pool: usize,
+    /// Optional completion deadline, seconds from trace start.
+    pub deadline_s: Option<f64>,
+}
+
+impl JobSpec {
+    /// Total samples the job must process.
+    #[must_use]
+    pub fn total_samples(&self) -> f64 {
+        self.iterations as f64 * self.model.global_batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_model::zoo::ModelFamily;
+
+    #[test]
+    fn total_samples() {
+        let j = JobSpec {
+            id: 0,
+            name: "t".into(),
+            submit_s: 0.0,
+            model: ModelConfig::new(ModelFamily::Bert, 1.3, 256),
+            iterations: 100,
+            requested_gpus: 8,
+            requested_pool: 0,
+            deadline_s: None,
+        };
+        assert_eq!(j.total_samples(), 25_600.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Small distribution helpers over a seeded RNG.
+//!
+//! Only `rand`'s uniform primitives are used; the named distributions are
+//! derived here (Box–Muller, inverse CDF) to keep the dependency set flat.
+
+use rand::{Rng, RngExt};
+
+/// A standard normal draw (Box–Muller).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A log-normal draw with the given median and log-space sigma.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    median * (sigma * normal(rng)).exp()
+}
+
+/// An exponential inter-arrival draw with the given rate (events/second).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    -rng.random::<f64>().max(1e-12).ln() / rate
+}
+
+/// Samples an index proportionally to `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must be non-empty and positive");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut draws: Vec<f64> = (0..10_001)
+            .map(|_| lognormal(&mut rng, 50.0, 1.0))
+            .collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[5000];
+        assert!((median / 50.0 - 1.0).abs() < 0.15, "median {median}");
+        assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0_usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03, "frac {frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be non-empty")]
+    fn empty_weights_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = weighted_choice(&mut rng, &[]);
+    }
+}

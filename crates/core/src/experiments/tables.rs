@@ -1,0 +1,165 @@
+//! Tables 1 and 2: cluster and model-zoo configuration.
+
+use serde::Serialize;
+
+use arena_cluster::presets;
+use arena_model::zoo;
+
+use crate::report::{f1, Table};
+
+/// One pool row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// GPU model name.
+    pub gpu: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Memory per device, GiB.
+    pub mem_gib: f64,
+    /// Intra-node interconnect.
+    pub intra: String,
+    /// Inter-node fabric.
+    pub inter: String,
+    /// Node count.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Total GPUs in the pool.
+    pub total_gpus: usize,
+}
+
+/// Regenerates Table 1 from the simulated-cluster preset.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    let cluster = presets::table1_simulated();
+    cluster
+        .pool_stats()
+        .into_iter()
+        .map(|p| Table1Row {
+            gpu: p.spec.gpu.name.to_string(),
+            arch: format!("{:?}", p.spec.gpu.arch),
+            mem_gib: p.spec.gpu.mem_gib,
+            intra: p.spec.intra_link.to_string(),
+            inter: p.spec.inter_link.to_string(),
+            nodes: p.total_gpus / p.spec.gpus_per_node,
+            gpus_per_node: p.spec.gpus_per_node,
+            total_gpus: p.total_gpus,
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+#[must_use]
+pub fn table1_table(rows: &[Table1Row]) -> Table {
+    let mut t = Table::new(
+        "Table 1: simulated heterogeneous cluster",
+        &[
+            "GPU",
+            "Arch",
+            "Mem(GiB)",
+            "Intra",
+            "Inter",
+            "#Nodes",
+            "GPUs/node",
+            "#GPUs",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.gpu.clone(),
+            r.arch.clone(),
+            f1(r.mem_gib),
+            r.intra.clone(),
+            r.inter.clone(),
+            r.nodes.to_string(),
+            r.gpus_per_node.to_string(),
+            r.total_gpus.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One model row of Table 2, with the realised parameter count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Model name, e.g. `"BERT-2.6B"`.
+    pub model: String,
+    /// Global batch sizes used in the experiments.
+    pub batches: Vec<usize>,
+    /// Nominal size, billions of parameters.
+    pub nominal_b: f64,
+    /// Realised parameter count of the built graph, billions.
+    pub realised_b: f64,
+    /// Operators in the graph.
+    pub ops: usize,
+}
+
+/// Regenerates Table 2 from the zoo, building every model.
+#[must_use]
+pub fn table2() -> Vec<Table2Row> {
+    zoo::table2_configs()
+        .into_iter()
+        .map(|cfg| {
+            let g = cfg.build();
+            Table2Row {
+                model: cfg.name(),
+                batches: cfg.family.table2_batches().to_vec(),
+                nominal_b: cfg.params_b,
+                realised_b: g.params_billion(),
+                ops: g.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2.
+#[must_use]
+pub fn table2_table(rows: &[Table2Row]) -> Table {
+    let mut t = Table::new(
+        "Table 2: model zoo (nominal vs realised parameters)",
+        &["Model", "Batches", "Nominal (B)", "Realised (B)", "#Ops"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.model.clone(),
+            format!("{:?}", r.batches),
+            format!("{}", r.nominal_b),
+            format!("{:.2}", r.realised_b),
+            r.ops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        let total: usize = rows.iter().map(|r| r.total_gpus).sum();
+        assert_eq!(total, 1280);
+        let a100 = &rows[0];
+        assert_eq!(a100.gpu, "A100");
+        assert_eq!(a100.nodes, 80);
+        assert_eq!(a100.gpus_per_node, 4);
+    }
+
+    #[test]
+    fn table2_realised_sizes_near_nominal() {
+        let rows = table2();
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            let err = (r.realised_b - r.nominal_b).abs() / r.nominal_b;
+            assert!(err < 0.12, "{}: {err}", r.model);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1_table(&table1()).render().contains("V100"));
+        assert!(table2_table(&table2()).render().contains("MoE-27B"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Heterogeneous co-design: why scheduling and parallelism must be
+//! decided together (the paper's Fig. 1 motivation).
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_codesign
+//! ```
+//!
+//! Two jobs, two servers (an Ampere-PCIe box and a V100-NVLink box).
+//! A parallelism-oblivious scheduler sees "fast GPUs" vs "slow GPUs";
+//! the co-design sees that the large BERT *cannot run at all* without
+//! NVLink-backed tensor parallelism, and that the WideResNet is happy
+//! anywhere — so the exchange of resources between the jobs decides most
+//! of the cluster's throughput.
+
+use arena::cluster::Cluster;
+use arena::prelude::*;
+
+fn main() {
+    let cluster = Cluster::new(&[
+        (NodeSpec::with_default_links(GpuSpec::A10, 4), 1),
+        (NodeSpec::with_default_links(GpuSpec::V100, 4), 1),
+    ]);
+    let service = PlanService::new(&cluster, CostParams::default(), 7);
+    let (ampere, volta) = (GpuTypeId(0), GpuTypeId(1));
+
+    let bert = ModelConfig::new(ModelFamily::Bert, 6.7, 128);
+    let wres = ModelConfig::new(ModelFamily::WideResNet, 1.0, 512);
+
+    println!("per-job placement menu (4 GPUs each):\n");
+    for job in [&bert, &wres] {
+        for (pool, name) in [(ampere, "4xA10 (Ampere, PCIe)"), (volta, "4xV100 (NVLink)")] {
+            match service.adaptive_run(job, 4, pool) {
+                Some(run) => println!(
+                    "  {:10} on {:22} -> {:>7.1} samples/s via {}",
+                    job.name(),
+                    name,
+                    run.throughput_sps,
+                    run.plan_label
+                ),
+                None => println!(
+                    "  {:10} on {:22} -> OUT OF MEMORY (no feasible plan)",
+                    job.name(),
+                    name
+                ),
+            }
+        }
+    }
+
+    // Score both exchanges by normalised cluster throughput.
+    let ideal = |m: &ModelConfig| {
+        [ampere, volta]
+            .iter()
+            .filter_map(|&p| service.adaptive_run(m, 4, p))
+            .map(|r| r.throughput_sps)
+            .fold(0.0_f64, f64::max)
+    };
+    let norm = |m: &ModelConfig, pool: GpuTypeId| {
+        service
+            .adaptive_run(m, 4, pool)
+            .map_or(0.0, |r| r.throughput_sps / ideal(m))
+    };
+
+    let good = norm(&bert, volta) + norm(&wres, ampere);
+    let bad = norm(&bert, ampere) + norm(&wres, volta);
+    println!("\nscheme A (BERT->V100, WRes->A10): total normalised throughput {good:.3}");
+    println!("scheme B (BERT->A10, WRes->V100): total normalised throughput {bad:.3}");
+    println!("co-design advantage: {:.2}x", good / bad.max(1e-9));
+}

@@ -1,0 +1,2 @@
+//! Re-export of the [`arena`] umbrella crate for examples and integration tests.
+pub use arena::*;

@@ -1,0 +1,234 @@
+//! Property-based tests over the core invariants of the stack.
+
+use proptest::prelude::*;
+
+use arena::cluster::{Cluster, GpuSpec, GpuTypeId, NodeSpec};
+use arena::model::zoo::{ModelConfig, ModelFamily};
+use arena::parallelism::stages::pow2_composition;
+use arena::parallelism::{determine_stages, stage_plan_options, PipelinePlan, PlanSpace};
+use arena::perf::target::Channel;
+use arena::perf::{collective, noise::NoiseModel, CostParams, HwTarget, PerfModel};
+
+fn family(ix: usize) -> (ModelFamily, f64) {
+    let table = [
+        (ModelFamily::WideResNet, 0.5),
+        (ModelFamily::WideResNet, 1.0),
+        (ModelFamily::Bert, 0.76),
+        (ModelFamily::Bert, 1.3),
+        (ModelFamily::Moe, 0.69),
+        (ModelFamily::Moe, 1.3),
+    ];
+    table[ix % table.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The allocator's books always balance: any sequence of allocations
+    /// and releases leaves free-GPU counts consistent and within bounds.
+    #[test]
+    fn allocator_books_balance(ops in proptest::collection::vec((0_usize..3, 1_usize..12), 1..40)) {
+        let mut cluster = Cluster::new(&[
+            (NodeSpec::with_default_links(GpuSpec::A100, 4), 3),
+            (NodeSpec::with_default_links(GpuSpec::A10, 2), 4),
+        ]);
+        let totals = [12_usize, 8];
+        let mut live: Vec<arena::cluster::Allocation> = Vec::new();
+        let mut used = [0_usize; 2];
+        for (sel, n) in ops {
+            if sel == 2 && !live.is_empty() {
+                let a = live.swap_remove(n % live.len());
+                used[a.pool.0] -= a.total_gpus();
+                cluster.release(&a).expect("release succeeds");
+            } else {
+                let pool = GpuTypeId(sel % 2);
+                match cluster.allocate(pool, n) {
+                    Ok(a) => {
+                        prop_assert_eq!(a.total_gpus(), n);
+                        used[pool.0] += n;
+                        live.push(a);
+                    }
+                    Err(_) => {
+                        // Allocation may only fail when capacity is short.
+                        prop_assert!(used[pool.0] + n > totals[pool.0]);
+                    }
+                }
+            }
+            for (i, &total) in totals.iter().enumerate() {
+                prop_assert_eq!(cluster.free_gpus(GpuTypeId(i)), total - used[i]);
+            }
+        }
+    }
+
+    /// Power-of-two compositions exist iff `parts <= total`, sum exactly,
+    /// and every part is a power of two.
+    #[test]
+    fn pow2_composition_invariants(total in 1_usize..200, parts in 1_usize..24) {
+        match pow2_composition(total, parts) {
+            Some(v) => {
+                prop_assert_eq!(v.len(), parts);
+                prop_assert_eq!(v.iter().sum::<usize>(), total);
+                prop_assert!(v.iter().all(|p| p.is_power_of_two()));
+            }
+            None => prop_assert!(
+                parts > total || (total.count_ones() as usize) > parts
+            ),
+        }
+    }
+
+    /// Stage determination covers the whole graph exactly once with
+    /// power-of-two stage sizes summing to the allocation.
+    #[test]
+    fn stage_determination_invariants(ix in 0_usize..6, gpus_log in 0_u32..7, stages_log in 0_u32..5) {
+        let (fam, size) = family(ix);
+        let graph = ModelConfig::new(fam, size, 256).build();
+        let gpus = 1_usize << gpus_log;
+        let stages = 1_usize << stages_log;
+        if let Some(p) = determine_stages(&graph, gpus, stages) {
+            prop_assert_eq!(p.num_stages(), stages);
+            prop_assert_eq!(p.total_gpus(), gpus);
+            let mut next = 0;
+            for r in &p.ranges {
+                prop_assert_eq!(r.start, next);
+                prop_assert!(!r.is_empty());
+                next = r.end;
+            }
+            prop_assert_eq!(next, graph.len());
+            prop_assert!(p.gpus.iter().all(|g| g.is_power_of_two()));
+        } else {
+            prop_assert!(stages > gpus || stages > graph.len());
+        }
+    }
+
+    /// Every option of a stage's exploration axis uses exactly its GPUs,
+    /// and the axis runs from DP-only to TP-only.
+    #[test]
+    fn stage_options_conserve_gpus(g_log in 0_u32..7) {
+        let g = 1_usize << g_log;
+        let opts = stage_plan_options(g);
+        prop_assert_eq!(opts.len(), g_log as usize + 1);
+        prop_assert!(opts.iter().all(|p| p.gpus() == g));
+        prop_assert_eq!(opts.first().unwrap().dp, g);
+        prop_assert_eq!(opts.last().unwrap().tp, g);
+    }
+
+    /// Indexed access into a plan space agrees with iteration, and every
+    /// plan in the space is valid for the graph.
+    #[test]
+    fn plan_space_indexing(ix in 0_usize..6, gpus_log in 1_u32..5, stages_log in 0_u32..3) {
+        let (fam, size) = family(ix);
+        let graph = ModelConfig::new(fam, size, 256).build();
+        let gpus = 1_usize << gpus_log;
+        let stages = 1_usize << stages_log;
+        prop_assume!(stages <= gpus && stages <= graph.len());
+        let Some(part) = determine_stages(&graph, gpus, stages) else {
+            return Ok(());
+        };
+        let space = PlanSpace::new(part);
+        let by_iter: Vec<String> = space.iter().map(|p| p.label()).collect();
+        for (i, label) in by_iter.iter().enumerate() {
+            let plan = space.plan_at_index(i as u128);
+            prop_assert_eq!(&plan.label(), label);
+            prop_assert!(plan.is_valid_for(&graph));
+            prop_assert_eq!(plan.total_gpus(), gpus);
+        }
+    }
+
+    /// Collective costs are non-negative and monotone in volume.
+    #[test]
+    fn collectives_monotone(bytes in 1.0e3_f64..1.0e11, n in 2_usize..64) {
+        let ch = Channel::from_link(arena::cluster::LinkKind::IbCx5);
+        for f in [
+            collective::allreduce, collective::allgather, collective::alltoall,
+        ] {
+            let t1 = f(bytes, n, ch);
+            let t2 = f(bytes * 2.0, n, ch);
+            prop_assert!(t1 > 0.0);
+            prop_assert!(t2 > t1);
+        }
+        prop_assert!(collective::p2p(bytes * 2.0, ch) > collective::p2p(bytes, ch));
+    }
+
+    /// Plan evaluation keeps throughput = batch / iteration time and
+    /// reports a max memory equal to the max over stages.
+    #[test]
+    fn evaluation_consistency(ix in 0_usize..6, gpus_log in 1_u32..4, stages_log in 0_u32..3) {
+        let (fam, size) = family(ix);
+        let gb = 256;
+        let graph = ModelConfig::new(fam, size, gb).build();
+        let gpus = 1_usize << gpus_log;
+        let stages = 1_usize << stages_log;
+        prop_assume!(stages <= gpus && stages <= graph.len());
+        let Some(part) = determine_stages(&graph, gpus, stages) else {
+            return Ok(());
+        };
+        let model = PerfModel::new(CostParams::default());
+        let hw = HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4));
+        for plan in PlanSpace::new(part).iter() {
+            if let Ok(perf) = model.evaluate(&graph, gb, &plan, &hw) {
+                prop_assert!(perf.iter_time_s > 0.0);
+                prop_assert!(
+                    (perf.throughput_sps - gb as f64 / perf.iter_time_s).abs() < 1e-9
+                );
+                let max_stage = perf.stages.iter().map(|s| s.mem_bytes).fold(0.0, f64::max);
+                prop_assert_eq!(perf.max_mem_bytes, max_stage);
+                prop_assert!(perf.microbatches >= plan.microbatches());
+                let budget = hw.node.gpu.mem_bytes() as f64
+                    * model.params.usable_mem_frac;
+                prop_assert!(perf.max_mem_bytes <= budget);
+            }
+        }
+    }
+
+    /// Noise factors are deterministic, bounded, and identity when off.
+    #[test]
+    fn noise_bounds(seed in 0_u64..1000, key in "[a-z]{1,16}") {
+        let n = NoiseModel::new(0.05, seed);
+        let f = n.factor(&key);
+        prop_assert_eq!(f, n.factor(&key));
+        prop_assert!((0.85..=1.15).contains(&f));
+        prop_assert_eq!(NoiseModel::disabled().factor(&key), 1.0);
+    }
+
+    /// Assembled plans are always a subset of the full exploration space.
+    #[test]
+    fn assembled_subset_of_space(ix in 0_usize..6, stages_log in 0_u32..3) {
+        let (fam, size) = family(ix);
+        let graph = ModelConfig::new(fam, size, 256).build();
+        let stages = 1_usize << stages_log;
+        let Some(part) = determine_stages(&graph, 8, stages) else {
+            return Ok(());
+        };
+        let full: std::collections::HashSet<String> =
+            PlanSpace::new(part.clone()).iter().map(|p| p.label()).collect();
+        let assembled = arena::parallelism::assembled_plans(&part);
+        prop_assert_eq!(assembled.len(), 1 << stages);
+        for p in &assembled {
+            prop_assert!(full.contains(&p.label()));
+        }
+    }
+
+    /// Plan labels round-trip the structure they describe (distinct plans
+    /// get distinct labels within a space).
+    #[test]
+    fn plan_labels_unique(stages_log in 0_u32..3) {
+        let graph = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let stages = 1_usize << stages_log;
+        let Some(part) = determine_stages(&graph, 8, stages) else {
+            return Ok(());
+        };
+        let labels: Vec<String> = PlanSpace::new(part).iter().map(|p| p.label()).collect();
+        let set: std::collections::HashSet<&String> = labels.iter().collect();
+        prop_assert_eq!(set.len(), labels.len());
+    }
+}
+
+/// Non-proptest sanity: `PipelinePlan::short_label` is stable for the
+/// uniform case (used by experiment output).
+#[test]
+fn short_label_format() {
+    let graph = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+    let part = determine_stages(&graph, 4, 2).unwrap();
+    let plan: PipelinePlan = PlanSpace::new(part).iter().next().unwrap();
+    assert!(plan.short_label().starts_with('D') || plan.short_label().starts_with('P'));
+}
