@@ -13,7 +13,9 @@
 use std::time::Instant;
 
 use arena::experiments::summary_table;
-use arena::experiments::{ablations, clustersim, generality, microbench, motivation, tables};
+use arena::experiments::{
+    ablations, clustersim, faults, generality, microbench, motivation, tables,
+};
 use arena_bench::write_json;
 
 const ALL: &[&str] = &[
@@ -37,6 +39,7 @@ const ALL: &[&str] = &[
     "ablate_mechanisms",
     "ablate_checkpoint",
     "ablate_zero",
+    "ablate_faults",
     "solver",
 ];
 
@@ -183,6 +186,11 @@ fn run(name: &str, quick: bool) {
             let rows = ablations::zero1_ablation();
             println!("{}", ablations::zero1_table(&rows).render());
             write_json("ablate_zero", &rows).expect("write");
+        }
+        "ablate_faults" => {
+            let rows = faults::fault_ablation(quick);
+            println!("{}", faults::fault_table(&rows).render());
+            write_json("ablate_faults", &rows).expect("write");
         }
         "solver" => {
             let rows = ablations::solver_extension();

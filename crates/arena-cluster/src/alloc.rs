@@ -63,6 +63,13 @@ impl Allocation {
         self.node_gpus.len()
     }
 
+    /// Whether the allocation holds any GPUs on `(pool, node)`; used by
+    /// fault handling to find the jobs a node failure takes down.
+    #[must_use]
+    pub fn uses_node(&self, pool: GpuTypeId, node: usize) -> bool {
+        self.pool == pool && self.node_gpus.iter().any(|&(n, _)| n == node)
+    }
+
     /// The mesh shape this allocation provides to the performance model.
     #[must_use]
     pub fn mesh(&self) -> MeshShape {

@@ -14,6 +14,13 @@ pub struct GpuTypeId(pub usize);
 pub enum ClusterError {
     /// The requested pool index does not exist.
     UnknownPool(GpuTypeId),
+    /// The requested node index does not exist in its pool.
+    UnknownNode {
+        /// Pool the node was looked up in.
+        pool: GpuTypeId,
+        /// Out-of-range node index.
+        node: usize,
+    },
     /// Not enough free GPUs of the requested type.
     Insufficient {
         /// Requested GPU count.
@@ -29,6 +36,9 @@ impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClusterError::UnknownPool(id) => write!(f, "unknown GPU pool {}", id.0),
+            ClusterError::UnknownNode { pool, node } => {
+                write!(f, "unknown node {node} in pool {}", pool.0)
+            }
             ClusterError::Insufficient { requested, free } => {
                 write!(f, "requested {requested} GPUs but only {free} free")
             }
@@ -39,12 +49,40 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Health of one server, as seen by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// In service: its idle GPUs are allocatable.
+    Healthy,
+    /// Crashed: nothing allocatable; running jobs must be evicted.
+    Failed,
+    /// Being decommissioned: nothing new allocatable, but existing
+    /// allocations keep running until released.
+    Draining,
+}
+
 /// One homogeneous pool: `num_nodes` identical servers of one [`NodeSpec`].
 #[derive(Debug, Clone, Serialize)]
 struct Pool {
     spec: NodeSpec,
-    /// Free GPUs on each node (length = number of nodes).
+    /// Allocatable GPUs on each node (0 on non-[`NodeHealth::Healthy`]
+    /// nodes; length = number of nodes).
     free: Vec<usize>,
+    /// GPUs currently granted to allocations on each node, regardless of
+    /// the node's health.
+    used: Vec<usize>,
+    /// Health of each node.
+    health: Vec<NodeHealth>,
+}
+
+impl Pool {
+    /// Restores `free[node]` to match health and usage after a change.
+    fn sync_free(&mut self, node: usize) {
+        self.free[node] = match self.health[node] {
+            NodeHealth::Healthy => self.spec.gpus_per_node - self.used[node],
+            NodeHealth::Failed | NodeHealth::Draining => 0,
+        };
+    }
 }
 
 /// Aggregate statistics for one pool, used by scheduler policies.
@@ -54,10 +92,14 @@ pub struct PoolStats {
     pub id: GpuTypeId,
     /// Node spec of the pool.
     pub spec: NodeSpec,
-    /// Total GPUs in the pool.
+    /// Total GPUs in the pool, including unavailable ones.
     pub total_gpus: usize,
-    /// Currently free GPUs in the pool.
+    /// Currently free (allocatable) GPUs in the pool.
     pub free_gpus: usize,
+    /// GPUs unavailable due to failed or draining nodes (capacity those
+    /// nodes cannot offer; GPUs still held by un-released allocations on
+    /// them count as allocated, not failed).
+    pub failed_gpus: usize,
 }
 
 /// A heterogeneous cluster: several pools of identical nodes.
@@ -80,6 +122,8 @@ impl Cluster {
                 .map(|&(spec, n)| Pool {
                     spec,
                     free: vec![spec.gpus_per_node; n],
+                    used: vec![0; n],
+                    health: vec![NodeHealth::Healthy; n],
                 })
                 .collect(),
         }
@@ -138,6 +182,101 @@ impl Cluster {
             .sum()
     }
 
+    /// Number of nodes in one pool (0 for an unknown pool).
+    #[must_use]
+    pub fn num_nodes(&self, id: GpuTypeId) -> usize {
+        self.pools.get(id.0).map_or(0, |p| p.free.len())
+    }
+
+    /// GPUs currently granted to allocations in one pool.
+    #[must_use]
+    pub fn used_gpus(&self, id: GpuTypeId) -> usize {
+        self.pools.get(id.0).map_or(0, |p| p.used.iter().sum())
+    }
+
+    /// Unavailable capacity in one pool: GPUs on failed or draining nodes
+    /// that are neither free nor held by an allocation.
+    #[must_use]
+    pub fn failed_gpus(&self, id: GpuTypeId) -> usize {
+        self.pools.get(id.0).map_or(0, |p| {
+            p.health
+                .iter()
+                .zip(&p.used)
+                .filter(|(h, _)| **h != NodeHealth::Healthy)
+                .map(|(_, &u)| p.spec.gpus_per_node - u)
+                .sum()
+        })
+    }
+
+    /// Health of one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] / [`ClusterError::UnknownNode`]
+    /// for out-of-range indices.
+    pub fn node_health(&self, id: GpuTypeId, node: usize) -> Result<NodeHealth, ClusterError> {
+        let pool = self.pools.get(id.0).ok_or(ClusterError::UnknownPool(id))?;
+        pool.health
+            .get(node)
+            .copied()
+            .ok_or(ClusterError::UnknownNode { pool: id, node })
+    }
+
+    fn set_health(
+        &mut self,
+        id: GpuTypeId,
+        node: usize,
+        health: NodeHealth,
+    ) -> Result<(), ClusterError> {
+        let pool = self
+            .pools
+            .get_mut(id.0)
+            .ok_or(ClusterError::UnknownPool(id))?;
+        if node >= pool.health.len() {
+            return Err(ClusterError::UnknownNode { pool: id, node });
+        }
+        pool.health[node] = health;
+        pool.sync_free(node);
+        Ok(())
+    }
+
+    /// Marks a node as crashed: its GPUs leave the free pool immediately.
+    ///
+    /// The cluster does not track which allocations touch the node; the
+    /// caller must find them (see [`Allocation::uses_node`]) and
+    /// [`Cluster::release`] them — their GPUs then count as failed
+    /// capacity rather than returning to the free pool. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] / [`ClusterError::UnknownNode`]
+    /// for out-of-range indices.
+    pub fn fail_node(&mut self, id: GpuTypeId, node: usize) -> Result<(), ClusterError> {
+        self.set_health(id, node, NodeHealth::Failed)
+    }
+
+    /// Returns a node to service: its capacity not held by un-released
+    /// allocations becomes free again. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] / [`ClusterError::UnknownNode`]
+    /// for out-of-range indices.
+    pub fn repair_node(&mut self, id: GpuTypeId, node: usize) -> Result<(), ClusterError> {
+        self.set_health(id, node, NodeHealth::Healthy)
+    }
+
+    /// Starts decommissioning a node: nothing new is placed on it, but
+    /// existing allocations keep running until released.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] / [`ClusterError::UnknownNode`]
+    /// for out-of-range indices.
+    pub fn drain_node(&mut self, id: GpuTypeId, node: usize) -> Result<(), ClusterError> {
+        self.set_health(id, node, NodeHealth::Draining)
+    }
+
     /// Statistics for every pool.
     #[must_use]
     pub fn pool_stats(&self) -> Vec<PoolStats> {
@@ -149,6 +288,7 @@ impl Cluster {
                 spec: p.spec,
                 total_gpus: p.free.len() * p.spec.gpus_per_node,
                 free_gpus: p.free.iter().sum(),
+                failed_gpus: self.failed_gpus(GpuTypeId(i)),
             })
             .collect()
     }
@@ -210,6 +350,7 @@ impl Cluster {
             .min_by_key(|&(_, &f)| f)
         {
             pool.free[node] -= remaining;
+            pool.used[node] += remaining;
             node_gpus.push((node, remaining));
             return Ok(Allocation {
                 pool: id,
@@ -226,6 +367,7 @@ impl Cluster {
             }
             let take = pool.free[node].min(remaining);
             pool.free[node] -= take;
+            pool.used[node] += take;
             node_gpus.push((node, take));
             remaining -= take;
         }
@@ -238,11 +380,15 @@ impl Cluster {
 
     /// Releases a previously granted allocation.
     ///
+    /// GPUs return to the free pool only on healthy nodes; on failed or
+    /// draining nodes they become unavailable capacity until the node is
+    /// repaired.
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::BadRelease`] if the allocation refers to an
-    /// unknown pool/node or would push a node above its capacity (double
-    /// free).
+    /// unknown pool/node or releases more GPUs than a node has granted
+    /// (double free).
     pub fn release(&mut self, alloc: &Allocation) -> Result<(), ClusterError> {
         let pool = self
             .pools
@@ -250,13 +396,14 @@ impl Cluster {
             .ok_or(ClusterError::BadRelease)?;
         // Validate before mutating so a failed release leaves books intact.
         for &(node, gpus) in &alloc.node_gpus {
-            let free = *pool.free.get(node).ok_or(ClusterError::BadRelease)?;
-            if free + gpus > pool.spec.gpus_per_node {
+            let used = *pool.used.get(node).ok_or(ClusterError::BadRelease)?;
+            if gpus > used {
                 return Err(ClusterError::BadRelease);
             }
         }
         for &(node, gpus) in &alloc.node_gpus {
-            pool.free[node] += gpus;
+            pool.used[node] -= gpus;
+            pool.sync_free(node);
         }
         Ok(())
     }
@@ -354,6 +501,116 @@ mod tests {
             c.allocate(GpuTypeId(9), 1),
             Err(ClusterError::UnknownPool(GpuTypeId(9)))
         );
+    }
+
+    #[test]
+    fn fail_node_removes_free_capacity() {
+        let mut c = small_cluster();
+        c.fail_node(GpuTypeId(0), 1).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 12);
+        assert_eq!(c.failed_gpus(GpuTypeId(0)), 4);
+        assert_eq!(c.node_health(GpuTypeId(0), 1), Ok(NodeHealth::Failed));
+        // Allocations avoid the failed node.
+        let a = c.allocate(GpuTypeId(0), 12).unwrap();
+        assert!(!a.uses_node(GpuTypeId(0), 1));
+        assert_eq!(
+            c.allocate(GpuTypeId(0), 1),
+            Err(ClusterError::Insufficient {
+                requested: 1,
+                free: 0
+            })
+        );
+    }
+
+    #[test]
+    fn release_on_failed_node_goes_to_failed_capacity() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 4).unwrap();
+        let node = a.node_gpus[0].0;
+        c.fail_node(GpuTypeId(0), node).unwrap();
+        // While the evicted job still holds the allocation, its GPUs count
+        // as allocated, not failed.
+        assert_eq!(c.failed_gpus(GpuTypeId(0)), 0);
+        c.release(&a).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 12);
+        assert_eq!(c.failed_gpus(GpuTypeId(0)), 4);
+        // Repair restores the full pool.
+        c.repair_node(GpuTypeId(0), node).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 16);
+        assert_eq!(c.failed_gpus(GpuTypeId(0)), 0);
+    }
+
+    #[test]
+    fn repair_respects_surviving_allocations() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 3).unwrap();
+        let node = a.node_gpus[0].0;
+        c.fail_node(GpuTypeId(0), node).unwrap();
+        // Repair before the allocation is released: only the node's idle
+        // GPU returns to the free pool.
+        c.repair_node(GpuTypeId(0), node).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 13);
+        c.release(&a).unwrap();
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 16);
+    }
+
+    #[test]
+    fn drain_blocks_new_allocations_but_keeps_running_jobs() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 2).unwrap();
+        let node = a.node_gpus[0].0;
+        c.drain_node(GpuTypeId(0), node).unwrap();
+        assert_eq!(c.node_health(GpuTypeId(0), node), Ok(NodeHealth::Draining));
+        assert_eq!(c.free_gpus(GpuTypeId(0)), 12);
+        let b = c.allocate(GpuTypeId(0), 4).unwrap();
+        assert!(!b.uses_node(GpuTypeId(0), node));
+        // The draining node's job releases into unavailable capacity.
+        c.release(&a).unwrap();
+        assert_eq!(c.failed_gpus(GpuTypeId(0)), 4);
+    }
+
+    #[test]
+    fn health_conservation_invariant() {
+        let mut c = small_cluster();
+        let a = c.allocate(GpuTypeId(0), 7).unwrap();
+        c.fail_node(GpuTypeId(0), 0).unwrap();
+        c.fail_node(GpuTypeId(0), 3).unwrap();
+        let id = GpuTypeId(0);
+        assert_eq!(
+            c.free_gpus(id) + c.used_gpus(id) + c.failed_gpus(id),
+            16,
+            "free + allocated + failed must equal capacity"
+        );
+        c.release(&a).unwrap();
+        c.repair_node(GpuTypeId(0), 0).unwrap();
+        assert_eq!(c.free_gpus(id) + c.used_gpus(id) + c.failed_gpus(id), 16);
+    }
+
+    #[test]
+    fn bad_node_indices_rejected() {
+        let mut c = small_cluster();
+        assert_eq!(
+            c.fail_node(GpuTypeId(0), 99),
+            Err(ClusterError::UnknownNode {
+                pool: GpuTypeId(0),
+                node: 99
+            })
+        );
+        assert_eq!(
+            c.fail_node(GpuTypeId(9), 0),
+            Err(ClusterError::UnknownPool(GpuTypeId(9)))
+        );
+    }
+
+    #[test]
+    fn pool_stats_report_failed_capacity() {
+        let mut c = small_cluster();
+        c.fail_node(GpuTypeId(1), 0).unwrap();
+        let stats = c.pool_stats();
+        assert_eq!(stats[1].total_gpus, 16);
+        assert_eq!(stats[1].free_gpus, 14);
+        assert_eq!(stats[1].failed_gpus, 2);
+        assert_eq!(stats[0].failed_gpus, 0);
     }
 
     #[test]

@@ -125,6 +125,14 @@ impl ArenaPolicy {
     }
 
     /// All estimated candidates for a job, best score first.
+    ///
+    /// When part of the cluster is down, placement becomes
+    /// failure-aware: a candidate's score is discounted by its pool's
+    /// failed-capacity fraction (a degraded pool both has less headroom
+    /// for the job's later upscales and signals correlated-failure risk),
+    /// and exact ties prefer the pool with more spare healthy capacity.
+    /// With zero failed capacity the ranking is exactly the fault-free
+    /// one, so fault-free schedules are unchanged.
     fn candidates(&self, view: &SchedView<'_>, job: &JobView) -> Vec<Candidate> {
         let ideal = view.service.ideal_sps(&job.spec);
         let mut out = Vec::new();
@@ -140,7 +148,27 @@ impl ArenaPolicy {
                 }
             }
         }
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let degraded = view.pools.iter().any(|p| p.failed_gpus > 0);
+        if degraded {
+            let pool_stat = |id: GpuTypeId| view.pools.iter().find(|p| p.id == id);
+            let adjusted = |c: &Candidate| {
+                let frac = pool_stat(c.pool).map_or(0.0, |p| {
+                    p.failed_gpus as f64 / (p.total_gpus as f64).max(1.0)
+                });
+                c.score * (1.0 - FAILED_POOL_PENALTY * frac)
+            };
+            out.sort_by(|a, b| {
+                adjusted(b)
+                    .partial_cmp(&adjusted(a))
+                    .unwrap()
+                    .then_with(|| {
+                        let spare = |c: &Candidate| pool_stat(c.pool).map_or(0, |p| p.free_gpus);
+                        spare(b).cmp(&spare(a))
+                    })
+            });
+        } else {
+            out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        }
         out
     }
 
@@ -177,6 +205,10 @@ const MIN_REMAINING_FOR_MOVE_S: f64 = 900.0;
 /// the victim's restart dead time; deep move chains must buy real
 /// throughput to fire.
 const MOVE_PENALTY: f64 = 0.15;
+
+/// Score discount per unit failed-capacity fraction of a pool; only
+/// active while some capacity is actually down.
+const FAILED_POOL_PENALTY: f64 = 0.25;
 
 /// Mutable virtual cluster state during one scheduling pass.
 #[derive(Clone)]
@@ -761,6 +793,35 @@ mod tests {
             "short job not placed first: {actions:?}"
         );
         assert!(!placed.contains(&1));
+    }
+
+    #[test]
+    fn failure_aware_placement_prefers_healthy_pool() {
+        // Two *identical* pools: every candidate scores the same in both,
+        // so the failure-aware ranking must decide.
+        let spec = arena_cluster::NodeSpec::with_default_links(arena_cluster::GpuSpec::A40, 4);
+        let cluster = arena_cluster::Cluster::new(&[(spec, 8), (spec, 8)]);
+        let service = PlanService::new(&cluster, CostParams::default(), 3);
+        let mut pools = cluster.pool_stats();
+        // Pool 0 lost half its nodes; pool 1 is intact.
+        pools[0].free_gpus = 16;
+        pools[0].failed_gpus = 16;
+        let queued = vec![job(1, 1.3, 8, 0)];
+        let view = SchedView {
+            now_s: 0.0,
+            queued: &queued,
+            running: &[],
+            pools: &pools,
+            service: &service,
+        };
+        let mut policy = ArenaPolicy::new();
+        let actions = policy.schedule(SchedEvent::Round, &view);
+        match actions.as_slice() {
+            [Action::Place { job: 1, pool, .. }] => {
+                assert_eq!(pool.0, 1, "placed into the degraded pool: {actions:?}");
+            }
+            other => panic!("unexpected actions {other:?}"),
+        }
     }
 
     #[test]

@@ -81,6 +81,21 @@ pub enum SchedEvent {
     Departure(u64),
     /// The periodic scheduling round (every 5 minutes, §7).
     Round,
+    /// A node crashed; its jobs are already back in the queue with
+    /// progress rolled back to their last checkpoint.
+    NodeFailure {
+        /// Pool of the failed node.
+        pool: GpuTypeId,
+        /// Node index within the pool.
+        node: usize,
+    },
+    /// A node returned to service; its capacity is free again.
+    NodeRepair {
+        /// Pool of the repaired node.
+        pool: GpuTypeId,
+        /// Node index within the pool.
+        node: usize,
+    },
 }
 
 /// A scheduling decision. The simulator executes evictions/drops before

@@ -1,11 +1,11 @@
 //! The event loop: arrivals, rounds, restarts, completions.
 
-use arena_cluster::{Allocation, Cluster};
+use arena_cluster::{Allocation, Cluster, GpuTypeId};
 use arena_sched::PlanService;
 use arena_sched::{Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView};
-use arena_trace::JobSpec;
+use arena_trace::{FaultEvent, FaultKind, JobSpec};
 
-use crate::metrics::{aggregate, JobRecord, Metrics};
+use crate::metrics::{aggregate, FaultLog, JobRecord, Metrics};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -19,6 +19,11 @@ pub struct SimConfig {
     /// restarting a job additionally costs `2 x checkpoint / bandwidth`,
     /// so shuffling big models is proportionally more expensive.
     pub checkpoint_bw_bps: f64,
+    /// Periodic checkpoint interval while running, seconds. A node
+    /// failure rolls the victim's progress back to its last checkpoint,
+    /// so shorter intervals lose less work (but real systems pay more
+    /// checkpoint stalls; that trade-off is not modelled here).
+    pub checkpoint_interval_s: f64,
     /// Hard stop; jobs still queued/running are recorded as unfinished.
     pub horizon_s: f64,
 }
@@ -31,6 +36,7 @@ impl SimConfig {
             round_interval_s: 300.0,
             restart_overhead_s: 30.0,
             checkpoint_bw_bps: 2.0e9,
+            checkpoint_interval_s: 600.0,
             horizon_s,
         }
     }
@@ -75,6 +81,12 @@ struct SJob {
     finish_s: Option<f64>,
     restarts: u32,
     profiled: bool,
+    /// Wall-clock spent running since the last checkpoint; on a node
+    /// failure this much progress is lost.
+    since_ckpt_s: f64,
+    /// Set when a failure evicts the job; cleared (and recorded) when it
+    /// runs again.
+    recovering_since: Option<f64>,
 }
 
 impl SJob {
@@ -129,9 +141,41 @@ pub fn simulate(
     service: &PlanService,
     cfg: &SimConfig,
 ) -> SimResult {
+    simulate_with_faults(cluster, jobs, policy, service, cfg, &[])
+}
+
+/// Like [`simulate`], but injects a node-failure schedule (see
+/// [`arena_trace::generate_faults`]).
+///
+/// A `Failure` event marks the node failed in the cluster books, evicts
+/// every job whose allocation touches it, rolls each victim's progress
+/// back to its last checkpoint (`checkpoint_interval_s`), requeues the
+/// victims and notifies the policy with [`SchedEvent::NodeFailure`]; a
+/// `Repair` restores the node's capacity and fires
+/// [`SchedEvent::NodeRepair`]. Passing an empty schedule is exactly
+/// [`simulate`]: the zero-fault path is byte-for-byte identical.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`], if `faults` is not
+/// sorted by time, or if a fault event names a node the cluster does not
+/// have.
+#[must_use]
+pub fn simulate_with_faults(
+    cluster: &Cluster,
+    jobs: &[JobSpec],
+    policy: &mut dyn Policy,
+    service: &PlanService,
+    cfg: &SimConfig,
+    faults: &[FaultEvent],
+) -> SimResult {
     assert!(
         jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s),
         "trace must be sorted by submission time"
+    );
+    assert!(
+        faults.windows(2).all(|w| w[0].time_s <= w[1].time_s),
+        "fault schedule must be sorted by time"
     );
     let mut cluster = cluster.clone();
     let mut sjobs: Vec<SJob> = Vec::with_capacity(jobs.len());
@@ -142,6 +186,8 @@ pub fn simulate(
         std::collections::HashSet::new();
     let mut t = 0.0_f64;
     let mut arrival_idx = 0;
+    let mut fault_idx = 0;
+    let mut flog = FaultLog::default();
     let mut next_round = cfg.round_interval_s;
     let mut timeline: Vec<(f64, f64)> = Vec::new();
     let mut raw_timeline: Vec<(f64, f64)> = Vec::new();
@@ -150,6 +196,7 @@ pub fn simulate(
     loop {
         // Next event candidates.
         let next_arrival = jobs.get(arrival_idx).map(|j| j.submit_s);
+        let next_fault = faults.get(fault_idx).map_or(f64::INFINITY, |f| f.time_s);
         let next_job_event = sjobs
             .iter()
             .filter_map(|j| match j.state {
@@ -160,6 +207,7 @@ pub fn simulate(
             .fold(f64::INFINITY, f64::min);
         let te = [
             next_arrival.unwrap_or(f64::INFINITY),
+            next_fault,
             next_round,
             next_job_event,
             cfg.horizon_s,
@@ -176,6 +224,11 @@ pub fn simulate(
         for j in &mut sjobs {
             if j.state == JState::Running && j.iter_time > 0.0 {
                 j.remaining = (j.remaining - dt / j.iter_time).max(0.0);
+                flog.samples_processed += dt * j.sps;
+                j.since_ckpt_s += dt;
+                if cfg.checkpoint_interval_s > 0.0 && cfg.checkpoint_interval_s.is_finite() {
+                    j.since_ckpt_s %= cfg.checkpoint_interval_s;
+                }
             }
         }
         t = te;
@@ -189,6 +242,10 @@ pub fn simulate(
                 if r <= t + EPS {
                     j.state = JState::Running;
                     j.start_s.get_or_insert(t);
+                    j.since_ckpt_s = 0.0;
+                    if let Some(since) = j.recovering_since.take() {
+                        flog.recovery_times_s.push(t - since);
+                    }
                 }
             }
         }
@@ -204,6 +261,73 @@ pub fn simulate(
                 }
                 event = Some(SchedEvent::Departure(j.spec.id));
             }
+        }
+
+        // 2b. Fault events due now. Each gets its own scheduling pass so
+        // the policy can react to every transition individually.
+        while fault_idx < faults.len() && faults[fault_idx].time_s <= t + EPS {
+            let fault = &faults[fault_idx];
+            fault_idx += 1;
+            let pool = GpuTypeId(fault.pool);
+            let ev = match fault.kind {
+                FaultKind::Failure => {
+                    cluster
+                        .fail_node(pool, fault.node)
+                        .expect("fault schedule names a node the cluster has");
+                    for j in &mut sjobs {
+                        let hit = j.active()
+                            && j.alloc
+                                .as_ref()
+                                .is_some_and(|a| a.uses_node(pool, fault.node));
+                        if !hit {
+                            continue;
+                        }
+                        let alloc = j.alloc.take().expect("active job holds an allocation");
+                        cluster.release(&alloc).expect("release crashed job");
+                        // A running victim loses everything since its
+                        // last checkpoint; a starting one had nothing to
+                        // lose (its checkpoint was saved at placement).
+                        if j.state == JState::Running && j.iter_time > 0.0 {
+                            let lost_iters = (j.since_ckpt_s / j.iter_time)
+                                .min(j.spec.iterations as f64 - j.remaining);
+                            j.remaining += lost_iters;
+                            flog.samples_lost += lost_iters * j.iter_time * j.sps;
+                        }
+                        j.state = JState::Queued;
+                        j.restarts += 1;
+                        j.opportunistic = false;
+                        j.since_ckpt_s = 0.0;
+                        // Keep the earliest failure time if the job is
+                        // knocked over again while restarting.
+                        j.recovering_since.get_or_insert(t);
+                        flog.failure_evictions += 1;
+                    }
+                    SchedEvent::NodeFailure {
+                        pool,
+                        node: fault.node,
+                    }
+                }
+                FaultKind::Repair => {
+                    cluster
+                        .repair_node(pool, fault.node)
+                        .expect("fault schedule names a node the cluster has");
+                    SchedEvent::NodeRepair {
+                        pool,
+                        node: fault.node,
+                    }
+                }
+            };
+            dispatch(
+                ev,
+                &mut sjobs,
+                &mut cluster,
+                service,
+                policy,
+                cfg,
+                t,
+                &mut acquired,
+                &mut decisions,
+            );
         }
 
         // 3. Arrivals due now.
@@ -226,6 +350,8 @@ pub fn simulate(
                 finish_s: None,
                 restarts: 0,
                 profiled: false,
+                since_ckpt_s: 0.0,
+                recovering_since: None,
             });
             event = Some(SchedEvent::Arrival(id));
         }
@@ -238,29 +364,8 @@ pub fn simulate(
 
         // 5. Let the policy react.
         if let Some(ev) = event {
-            let actions = {
-                let queued: Vec<JobView> = sjobs
-                    .iter()
-                    .filter(|j| j.state == JState::Queued)
-                    .map(job_view)
-                    .collect();
-                let running: Vec<JobView> =
-                    sjobs.iter().filter(|j| j.active()).map(job_view).collect();
-                let pools = cluster.pool_stats();
-                let view = SchedView {
-                    now_s: t,
-                    queued: &queued,
-                    running: &running,
-                    pools: &pools,
-                    service,
-                };
-                let started = std::time::Instant::now();
-                let actions = policy.schedule(ev, &view);
-                decisions.push(started.elapsed().as_secs_f64());
-                actions
-            };
-            execute(
-                &actions,
+            dispatch(
+                ev,
                 &mut sjobs,
                 &mut cluster,
                 service,
@@ -268,6 +373,7 @@ pub fn simulate(
                 cfg,
                 t,
                 &mut acquired,
+                &mut decisions,
             );
         }
 
@@ -289,6 +395,14 @@ pub fn simulate(
         }
     }
 
+    // Conformance: a finished or dropped job must not hold GPUs.
+    for j in &sjobs {
+        if matches!(j.state, JState::Finished | JState::Dropped) {
+            assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
+        }
+    }
+    flog.elapsed_s = t.min(cfg.horizon_s);
+
     let records: Vec<JobRecord> = sjobs
         .iter()
         .map(|j| JobRecord {
@@ -305,7 +419,7 @@ pub fn simulate(
                 .map(|d| j.finish_s.is_some_and(|f| f <= d)),
         })
         .collect();
-    let metrics = aggregate(&records, &timeline, &raw_timeline, &decisions);
+    let metrics = aggregate(&records, &timeline, &raw_timeline, &decisions, &flog);
     SimResult {
         policy: policy.name().to_string(),
         records,
@@ -313,6 +427,42 @@ pub fn simulate(
         raw_timeline,
         metrics,
     }
+}
+
+/// Builds the policy's view, asks it for actions, and executes them.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    ev: SchedEvent,
+    sjobs: &mut [SJob],
+    cluster: &mut Cluster,
+    service: &PlanService,
+    policy: &mut dyn Policy,
+    cfg: &SimConfig,
+    t: f64,
+    acquired: &mut std::collections::HashSet<(String, usize, usize, usize)>,
+    decisions: &mut Vec<f64>,
+) {
+    let actions = {
+        let queued: Vec<JobView> = sjobs
+            .iter()
+            .filter(|j| j.state == JState::Queued)
+            .map(job_view)
+            .collect();
+        let running: Vec<JobView> = sjobs.iter().filter(|j| j.active()).map(job_view).collect();
+        let pools = cluster.pool_stats();
+        let view = SchedView {
+            now_s: t,
+            queued: &queued,
+            running: &running,
+            pools: &pools,
+            service,
+        };
+        let started = std::time::Instant::now();
+        let actions = policy.schedule(ev, &view);
+        decisions.push(started.elapsed().as_secs_f64());
+        actions
+    };
+    execute(&actions, sjobs, cluster, service, policy, cfg, t, acquired);
 }
 
 fn job_view(j: &SJob) -> JobView {
@@ -573,6 +723,157 @@ mod tests {
             "slow {} <= fast {}",
             slow.metrics.avg_jct_s,
             fast.metrics.avg_jct_s
+        );
+    }
+
+    /// Fails `nodes` nodes of pool 0 at `fail_t`, repairs them at
+    /// `repair_t`.
+    fn pool0_outage(fail_t: f64, repair_t: f64, nodes: usize) -> Vec<FaultEvent> {
+        let mut evs: Vec<FaultEvent> = (0..nodes)
+            .map(|n| FaultEvent {
+                time_s: fail_t,
+                pool: 0,
+                node: n,
+                kind: FaultKind::Failure,
+            })
+            .collect();
+        evs.extend((0..nodes).map(|n| FaultEvent {
+            time_s: repair_t,
+            pool: 0,
+            node: n,
+            kind: FaultKind::Repair,
+        }));
+        evs
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_simulate() {
+        let a = run(&mut FcfsPolicy::new());
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let jobs = tiny_trace();
+        let b = simulate_with_faults(
+            &cluster,
+            &jobs,
+            &mut FcfsPolicy::new(),
+            &service,
+            &SimConfig::new(48.0 * 3600.0),
+            &[],
+        );
+        assert_eq!(a.metrics.avg_jct_s, b.metrics.avg_jct_s);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(b.metrics.failure_evictions, 0);
+        assert_eq!(b.metrics.work_lost_frac, 0.0);
+        assert_eq!(b.metrics.mean_recovery_s, 0.0);
+        assert!(b.metrics.goodput_sps > 0.0);
+    }
+
+    #[test]
+    fn node_failures_evict_roll_back_and_recover() {
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let jobs = tiny_trace();
+        let mut cfg = SimConfig::new(48.0 * 3600.0);
+        // No checkpoints: a crash loses everything since the run began.
+        cfg.checkpoint_interval_s = f64::INFINITY;
+        let faults = pool0_outage(1000.0, 5000.0, 16);
+        let r = simulate_with_faults(
+            &cluster,
+            &jobs,
+            &mut FcfsPolicy::new(),
+            &service,
+            &cfg,
+            &faults,
+        );
+        assert!(
+            r.metrics.failure_evictions > 0,
+            "outage hit nobody: {:#?}",
+            r.records
+        );
+        assert!(r.metrics.work_lost_frac > 0.0);
+        assert!(r.metrics.mean_recovery_s > 0.0);
+        assert_eq!(r.metrics.finished, 4, "records: {:#?}", r.records);
+        // Goodput excludes the re-done work, so it sits strictly below
+        // the zero-fault run's.
+        let baseline = run(&mut FcfsPolicy::new());
+        assert!(r.metrics.goodput_sps > 0.0);
+        assert!(r.metrics.avg_jct_s > baseline.metrics.avg_jct_s);
+    }
+
+    #[test]
+    fn shorter_checkpoint_interval_loses_less_work() {
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let jobs = tiny_trace();
+        let faults = pool0_outage(1000.0, 5000.0, 16);
+        let run_with = |interval: f64| {
+            let mut cfg = SimConfig::new(48.0 * 3600.0);
+            cfg.checkpoint_interval_s = interval;
+            simulate_with_faults(
+                &cluster,
+                &jobs,
+                &mut FcfsPolicy::new(),
+                &service,
+                &cfg,
+                &faults,
+            )
+        };
+        let short = run_with(300.0);
+        let never = run_with(f64::INFINITY);
+        assert!(never.metrics.work_lost_frac > 0.0);
+        assert!(
+            short.metrics.work_lost_frac < never.metrics.work_lost_frac,
+            "short {} vs never {}",
+            short.metrics.work_lost_frac,
+            never.metrics.work_lost_frac
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let cluster = presets::physical_testbed();
+        let faults = arena_trace::generate_faults(
+            &arena_trace::FaultConfig::with_mtbf(20_000.0),
+            &[16, 16],
+            48.0 * 3600.0,
+        );
+        assert!(!faults.is_empty());
+        let go = || {
+            let service = PlanService::new(&cluster, CostParams::default(), 11);
+            simulate_with_faults(
+                &cluster,
+                &tiny_trace(),
+                &mut GavelPolicy::new(),
+                &service,
+                &SimConfig::new(48.0 * 3600.0),
+                &faults,
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.metrics.avg_jct_s, b.metrics.avg_jct_s);
+        assert_eq!(a.metrics.failure_evictions, b.metrics.failure_evictions);
+        assert_eq!(a.metrics.goodput_sps, b.metrics.goodput_sps);
+        assert_eq!(a.timeline, b.timeline);
+        let ra: Vec<u32> = a.records.iter().map(|r| r.restarts).collect();
+        let rb: Vec<u32> = b.records.iter().map(|r| r.restarts).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_fault_schedule_rejected() {
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let mut faults = pool0_outage(1000.0, 5000.0, 2);
+        faults.reverse();
+        let _ = simulate_with_faults(
+            &cluster,
+            &tiny_trace(),
+            &mut FcfsPolicy::new(),
+            &service,
+            &SimConfig::new(1000.0),
+            &faults,
         );
     }
 

@@ -21,5 +21,5 @@
 pub mod engine;
 pub mod metrics;
 
-pub use engine::{simulate, SimConfig, SimResult};
-pub use metrics::{JobRecord, Metrics};
+pub use engine::{simulate, simulate_with_faults, SimConfig, SimResult};
+pub use metrics::{FaultLog, JobRecord, Metrics};

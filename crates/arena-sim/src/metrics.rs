@@ -37,6 +37,24 @@ impl JobRecord {
     }
 }
 
+/// Raw fault-recovery counters the engine accumulates during a run and
+/// hands to [`aggregate`]. A zero-fault run leaves everything except
+/// `samples_processed` and `elapsed_s` at zero.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    /// Samples the cluster processed, including work later lost.
+    pub samples_processed: f64,
+    /// Samples re-done because a failure rolled progress back to the
+    /// last checkpoint.
+    pub samples_lost: f64,
+    /// Jobs evicted by node failures (counted per eviction).
+    pub failure_evictions: usize,
+    /// Per-eviction wall-clock from failure to the job running again.
+    pub recovery_times_s: Vec<f64>,
+    /// Wall-clock span of the run, seconds.
+    pub elapsed_s: f64,
+}
+
 /// Aggregated metrics of one simulation run.
 #[derive(Debug, Clone, Serialize)]
 pub struct Metrics {
@@ -68,6 +86,16 @@ pub struct Metrics {
     pub deadline_satisfaction: f64,
     /// Mean wall-clock (this process) per scheduling decision, seconds.
     pub avg_decision_s: f64,
+    /// Useful samples per second: processed minus failure-lost work over
+    /// the run's wall-clock. Equals raw throughput when nothing fails.
+    pub goodput_sps: f64,
+    /// Fraction of processed samples re-done after failure rollbacks.
+    pub work_lost_frac: f64,
+    /// Jobs evicted by node failures (per-eviction count).
+    pub failure_evictions: usize,
+    /// Mean failure-to-running-again wall-clock, seconds (0 with no
+    /// failures).
+    pub mean_recovery_s: f64,
 }
 
 /// Aggregates job records and a throughput timeline into [`Metrics`].
@@ -77,6 +105,7 @@ pub fn aggregate(
     timeline: &[(f64, f64)],
     raw_timeline: &[(f64, f64)],
     decision_times: &[f64],
+    faults: &FaultLog,
 ) -> Metrics {
     let mut jcts: Vec<f64> = records.iter().filter_map(JobRecord::jct_s).collect();
     jcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -135,6 +164,18 @@ pub fn aggregate(
             1.0
         },
         avg_decision_s: mean(decision_times),
+        goodput_sps: if faults.elapsed_s > 0.0 {
+            (faults.samples_processed - faults.samples_lost).max(0.0) / faults.elapsed_s
+        } else {
+            0.0
+        },
+        work_lost_frac: if faults.samples_processed > 0.0 {
+            faults.samples_lost / faults.samples_processed
+        } else {
+            0.0
+        },
+        failure_evictions: faults.failure_evictions,
+        mean_recovery_s: mean(&faults.recovery_times_s),
     }
 }
 
@@ -183,7 +224,13 @@ mod tests {
             },
         ];
         let timeline = vec![(0.0, 2.0), (50.0, 4.0), (100.0, 0.0)];
-        let m = aggregate(&records, &timeline, &timeline, &[0.1, 0.3]);
+        let m = aggregate(
+            &records,
+            &timeline,
+            &timeline,
+            &[0.1, 0.3],
+            &FaultLog::default(),
+        );
         assert_eq!(m.finished, 2);
         assert_eq!(m.dropped, 1);
         assert_eq!(m.unfinished, 1);
@@ -201,10 +248,46 @@ mod tests {
         a.deadline_met = Some(true);
         let mut b = rec(2, 0.0, Some(1.0), Some(10.0));
         b.deadline_met = Some(false);
-        let m = aggregate(&[a, b], &[], &[], &[]);
+        let m = aggregate(&[a, b], &[], &[], &[], &FaultLog::default());
         assert_eq!(m.deadline_satisfaction, 0.5);
         // No deadline jobs: vacuously satisfied.
-        let m2 = aggregate(&[rec(1, 0.0, None, None)], &[], &[], &[]);
+        let m2 = aggregate(
+            &[rec(1, 0.0, None, None)],
+            &[],
+            &[],
+            &[],
+            &FaultLog::default(),
+        );
         assert_eq!(m2.deadline_satisfaction, 1.0);
+    }
+
+    #[test]
+    fn goodput_and_work_lost() {
+        let faults = FaultLog {
+            samples_processed: 1000.0,
+            samples_lost: 250.0,
+            failure_evictions: 3,
+            recovery_times_s: vec![10.0, 30.0],
+            elapsed_s: 100.0,
+        };
+        let m = aggregate(&[], &[], &[], &[], &faults);
+        assert!((m.goodput_sps - 7.5).abs() < 1e-12);
+        assert!((m.work_lost_frac - 0.25).abs() < 1e-12);
+        assert_eq!(m.failure_evictions, 3);
+        assert!((m.mean_recovery_s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fault_log_is_clean() {
+        let faults = FaultLog {
+            samples_processed: 500.0,
+            elapsed_s: 50.0,
+            ..FaultLog::default()
+        };
+        let m = aggregate(&[], &[], &[], &[], &faults);
+        assert!((m.goodput_sps - 10.0).abs() < 1e-12);
+        assert_eq!(m.work_lost_frac, 0.0);
+        assert_eq!(m.failure_evictions, 0);
+        assert_eq!(m.mean_recovery_s, 0.0);
     }
 }

@@ -1,0 +1,263 @@
+//! Seeded node-failure traces.
+//!
+//! Production GPU clusters lose servers continuously — hardware faults,
+//! ECC storms, NIC flaps — and large-model training amplifies every loss
+//! because a job spans many nodes. This module generates deterministic
+//! failure/repair schedules the cluster simulator injects alongside a job
+//! trace: per-node exponential failures parameterised by an MTBF,
+//! log-normal repair delays, and (optionally) correlated rack failures
+//! that take down a contiguous group of nodes at once.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::rng::{exponential, lognormal};
+
+/// What happens to a node at a fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// The node crashes; jobs on it are evicted.
+    Failure,
+    /// The node returns to service.
+    Repair,
+}
+
+/// One scheduled health transition of one node.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultEvent {
+    /// Simulation time of the transition, seconds.
+    pub time_s: f64,
+    /// Pool (GPU type) index of the node.
+    pub pool: usize,
+    /// Node index within the pool.
+    pub node: usize,
+    /// Transition kind.
+    pub kind: FaultKind,
+}
+
+/// Configuration of a synthetic fault trace.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Mean time between failures of a single node, seconds. `None`
+    /// disables failures entirely (the zero-fault baseline).
+    pub mtbf_s: Option<f64>,
+    /// Median node repair time, seconds.
+    pub repair_median_s: f64,
+    /// Log-space sigma of the repair-time distribution.
+    pub repair_sigma: f64,
+    /// Probability that a failure is a rack-level event taking down the
+    /// node's whole rack (`rack_size` adjacent nodes) at once.
+    pub correlated_rack_prob: f64,
+    /// Nodes per rack for correlated failures.
+    pub rack_size: usize,
+    /// RNG seed; the same config always yields the same fault trace.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A config with a given per-node MTBF and defaults for the rest:
+    /// half-hour median repairs, no correlated rack failures.
+    #[must_use]
+    pub fn with_mtbf(mtbf_s: f64) -> Self {
+        FaultConfig {
+            mtbf_s: Some(mtbf_s),
+            repair_median_s: 1800.0,
+            repair_sigma: 0.5,
+            correlated_rack_prob: 0.0,
+            rack_size: 4,
+            seed: 0xFA17,
+        }
+    }
+
+    /// The zero-fault baseline: no failures are ever generated.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            mtbf_s: None,
+            repair_median_s: 1800.0,
+            repair_sigma: 0.5,
+            correlated_rack_prob: 0.0,
+            rack_size: 4,
+            seed: 0xFA17,
+        }
+    }
+}
+
+/// Generates a seeded fault schedule for a cluster described by the node
+/// count of each pool, covering `[0, horizon_s)`.
+///
+/// Every generated `Failure` is paired with a later `Repair` of the same
+/// node (repairs may land past the horizon so that no node stays dead
+/// forever), events are sorted by time, and a node that is already down
+/// draws no new failures until it is repaired.
+///
+/// # Panics
+///
+/// Panics if `mtbf_s` or the repair distribution is non-positive.
+#[must_use]
+pub fn generate_faults(cfg: &FaultConfig, pool_nodes: &[usize], horizon_s: f64) -> Vec<FaultEvent> {
+    let Some(mtbf) = cfg.mtbf_s else {
+        return Vec::new();
+    };
+    assert!(mtbf > 0.0, "MTBF must be positive");
+    assert!(cfg.repair_median_s > 0.0, "repair median must be positive");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut events = Vec::new();
+
+    for (pool, &nodes) in pool_nodes.iter().enumerate() {
+        for node in 0..nodes {
+            // Walk this node's alternating failure/repair timeline. Using
+            // an independent per-node renewal process keeps the schedule
+            // stable when other pools change size.
+            let mut t = 0.0_f64;
+            loop {
+                t += exponential(&mut rng, 1.0 / mtbf);
+                if t >= horizon_s {
+                    break;
+                }
+                let down_for = lognormal(&mut rng, cfg.repair_median_s, cfg.repair_sigma);
+                let rack_wide = cfg.correlated_rack_prob > 0.0
+                    && rng.random::<f64>() < cfg.correlated_rack_prob;
+                let victims: Vec<usize> = if rack_wide {
+                    let rack = node / cfg.rack_size.max(1);
+                    let start = rack * cfg.rack_size.max(1);
+                    (start..(start + cfg.rack_size.max(1)).min(nodes)).collect()
+                } else {
+                    vec![node]
+                };
+                for victim in victims {
+                    events.push(FaultEvent {
+                        time_s: t,
+                        pool,
+                        node: victim,
+                        kind: FaultKind::Failure,
+                    });
+                    events.push(FaultEvent {
+                        time_s: t + down_for,
+                        pool,
+                        node: victim,
+                        kind: FaultKind::Repair,
+                    });
+                }
+                t += down_for;
+            }
+        }
+    }
+
+    // Deterministic order: time, then pool/node, with repairs after
+    // failures at equal timestamps.
+    events.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .unwrap()
+            .then(a.pool.cmp(&b.pool))
+            .then(a.node.cmp(&b.node))
+            .then((a.kind == FaultKind::Repair).cmp(&(b.kind == FaultKind::Repair)))
+    });
+
+    // A rack-wide failure can overlap a victim node's own schedule; drop
+    // transitions that repeat the node's current state so the simulator
+    // sees a clean alternating sequence per node.
+    let mut down: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    events.retain(|e| match e.kind {
+        FaultKind::Failure => down.insert((e.pool, e.node)),
+        FaultKind::Repair => down.remove(&(e.pool, e.node)),
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_mtbf_means_no_faults() {
+        assert!(generate_faults(&FaultConfig::none(), &[8, 8], 1e6).is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let cfg = FaultConfig::with_mtbf(20_000.0);
+        let a = generate_faults(&cfg, &[16, 8], 86_400.0);
+        let b = generate_faults(&cfg, &[16, 8], 86_400.0);
+        assert_eq!(a, b);
+        assert!(
+            !a.is_empty(),
+            "a day at 20k-s MTBF over 24 nodes must fault"
+        );
+        assert!(a.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+    }
+
+    #[test]
+    fn failures_alternate_with_repairs_per_node() {
+        let cfg = FaultConfig::with_mtbf(10_000.0);
+        let events = generate_faults(&cfg, &[8], 86_400.0 * 3.0);
+        let mut down = std::collections::HashSet::new();
+        let mut failures = 0;
+        for e in &events {
+            match e.kind {
+                FaultKind::Failure => {
+                    assert!(down.insert((e.pool, e.node)), "double failure at {e:?}");
+                    failures += 1;
+                }
+                FaultKind::Repair => {
+                    assert!(down.remove(&(e.pool, e.node)), "repair of healthy {e:?}");
+                }
+            }
+        }
+        assert!(failures > 0);
+        // Every failure has a matching repair (possibly past the horizon).
+        assert!(down.is_empty());
+    }
+
+    #[test]
+    fn lower_mtbf_means_more_failures() {
+        let count = |mtbf: f64| {
+            generate_faults(&FaultConfig::with_mtbf(mtbf), &[16], 86_400.0 * 7.0)
+                .iter()
+                .filter(|e| e.kind == FaultKind::Failure)
+                .count()
+        };
+        assert!(count(5_000.0) > count(50_000.0));
+    }
+
+    #[test]
+    fn correlated_failures_hit_whole_racks() {
+        let mut cfg = FaultConfig::with_mtbf(30_000.0);
+        cfg.correlated_rack_prob = 1.0;
+        cfg.rack_size = 4;
+        let events = generate_faults(&cfg, &[8], 86_400.0);
+        // With every failure rack-wide, failures arrive in groups whose
+        // node indices cover a full rack.
+        let failures: Vec<&FaultEvent> = events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Failure)
+            .collect();
+        assert!(!failures.is_empty());
+        for f in &failures {
+            let rack_start = (f.node / 4) * 4;
+            let t = f.time_s;
+            let group: Vec<usize> = failures
+                .iter()
+                .filter(|g| (g.time_s - t).abs() < 1e-9)
+                .map(|g| g.node)
+                .collect();
+            // The co-failing group is contained in one rack.
+            assert!(group
+                .iter()
+                .all(|&n| n / 4 == rack_start / 4 || n == f.node));
+        }
+    }
+
+    #[test]
+    fn faults_respect_pool_sizes() {
+        let cfg = FaultConfig::with_mtbf(5_000.0);
+        let events = generate_faults(&cfg, &[4, 2], 86_400.0 * 7.0);
+        assert!(events.iter().all(|e| match e.pool {
+            0 => e.node < 4,
+            1 => e.node < 2,
+            _ => false,
+        }));
+    }
+}

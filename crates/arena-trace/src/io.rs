@@ -45,7 +45,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_trace() {
-        let cfg = TraceConfig::new(TraceKind::PaiLow, 3600.0, 16, vec![24.0]);
+        let cfg = TraceConfig::new(TraceKind::PaiLow, 6.0 * 3600.0, 64, vec![24.0]);
         let jobs = generate(&cfg);
         let path = tmp("roundtrip");
         save_json(&path, &jobs).unwrap();
@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn unsorted_trace_rejected_on_load() {
-        let cfg = TraceConfig::new(TraceKind::PaiLow, 3600.0, 16, vec![24.0]);
+        let cfg = TraceConfig::new(TraceKind::PaiLow, 6.0 * 3600.0, 64, vec![24.0]);
         let mut jobs = generate(&cfg);
         assert!(jobs.len() >= 2, "trace too small for the test");
         jobs.swap(0, 1);

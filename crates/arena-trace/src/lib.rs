@@ -10,11 +10,13 @@
 //! Fig. 15 model-size distribution, all from a seeded RNG so every
 //! experiment is exactly reproducible.
 
+pub mod fault;
 pub mod gen;
 pub mod io;
 pub mod job;
 pub mod rng;
 
+pub use fault::{generate_faults, FaultConfig, FaultEvent, FaultKind};
 pub use gen::{generate, TraceConfig, TraceKind};
 pub use io::{load_json, save_json};
 pub use job::JobSpec;

@@ -24,9 +24,11 @@
 //! | [`generality::fig20`] | Fig. 20 (adaptivity/heterogeneity ablation) |
 //! | [`generality::fig21`] | Fig. 21 (search-depth sensitivity) |
 //! | [`ablations`] | reproduction-level ablations (noise, mechanisms, checkpoints) |
+//! | [`faults`] | fault-injection MTBF sweep (reproduction extension) |
 
 pub mod ablations;
 pub mod clustersim;
+pub mod faults;
 pub mod generality;
 pub mod microbench;
 pub mod motivation;

@@ -1,0 +1,419 @@
+//! Offline drop-in shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `serde` with this crate. Rather than reproduce serde's full
+//! serializer/deserializer machinery, the shim routes everything through
+//! one self-describing [`Value`] tree:
+//!
+//! * [`Serialize`] converts a Rust value into a [`Value`];
+//! * [`Deserialize`] rebuilds a Rust value from a [`Value`].
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` shim)
+//! generate those two conversions for plain structs, newtype structs and
+//! unit-variant enums — exactly the shapes this repository derives. The
+//! `serde_json` shim then renders/parses `Value` as JSON with the same
+//! conventions real serde uses (structs as objects, tuples as arrays,
+//! unit enum variants as strings, newtypes as their inner value).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of data, the interchange point between
+/// [`Serialize`], [`Deserialize`] and the `serde_json` shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == field)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the shim's data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the shim's data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes a struct field (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+    match obj.get(name) {
+        Some(v) => T::from_value(v),
+        None => Err(DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// ---- Serialize impls for primitives and std containers ----
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $ix:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$ix.to_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(field::<T>(v, "start")?..field::<T>(v, "end")?)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+// ---- Deserialize impls ----
+
+fn want_u64(v: &Value) -> Result<u64, DeError> {
+    match *v {
+        Value::U64(x) => Ok(x),
+        Value::I64(x) if x >= 0 => Ok(x as u64),
+        Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(x as u64),
+        ref other => Err(DeError::custom(format!(
+            "expected unsigned integer, got {other:?}"
+        ))),
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = want_u64(v)?;
+                <$t>::try_from(x)
+                    .map_err(|_| DeError::custom(format!("{x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+fn want_i64(v: &Value) -> Result<i64, DeError> {
+    match *v {
+        Value::I64(x) => Ok(x),
+        Value::U64(x) if x <= i64::MAX as u64 => Ok(x as i64),
+        Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Ok(x as i64),
+        ref other => Err(DeError::custom(format!("expected integer, got {other:?}"))),
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = want_i64(v)?;
+                <$t>::try_from(x)
+                    .map_err(|_| DeError::custom(format!("{x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            ref other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($name:ident : $ix:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected array of {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$ix])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (1; A: 0),
+    (2; A: 0, B: 1),
+    (3; A: 0, B: 1, C: 2),
+    (4; A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42_u64.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5_f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <(usize, usize)>::from_value(&(3_usize, 4_usize).to_value()).unwrap(),
+            (3, 4)
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(f64, f64)> = vec![(0.0, 1.0), (2.0, 3.0)];
+        let round: Vec<(f64, f64)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, round);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(<(usize, usize)>::from_value(&Value::Array(vec![Value::U64(1)])).is_err());
+    }
+}
