@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use arena::prelude::*;
-use arena::sched::{JobView, PlacementView, SchedEvent, SchedView};
+use arena::sched::{JobView, Obs, PlacementView, SchedEvent, SchedView};
 
 fn make_jobs(n: u64, base_gpus: usize) -> Vec<JobView> {
     (0..n)
@@ -63,6 +63,7 @@ fn bench_decision_by_depth(c: &mut Criterion) {
             running: &running,
             pools: &pools,
             service: &service,
+            obs: Obs::disabled(),
         };
         let mut p = ArenaPolicy::new().with_search_depth(5);
         let _ = p.schedule(SchedEvent::Round, &view);
@@ -79,6 +80,7 @@ fn bench_decision_by_depth(c: &mut Criterion) {
                     running: &running,
                     pools: &pools,
                     service: &service,
+                    obs: Obs::disabled(),
                 };
                 black_box(policy.schedule(SchedEvent::Round, &view))
             })
@@ -109,6 +111,7 @@ fn bench_baseline_decisions(c: &mut Criterion) {
                 running: &running,
                 pools: &pools,
                 service: &service,
+                obs: Obs::disabled(),
             };
             let _ = policy.schedule(SchedEvent::Round, &view);
         }
@@ -120,6 +123,7 @@ fn bench_baseline_decisions(c: &mut Criterion) {
                     running: &running,
                     pools: &pools,
                     service: &service,
+                    obs: Obs::disabled(),
                 };
                 black_box(policy.schedule(SchedEvent::Round, &view))
             })

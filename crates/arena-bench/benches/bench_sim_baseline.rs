@@ -1,0 +1,183 @@
+//! Custom-harness baseline bench: machine-readable timings for the three
+//! hot paths of the stack — one Cell estimate, one Arena scheduling
+//! decision under load, and a full 500-job simulation — written to
+//! `BENCH_sim.json` at the workspace root for CI trend tracking.
+//!
+//! Run with `cargo bench -p arena-bench --bench bench_sim_baseline`.
+//! `BENCH_SMOKE=1` drops every loop to a single iteration (the CI mode:
+//! proves the paths run, not how fast).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use arena::prelude::*;
+use arena::sched::{JobView, Obs, PlacementView, SchedEvent, SchedView};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchEntry {
+    name: String,
+    iters: usize,
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    benches: Vec<BenchEntry>,
+}
+
+fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let sum: f64 = samples.iter().sum();
+    let entry = BenchEntry {
+        name: name.to_string(),
+        iters,
+        mean_s: sum / iters as f64,
+        min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_s: samples.iter().copied().fold(0.0, f64::max),
+    };
+    println!(
+        "{name}: {iters} iters, mean {:.6}s, min {:.6}s",
+        entry.mean_s, entry.min_s
+    );
+    entry
+}
+
+fn make_jobs(n: u64, base_gpus: usize, submit_gap_s: f64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let fam =
+                [ModelFamily::Bert, ModelFamily::Moe, ModelFamily::WideResNet][(i % 3) as usize];
+            let size = match fam {
+                ModelFamily::Bert => 1.3,
+                ModelFamily::Moe => 1.3,
+                ModelFamily::WideResNet => 1.0,
+            };
+            JobSpec {
+                id: i,
+                name: format!("j{i}"),
+                submit_s: submit_gap_s * i as f64,
+                model: ModelConfig::new(fam, size, 256),
+                iterations: 400 + 100 * (i % 4),
+                requested_gpus: base_gpus,
+                requested_pool: (i % 2) as usize,
+                deadline_s: None,
+            }
+        })
+        .collect()
+}
+
+fn bench_estimate(smoke: bool) -> BenchEntry {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let hw = arena::perf::HwTarget::new(cluster.spec(GpuTypeId(0)));
+    let est = CellEstimator::new(CostParams::default(), 51);
+    let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+    let cell = Cell::new(&g, 8, 4).expect("feasible cell");
+    // Warm profile/table caches so the loop measures plan assembly.
+    let _ = est.estimate(&g, 256, &cell, &hw);
+    let iters = if smoke { 1 } else { 200 };
+    time_loop("estimator/estimate_uncached", iters, || {
+        black_box(est.estimate_bypassing_cache(black_box(&g), 256, black_box(&cell), &hw));
+    })
+}
+
+fn bench_arena_schedule(smoke: bool) -> BenchEntry {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 51);
+    let specs = make_jobs(14, 8, 0.0);
+    let mut running: Vec<JobView> = specs[..6]
+        .iter()
+        .map(|s| JobView {
+            spec: s.clone(),
+            remaining_iters: 300.0,
+            placement: Some(PlacementView {
+                pool: GpuTypeId(s.id as usize % 2),
+                gpus: 8,
+                throughput_sps: 100.0,
+                opportunistic: false,
+            }),
+        })
+        .collect();
+    for (i, j) in running.iter_mut().enumerate() {
+        j.placement.as_mut().expect("placed").pool = GpuTypeId(i % 2);
+    }
+    let queued: Vec<JobView> = specs[6..]
+        .iter()
+        .map(|s| JobView {
+            spec: s.clone(),
+            remaining_iters: s.iterations as f64,
+            placement: None,
+        })
+        .collect();
+    let mut pools = cluster.pool_stats();
+    pools[0].free_gpus = 8;
+    pools[1].free_gpus = 8;
+    let mut policy = ArenaPolicy::new();
+    let view = SchedView {
+        now_s: 0.0,
+        queued: &queued,
+        running: &running,
+        pools: &pools,
+        service: &service,
+        obs: Obs::disabled(),
+    };
+    // Warm the plan caches once.
+    let _ = policy.schedule(SchedEvent::Round, &view);
+    let iters = if smoke { 1 } else { 50 };
+    time_loop("sched/arena_decision_loaded", iters, || {
+        let view = SchedView {
+            now_s: 0.0,
+            queued: &queued,
+            running: &running,
+            pools: &pools,
+            service: &service,
+            obs: Obs::disabled(),
+        };
+        black_box(policy.schedule(SchedEvent::Round, &view));
+    })
+}
+
+fn bench_simulate_500(smoke: bool) -> BenchEntry {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 51);
+    let n = if smoke { 60 } else { 500 };
+    let jobs = make_jobs(n, 4, 120.0);
+    let cfg = SimConfig::new(14.0 * 24.0 * 3600.0);
+    // Warm the plan caches once.
+    let _ = simulate(&cluster, &jobs, &mut ArenaPolicy::new(), &service, &cfg);
+    let iters = if smoke { 1 } else { 3 };
+    time_loop(&format!("sim/simulate_{n}_jobs_arena"), iters, || {
+        let mut p = ArenaPolicy::new();
+        black_box(simulate(&cluster, black_box(&jobs), &mut p, &service, &cfg));
+    })
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let report = BenchReport {
+        smoke,
+        benches: vec![
+            bench_estimate(smoke),
+            bench_arena_schedule(smoke),
+            bench_simulate_500(smoke),
+        ],
+    };
+    let root: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let path = root.join("BENCH_sim.json");
+    let body = serde_json::to_string_pretty(&report).expect("serialise");
+    std::fs::write(&path, body).expect("write BENCH_sim.json");
+    println!("wrote {}", path.display());
+}

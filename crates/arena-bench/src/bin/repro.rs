@@ -14,9 +14,9 @@ use std::time::Instant;
 
 use arena::experiments::summary_table;
 use arena::experiments::{
-    ablations, clustersim, faults, generality, microbench, motivation, tables,
+    ablations, clustersim, faults, generality, microbench, motivation, observability, tables,
 };
-use arena_bench::write_json;
+use arena_bench::{slug, write_json, write_text};
 
 const ALL: &[&str] = &[
     "table1",
@@ -41,6 +41,7 @@ const ALL: &[&str] = &[
     "ablate_zero",
     "ablate_faults",
     "solver",
+    "trace",
 ];
 
 fn main() {
@@ -196,6 +197,17 @@ fn run(name: &str, quick: bool) {
             let rows = ablations::solver_extension();
             println!("{}", ablations::solver_table(&rows).render());
             write_json("solver", &rows).expect("write");
+        }
+        "trace" => {
+            let runs = observability::conformance_workload(quick);
+            println!("{}", observability::trace_table(&runs).render());
+            let summaries: Vec<_> = runs.iter().map(|r| r.summary.clone()).collect();
+            write_json("trace", &summaries).expect("write");
+            for run in &runs {
+                println!("{}", observability::reason_table(run).render());
+                let file = format!("trace_decisions_{}.jsonl", slug(&run.summary.policy));
+                write_text(&file, &run.jsonl).expect("write");
+            }
         }
         other => eprintln!("unknown experiment '{other}'; known: {ALL:?}"),
     }

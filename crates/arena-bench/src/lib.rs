@@ -24,8 +24,41 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result
     serde_json::to_writer_pretty(file, value).map_err(std::io::Error::other)
 }
 
+/// Writes raw text (e.g. a JSON-Lines decision log) under `results/`,
+/// creating the directory if needed. `filename` includes the extension.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_text(filename: &str, body: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(filename), body)
+}
+
+/// Lowercases a display name into a filesystem-safe slug
+/// (`ElasticFlow-LS` → `elasticflow-ls`).
+#[must_use]
+pub fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(super::slug("ElasticFlow-LS"), "elasticflow-ls");
+        assert_eq!(super::slug("Arena (solver)"), "arena--solver-");
+    }
+
     #[test]
     fn write_json_roundtrip() {
         let tmp = std::env::temp_dir().join("arena-bench-test");

@@ -1,6 +1,7 @@
 //! The agile Cell estimator: assembly of profiled parts (§5.1, Fig. 9).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -44,6 +45,55 @@ struct ModeTerm {
     feasible: bool,
 }
 
+/// Live hit/miss counters for the estimator's three caches, plus total
+/// wall-clock spent computing estimates. All counters are monotonic and
+/// thread-safe; reading them never perturbs estimation results.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    estimate_hits: AtomicU64,
+    estimate_misses: AtomicU64,
+    profile_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    table_hits: AtomicU64,
+    table_misses: AtomicU64,
+    estimate_ns: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// `estimate()` calls answered from the estimate cache.
+    pub estimate_hits: u64,
+    /// `estimate()` calls that computed a fresh estimate.
+    pub estimate_misses: u64,
+    /// Stage-profile lookups answered from the profile cache.
+    pub profile_hits: u64,
+    /// Stage-profile lookups that ran the profiler.
+    pub profile_misses: u64,
+    /// Communication-table lookups answered from the table cache.
+    pub table_hits: u64,
+    /// Communication-table lookups that built new tables.
+    pub table_misses: u64,
+    /// Total wall-clock spent computing fresh estimates, nanoseconds.
+    pub estimate_ns: u64,
+}
+
+impl CacheStats {
+    /// Copies the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            estimate_hits: self.estimate_hits.load(Ordering::Relaxed),
+            estimate_misses: self.estimate_misses.load(Ordering::Relaxed),
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            profile_misses: self.profile_misses.load(Ordering::Relaxed),
+            table_hits: self.table_hits.load(Ordering::Relaxed),
+            table_misses: self.table_misses.load(Ordering::Relaxed),
+            estimate_ns: self.estimate_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The agile Cell estimator.
 ///
 /// Owns the offline communication tables (built lazily per node class),
@@ -54,6 +104,7 @@ pub struct CellEstimator {
     noise: NoiseModel,
     table_noise: NoiseModel,
     meter: Arc<ProfilingMeter>,
+    stats: CacheStats,
     tables: RwLock<HashMap<(String, usize), Arc<CommTables>>>,
     profiles: RwLock<HashMap<String, Arc<CellProfiles>>>,
     estimates: RwLock<HashMap<String, Option<CellEstimate>>>,
@@ -79,6 +130,7 @@ impl CellEstimator {
             noise,
             table_noise,
             meter: Arc::new(ProfilingMeter::new()),
+            stats: CacheStats::default(),
             tables: RwLock::new(HashMap::new()),
             profiles: RwLock::new(HashMap::new()),
             estimates: RwLock::new(HashMap::new()),
@@ -97,13 +149,21 @@ impl CellEstimator {
         &self.params
     }
 
+    /// Live cache hit/miss counters and estimate timing.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
     fn tables_for(&self, hw: &HwTarget, max_group: usize) -> Arc<CommTables> {
         let key = (hw.name().to_string(), hw.packed_gpn);
         if let Some(t) = self.tables.read().get(&key) {
             if t.max_group() >= max_group {
+                self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
                 return t.clone();
             }
         }
+        self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(CommTables::build(hw, max_group.max(64), &self.table_noise));
         self.tables.write().insert(key, built.clone());
         built
@@ -125,8 +185,10 @@ impl CellEstimator {
             hw.packed_gpn
         );
         if let Some(p) = self.profiles.read().get(&key) {
+            self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
             return p.clone();
         }
+        self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
         let prof = Arc::new(profile_cell(
             &self.params,
             &self.noise,
@@ -181,11 +243,33 @@ impl CellEstimator {
             hw.packed_gpn
         );
         if let Some(e) = self.estimates.read().get(&key) {
+            self.stats.estimate_hits.fetch_add(1, Ordering::Relaxed);
             return e.clone();
         }
+        self.stats.estimate_misses.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let est = self.estimate_uncached(graph, global_batch, cell, hw);
+        self.stats.estimate_ns.fetch_add(
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         self.estimates.write().insert(key, est.clone());
         est
+    }
+
+    /// Recomputes the estimate from scratch, skipping (and not updating)
+    /// the estimate cache. All noise is keyed deterministically, so this
+    /// must return exactly what a cached [`CellEstimator::estimate`]
+    /// returns — the property the cache-consistency tests check.
+    #[must_use]
+    pub fn estimate_bypassing_cache(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> Option<CellEstimate> {
+        self.estimate_uncached(graph, global_batch, cell, hw)
     }
 
     fn estimate_uncached(
@@ -455,6 +539,7 @@ mod tests {
     use arena_model::zoo::{ModelConfig, ModelFamily};
     use arena_parallelism::assembled_plans;
     use arena_perf::GroundTruth;
+    use proptest::prelude::*;
 
     fn a100() -> HwTarget {
         HwTarget::new(NodeSpec::with_default_links(GpuSpec::A100, 4))
@@ -608,5 +693,113 @@ mod tests {
         let _ = est.estimate(&g, 256, &cell, &a100());
         let gpu_s = est.meter().gpu_seconds();
         assert!(gpu_s > 40.0 && gpu_s < 120.0, "per-cell cost {gpu_s}s");
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses_exactly() {
+        let est = CellEstimator::new(CostParams::default(), 37);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let hw = a100();
+
+        let s0 = est.stats().snapshot();
+        assert_eq!((s0.estimate_hits, s0.estimate_misses), (0, 0));
+
+        let _ = est.estimate(&g, 256, &cell, &hw);
+        let s1 = est.stats().snapshot();
+        assert_eq!((s1.estimate_hits, s1.estimate_misses), (0, 1));
+        assert!(s1.estimate_ns > 0, "misses are timed");
+        assert!(s1.profile_misses > 0);
+        assert!(s1.table_misses > 0);
+
+        for _ in 0..3 {
+            let _ = est.estimate(&g, 256, &cell, &hw);
+        }
+        let s2 = est.stats().snapshot();
+        assert_eq!((s2.estimate_hits, s2.estimate_misses), (3, 1));
+        // Cache hits never re-run the assembly, so neither the timer nor
+        // the inner profile/table counters move.
+        assert_eq!(s2.estimate_ns, s1.estimate_ns);
+        assert_eq!(s2.profile_misses, s1.profile_misses);
+        assert_eq!(s2.profile_hits, s1.profile_hits);
+
+        // A different Cell is a fresh miss.
+        let cell2 = Cell::new(&g, 8, 2).unwrap();
+        let _ = est.estimate(&g, 256, &cell2, &hw);
+        let s3 = est.stats().snapshot();
+        assert_eq!((s3.estimate_hits, s3.estimate_misses), (3, 2));
+    }
+
+    #[test]
+    fn bypass_skips_estimate_cache_but_reuses_profiles() {
+        let est = CellEstimator::new(CostParams::default(), 41);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let hw = a100();
+
+        let _ = est.estimate_bypassing_cache(&g, 256, &cell, &hw);
+        let s1 = est.stats().snapshot();
+        assert_eq!(
+            (s1.estimate_hits, s1.estimate_misses),
+            (0, 0),
+            "bypass never touches the estimate cache"
+        );
+        assert!(s1.profile_misses > 0);
+
+        let _ = est.estimate_bypassing_cache(&g, 256, &cell, &hw);
+        let s2 = est.stats().snapshot();
+        assert_eq!(s2.profile_misses, s1.profile_misses);
+        assert!(
+            s2.profile_hits > s1.profile_hits,
+            "second pass hits profiles"
+        );
+        assert!(s2.table_hits > s1.table_hits);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// The estimate cache is transparent: for any feasible Cell the
+        /// cached estimate is bit-identical to a cache-bypassing
+        /// re-computation (noise is keyed, not drawn from shared state).
+        #[test]
+        fn cached_equals_bypassed(
+            fam_idx in 0_usize..3,
+            gpus_pow in 1_u32..4,
+            stages_pow in 0_u32..3,
+            on_a10 in 0_u32..2,
+        ) {
+            let (fam, size) = [
+                (ModelFamily::Bert, 1.3),
+                (ModelFamily::Moe, 1.3),
+                (ModelFamily::WideResNet, 1.0),
+            ][fam_idx];
+            let g = ModelConfig::new(fam, size, 256).build();
+            let gpus = 1_usize << gpus_pow;
+            let stages = (1_usize << stages_pow).min(gpus);
+            let Some(cell) = Cell::new(&g, gpus, stages) else {
+                return Ok(());
+            };
+            let hw = if on_a10 == 1 { a10() } else { a100() };
+            let est = CellEstimator::new(CostParams::default(), 43);
+            let cached = est.estimate(&g, 256, &cell, &hw);
+            let again = est.estimate(&g, 256, &cell, &hw);
+            let bypassed = est.estimate_bypassing_cache(&g, 256, &cell, &hw);
+            match (cached, again, bypassed) {
+                (None, None, None) => {}
+                (Some(c), Some(r), Some(b)) => {
+                    prop_assert_eq!(c.iter_time_s.to_bits(), r.iter_time_s.to_bits());
+                    prop_assert_eq!(c.iter_time_s.to_bits(), b.iter_time_s.to_bits());
+                    prop_assert_eq!(c.plan.label(), b.plan.label());
+                    prop_assert_eq!(&c.favors, &b.favors);
+                }
+                (c, r, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "feasibility disagrees: cached={} again={} bypassed={}",
+                        c.is_some(), r.is_some(), b.is_some()
+                    )));
+                }
+            }
+        }
     }
 }

@@ -30,5 +30,5 @@ pub mod profile;
 pub mod tables;
 
 pub use cell::{Cell, Favor};
-pub use estimator::{CellEstimate, CellEstimator};
+pub use estimator::{CacheStats, CacheStatsSnapshot, CellEstimate, CellEstimator};
 pub use tables::{CollectiveKind, CommTables};

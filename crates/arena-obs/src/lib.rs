@@ -1,0 +1,687 @@
+//! Deterministic observability for the Arena stack.
+//!
+//! Every layer of the reproduction — the simulator's event loop, each
+//! scheduling policy, the Cell estimator — answers the same questions
+//! through this crate: *why* was a job placed, dropped or requeued, how
+//! often do the caches hit, and where does wall-time go. It is built from
+//! four primitives:
+//!
+//! * [`Decision`] — a structured provenance record, one per scheduling
+//!   action (and per engine-side eviction/requeue), carrying the chosen
+//!   pool/GPU count, the candidate score and a static reason string.
+//! * **Counters** ([`Obs::incr`]) — monotonically increasing event tallies.
+//! * **Gauges** ([`Obs::gauge`]) — `(sim-time, value)` samples of a level,
+//!   e.g. queue depth at every scheduling pass.
+//! * **Spans** ([`Obs::span`]) and **histograms** ([`Obs::observe`]) —
+//!   wall-clock timers and value distributions.
+//!
+//! The handle is cheap to clone and defaults to [`Obs::disabled`], in
+//! which every recording call is a no-op returning immediately: the
+//! instrumented code paths compute nothing extra, so a disabled run is
+//! bitwise identical to an uninstrumented one. Everything except span
+//! wall-times is **deterministic**: two runs of the same simulation
+//! produce the same decision log, counters and gauges, which is what the
+//! golden-trace test harness snapshots.
+//!
+//! # Example
+//!
+//! ```
+//! use arena_obs::{Decision, Obs};
+//!
+//! let obs = Obs::enabled();
+//! obs.context(5.0, "Arena", "arrival");
+//! obs.decision(Decision::place(7, 0, 8).with_score(0.93).why("best-cell"));
+//! obs.incr("sched.pass", 1);
+//! let report = obs.report();
+//! assert_eq!(report.decisions.len(), 1);
+//! assert_eq!(report.decisions[0].policy, "Arena");
+//! assert_eq!(report.counters["sched.pass"], 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// What kind of action a [`Decision`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecisionKind {
+    /// A job was (re)placed on a pool at a GPU count.
+    Place,
+    /// A job was stopped and returned to the queue by the policy.
+    Evict,
+    /// A job was permanently rejected.
+    Drop,
+    /// The engine returned a job to the queue (node failure, capacity
+    /// race, infeasible placement) — provenance the policy never sees.
+    Requeue,
+}
+
+impl DecisionKind {
+    /// Stable lowercase label used in logs and snapshots.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionKind::Place => "place",
+            DecisionKind::Evict => "evict",
+            DecisionKind::Drop => "drop",
+            DecisionKind::Requeue => "requeue",
+        }
+    }
+}
+
+/// One scheduling decision with full provenance.
+///
+/// Built with [`Decision::place`] / [`Decision::evict`] /
+/// [`Decision::drop`] / [`Decision::requeue`] plus the builder methods;
+/// `seq`, `time_s`, `policy` and `trigger` are stamped by
+/// [`Obs::decision`] from the context the engine set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Global sequence number within the run (stamped on record).
+    pub seq: u64,
+    /// Simulation time of the scheduling pass, seconds (stamped).
+    pub time_s: f64,
+    /// Deciding policy's display name (stamped), `"engine"` for
+    /// engine-originated records.
+    pub policy: String,
+    /// The event that fired the pass (stamped): `arrival`, `departure`,
+    /// `round`, `node-failure`, `node-repair`.
+    pub trigger: String,
+    /// Action kind.
+    pub kind: DecisionKind,
+    /// Subject job id.
+    pub job: u64,
+    /// Target pool (placements only).
+    pub pool: Option<usize>,
+    /// Target GPU count (placements only).
+    pub gpus: Option<usize>,
+    /// Whether the placement is opportunistic (evictable backfill).
+    pub opportunistic: bool,
+    /// The candidate score the decision was taken on (policy-specific:
+    /// normalised throughput for Arena, profiled rate for Gavel, …).
+    pub score: Option<f64>,
+    /// Why: a stable, policy-specific reason label.
+    pub reason: &'static str,
+}
+
+impl Decision {
+    fn new(kind: DecisionKind, job: u64) -> Self {
+        Decision {
+            seq: 0,
+            time_s: 0.0,
+            policy: String::new(),
+            trigger: String::new(),
+            kind,
+            job,
+            pool: None,
+            gpus: None,
+            opportunistic: false,
+            score: None,
+            reason: "",
+        }
+    }
+
+    /// A placement of `job` on `gpus` devices of `pool`.
+    #[must_use]
+    pub fn place(job: u64, pool: usize, gpus: usize) -> Self {
+        let mut d = Self::new(DecisionKind::Place, job);
+        d.pool = Some(pool);
+        d.gpus = Some(gpus);
+        d
+    }
+
+    /// A policy eviction of `job`.
+    #[must_use]
+    pub fn evict(job: u64) -> Self {
+        Self::new(DecisionKind::Evict, job)
+    }
+
+    /// A permanent rejection of `job`.
+    #[must_use]
+    pub fn drop(job: u64) -> Self {
+        Self::new(DecisionKind::Drop, job)
+    }
+
+    /// An engine-side requeue of `job`.
+    #[must_use]
+    pub fn requeue(job: u64) -> Self {
+        Self::new(DecisionKind::Requeue, job)
+    }
+
+    /// Attaches the candidate score the decision was taken on.
+    #[must_use]
+    pub fn with_score(mut self, score: f64) -> Self {
+        self.score = Some(score);
+        self
+    }
+
+    /// Marks the placement opportunistic.
+    #[must_use]
+    pub fn opportunistic(mut self) -> Self {
+        self.opportunistic = true;
+        self
+    }
+
+    /// Attaches the reason label.
+    #[must_use]
+    pub fn why(mut self, reason: &'static str) -> Self {
+        self.reason = reason;
+        self
+    }
+
+    /// Stable `kind/reason` key used for per-reason accounting.
+    #[must_use]
+    pub fn reason_key(&self) -> String {
+        format!("{}/{}", self.kind.as_str(), self.reason)
+    }
+
+    /// One-line JSON object (hand-rolled: this crate is dependency-free).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        let _ = write!(s, "\"seq\":{}", self.seq);
+        let _ = write!(s, ",\"time_s\":{}", json_f64(self.time_s));
+        let _ = write!(s, ",\"policy\":\"{}\"", json_escape(&self.policy));
+        let _ = write!(s, ",\"trigger\":\"{}\"", json_escape(&self.trigger));
+        let _ = write!(s, ",\"kind\":\"{}\"", self.kind.as_str());
+        let _ = write!(s, ",\"job\":{}", self.job);
+        match self.pool {
+            Some(p) => {
+                let _ = write!(s, ",\"pool\":{p}");
+            }
+            None => s.push_str(",\"pool\":null"),
+        }
+        match self.gpus {
+            Some(g) => {
+                let _ = write!(s, ",\"gpus\":{g}");
+            }
+            None => s.push_str(",\"gpus\":null"),
+        }
+        let _ = write!(s, ",\"opportunistic\":{}", self.opportunistic);
+        match self.score {
+            Some(v) => {
+                let _ = write!(s, ",\"score\":{}", json_f64(v));
+            }
+            None => s.push_str(",\"score\":null"),
+        }
+        let _ = write!(s, ",\"reason\":\"{}\"", json_escape(self.reason));
+        s.push('}');
+        s
+    }
+
+    /// Compact one-line rendering for snapshots and debugging.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut s = format!(
+            "t={} {} {} {} j{}",
+            trim_f64(self.time_s),
+            self.policy,
+            self.trigger,
+            self.kind.as_str(),
+            self.job
+        );
+        if let (Some(p), Some(g)) = (self.pool, self.gpus) {
+            let _ = write!(s, " pool={p} gpus={g}");
+        }
+        if self.opportunistic {
+            s.push_str(" opp");
+        }
+        let _ = write!(s, " reason={}", self.reason);
+        s
+    }
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON-safe float rendering (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Deterministic short float rendering for snapshot lines: times in this
+/// simulator are sums of exact config constants, so plain `{}` printing
+/// is stable across runs and platforms.
+fn trim_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Aggregated wall-clock of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall-clock, seconds.
+    pub total_s: f64,
+    /// Longest single span, seconds.
+    pub max_s: f64,
+}
+
+/// Summary of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistStats {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl HistStats {
+    /// Mean value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    // Context stamped onto decisions.
+    time_s: f64,
+    policy: String,
+    trigger: String,
+    seq: u64,
+    decisions: Vec<Decision>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Vec<(f64, f64)>>,
+    histograms: BTreeMap<String, HistStats>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// The observability handle.
+///
+/// Cheap to clone (an `Option<Arc>`); [`Obs::disabled`] carries no state
+/// at all and makes every recording method a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Obs {
+    /// The default no-op handle: nothing is recorded, nothing is paid.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A recording handle with empty state.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Inner>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Sets the decision-stamping context: simulation time, deciding
+    /// policy and the event that fired the pass. The engine calls this
+    /// before every dispatch; recorded decisions inherit the values.
+    pub fn context(&self, time_s: f64, policy: &str, trigger: &str) {
+        if let Some(mut g) = self.lock() {
+            g.time_s = time_s;
+            if g.policy != policy {
+                g.policy = policy.to_string();
+            }
+            if g.trigger != trigger {
+                g.trigger = trigger.to_string();
+            }
+        }
+    }
+
+    /// Records a decision, stamping seq/time/policy/trigger from the
+    /// current context.
+    pub fn decision(&self, mut d: Decision) {
+        if let Some(mut g) = self.lock() {
+            d.seq = g.seq;
+            g.seq += 1;
+            d.time_s = g.time_s;
+            d.policy.clone_from(&g.policy);
+            d.trigger.clone_from(&g.trigger);
+            g.decisions.push(d);
+        }
+    }
+
+    /// Number of decisions recorded so far.
+    #[must_use]
+    pub fn decision_count(&self) -> usize {
+        self.lock().map_or(0, |g| g.decisions.len())
+    }
+
+    /// Clones the decisions recorded at or after index `from`.
+    #[must_use]
+    pub fn decisions_after(&self, from: usize) -> Vec<Decision> {
+        self.lock().map_or_else(Vec::new, |g| {
+            g.decisions.get(from..).unwrap_or(&[]).to_vec()
+        })
+    }
+
+    /// Increments a counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(mut g) = self.lock() {
+            match g.counters.get_mut(name) {
+                Some(v) => *v += by,
+                None => {
+                    g.counters.insert(name.to_string(), by);
+                }
+            }
+        }
+    }
+
+    /// Records one `(time, value)` sample of a gauge.
+    pub fn gauge(&self, name: &str, time_s: f64, value: f64) {
+        if let Some(mut g) = self.lock() {
+            match g.gauges.get_mut(name) {
+                Some(v) => v.push((time_s, value)),
+                None => {
+                    g.gauges.insert(name.to_string(), vec![(time_s, value)]);
+                }
+            }
+        }
+    }
+
+    /// Records a value into a histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(mut g) = self.lock() {
+            let h = g.histograms.entry(name.to_string()).or_default();
+            if h.count == 0 {
+                h.min = value;
+                h.max = value;
+            } else {
+                h.min = h.min.min(value);
+                h.max = h.max.max(value);
+            }
+            h.count += 1;
+            h.sum += value;
+        }
+    }
+
+    /// Starts a wall-clock span; the guard records on drop. Disabled
+    /// handles never read the clock.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            obs: self.inner.as_ref().map(|_| (self, Instant::now())),
+            name,
+        }
+    }
+
+    /// Snapshots everything recorded so far into a [`TraceReport`].
+    #[must_use]
+    pub fn report(&self) -> TraceReport {
+        self.lock()
+            .map_or_else(TraceReport::default, |g| TraceReport {
+                decisions: g.decisions.clone(),
+                counters: g.counters.clone(),
+                gauges: g.gauges.clone(),
+                histograms: g.histograms.clone(),
+                spans: g.spans.clone(),
+            })
+    }
+}
+
+/// RAII wall-clock span; records its elapsed time on drop.
+pub struct Span<'a> {
+    obs: Option<(&'a Obs, Instant)>,
+    name: &'static str,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((obs, start)) = self.obs.take() {
+            let dt = start.elapsed().as_secs_f64();
+            if let Some(mut g) = obs.lock() {
+                let s = g.spans.entry(self.name.to_string()).or_default();
+                s.count += 1;
+                s.total_s += dt;
+                s.max_s = s.max_s.max(dt);
+            }
+        }
+    }
+}
+
+/// Everything one traced run recorded, returned alongside the metrics.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// The full decision log, in recording order.
+    pub decisions: Vec<Decision>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge sample series.
+    pub gauges: BTreeMap<String, Vec<(f64, f64)>>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistStats>,
+    /// Span wall-clock summaries (the only non-deterministic content).
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl TraceReport {
+    /// Whether nothing was recorded (the disabled-run report).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Decision counts per `kind/reason` key, sorted by key.
+    #[must_use]
+    pub fn decision_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for d in &self.decisions {
+            *out.entry(d.reason_key()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The full decision log as JSON Lines (one object per decision).
+    #[must_use]
+    pub fn decisions_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decisions {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic snapshot text for the golden-trace harness: decision
+    /// counts per `kind/reason`, then the first and last `edge` decisions
+    /// in compact form. Span wall-times are deliberately excluded.
+    #[must_use]
+    pub fn golden_summary(&self, edge: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "decisions total {}", self.decisions.len());
+        for (key, n) in self.decision_counts() {
+            let _ = writeln!(out, "count {key} {n}");
+        }
+        let head = self.decisions.iter().take(edge);
+        for d in head {
+            let _ = writeln!(out, "first {}", d.compact());
+        }
+        if self.decisions.len() > edge {
+            let tail_from = self.decisions.len().saturating_sub(edge).max(edge);
+            for d in &self.decisions[tail_from..] {
+                let _ = writeln!(out, "last {}", d.compact());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.context(1.0, "p", "round");
+        obs.decision(Decision::place(1, 0, 4));
+        obs.incr("c", 3);
+        obs.gauge("g", 0.0, 1.0);
+        obs.observe("h", 2.0);
+        drop(obs.span("s"));
+        assert_eq!(obs.decision_count(), 0);
+        assert!(obs.report().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_stamped_in_order() {
+        let obs = Obs::enabled();
+        obs.context(10.0, "Arena", "arrival");
+        obs.decision(Decision::place(1, 0, 8).with_score(0.9).why("best-cell"));
+        obs.context(20.0, "Arena", "round");
+        obs.decision(Decision::drop(2).why("no-feasible-cell"));
+        let r = obs.report();
+        assert_eq!(r.decisions.len(), 2);
+        assert_eq!(r.decisions[0].seq, 0);
+        assert_eq!(r.decisions[0].time_s, 10.0);
+        assert_eq!(r.decisions[0].trigger, "arrival");
+        assert_eq!(r.decisions[1].seq, 1);
+        assert_eq!(r.decisions[1].kind, DecisionKind::Drop);
+        assert_eq!(r.decisions[1].reason, "no-feasible-cell");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.context(0.0, "p", "round");
+        clone.decision(Decision::evict(5).why("pressure"));
+        assert_eq!(obs.decision_count(), 1);
+        assert_eq!(obs.decisions_after(0)[0].job, 5);
+        assert!(obs.decisions_after(1).is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let obs = Obs::enabled();
+        obs.incr("a", 1);
+        obs.incr("a", 2);
+        obs.gauge("q", 0.0, 3.0);
+        obs.gauge("q", 1.0, 4.0);
+        obs.observe("h", 1.0);
+        obs.observe("h", 5.0);
+        let r = obs.report();
+        assert_eq!(r.counters["a"], 3);
+        assert_eq!(r.gauges["q"], vec![(0.0, 3.0), (1.0, 4.0)]);
+        let h = r.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 5.0);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let obs = Obs::enabled();
+        {
+            let _g = obs.span("work");
+        }
+        {
+            let _g = obs.span("work");
+        }
+        let r = obs.report();
+        let s = r.spans["work"];
+        assert_eq!(s.count, 2);
+        assert!(s.total_s >= 0.0);
+        assert!(s.max_s <= s.total_s + 1e-12);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let obs = Obs::enabled();
+        obs.context(2.5, "Gavel", "round");
+        obs.decision(Decision::place(3, 1, 4).with_score(0.5).why("best-rate"));
+        obs.decision(Decision::requeue(3).why("capacity-race"));
+        let jsonl = obs.report().decisions_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"kind\":\"place\""));
+        assert!(lines[0].contains("\"score\":0.5"));
+        assert!(lines[1].contains("\"pool\":null"));
+        assert!(lines[1].contains("\"reason\":\"capacity-race\""));
+    }
+
+    #[test]
+    fn non_finite_scores_serialise_as_null() {
+        let d = Decision::place(1, 0, 2).with_score(f64::INFINITY);
+        assert!(d.to_json().contains("\"score\":null"));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn golden_summary_counts_and_edges() {
+        let obs = Obs::enabled();
+        obs.context(0.0, "FCFS", "round");
+        for i in 0..12 {
+            obs.decision(Decision::place(i, 0, 2).why("head-of-line"));
+        }
+        obs.decision(Decision::drop(99).why("infeasible"));
+        let s = obs.report().golden_summary(5);
+        assert!(s.contains("decisions total 13"));
+        assert!(s.contains("count place/head-of-line 12"));
+        assert!(s.contains("count drop/infeasible 1"));
+        assert_eq!(s.matches("first ").count(), 5);
+        assert_eq!(s.matches("last ").count(), 5);
+    }
+
+    #[test]
+    fn golden_summary_short_log_has_no_overlap() {
+        let obs = Obs::enabled();
+        obs.context(0.0, "p", "round");
+        for i in 0..3 {
+            obs.decision(Decision::drop(i).why("r"));
+        }
+        let s = obs.report().golden_summary(5);
+        assert_eq!(s.matches("first ").count(), 3);
+        assert_eq!(s.matches("last ").count(), 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The Arena (Crius) Cell-based scheduler: Algorithm 1.
 
 use arena_cluster::GpuTypeId;
+use arena_obs::{Decision, Obs};
 
 use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -210,6 +211,39 @@ const MOVE_PENALTY: f64 = 0.15;
 /// active while some capacity is actually down.
 const FAILED_POOL_PENALTY: f64 = 0.25;
 
+/// An action staged during the transactional pass, with the provenance it
+/// will be recorded under if the transaction commits.
+type Staged = (Action, &'static str, Option<f64>);
+
+/// Records the provenance of one emitted action.
+fn record(obs: &Obs, action: &Action, reason: &'static str, score: Option<f64>) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let mut d = match *action {
+        Action::Place {
+            job,
+            pool,
+            gpus,
+            opportunistic,
+        } => {
+            let d = Decision::place(job, pool.0, gpus);
+            if opportunistic {
+                d.opportunistic()
+            } else {
+                d
+            }
+        }
+        Action::Evict { job } => Decision::evict(job),
+        Action::Drop { job } => Decision::drop(job),
+    };
+    d = d.why(reason);
+    if let Some(s) = score {
+        d = d.with_score(s);
+    }
+    obs.decision(d);
+}
+
 /// Mutable virtual cluster state during one scheduling pass.
 #[derive(Clone)]
 struct Virtual {
@@ -274,18 +308,25 @@ impl ArenaPolicy {
         let gain_budget = cands.first().map_or(0.0, |c| c.score) * 0.8;
         let mut loss_spent = 0.0;
         let mut trial = virt.clone();
-        let mut staged: Vec<Action> = Vec::new();
+        let mut staged: Vec<Staged> = Vec::new();
         for depth in 0..=self.search_depth {
             if let Some(c) = cands.iter().find(|c| trial.free[c.pool.0] >= c.gpus) {
                 trial.place(job.id(), c.pool, c.gpus, false);
-                staged.push(Action::Place {
-                    job: job.id(),
-                    pool: c.pool,
-                    gpus: c.gpus,
-                    opportunistic: false,
-                });
+                staged.push((
+                    Action::Place {
+                        job: job.id(),
+                        pool: c.pool,
+                        gpus: c.gpus,
+                        opportunistic: false,
+                    },
+                    "best-cell",
+                    Some(c.score),
+                ));
                 *virt = trial;
-                actions.extend(staged);
+                for (a, reason, score) in staged {
+                    record(&view.obs, &a, reason, score);
+                    actions.push(a);
+                }
                 return true;
             }
             if depth == self.search_depth {
@@ -315,7 +356,7 @@ impl ArenaPolicy {
         view: &SchedView<'_>,
         cands: &[Candidate],
         virt: &mut Virtual,
-        actions: &mut Vec<Action>,
+        staged: &mut Vec<Staged>,
         loss_budget: f64,
     ) -> Option<f64> {
         // Pools where extra capacity would let a candidate fit.
@@ -335,6 +376,7 @@ impl ArenaPolicy {
             pool: GpuTypeId,
             gpus: usize,
             evict: bool,
+            reason: &'static str,
         }
         let mut best: Option<Move> = None;
         for &(id, pool, gpus, opportunistic) in &virt.placed {
@@ -363,6 +405,7 @@ impl ArenaPolicy {
                     pool,
                     gpus: 0,
                     evict: true,
+                    reason: "reclaim-opportunistic",
                 };
                 if best.as_ref().is_none_or(|b| m.loss < b.loss) {
                     best = Some(m);
@@ -387,6 +430,7 @@ impl ArenaPolicy {
                                 pool,
                                 gpus: smaller,
                                 evict: false,
+                                reason: "scaling-downscale",
                             };
                             if best.as_ref().is_none_or(|b| m.loss < b.loss) {
                                 best = Some(m);
@@ -410,6 +454,7 @@ impl ArenaPolicy {
                             pool: GpuTypeId(q),
                             gpus,
                             evict: false,
+                            reason: "scaling-pool-move",
                         };
                         if best.as_ref().is_none_or(|b| m.loss < b.loss) {
                             best = Some(m);
@@ -423,15 +468,19 @@ impl ArenaPolicy {
             Some(m) if m.loss + MOVE_PENALTY <= loss_budget => {
                 if m.evict {
                     virt.remove(m.job);
-                    actions.push(Action::Evict { job: m.job });
+                    staged.push((Action::Evict { job: m.job }, m.reason, Some(m.loss)));
                 } else {
                     virt.place(m.job, m.pool, m.gpus, false);
-                    actions.push(Action::Place {
-                        job: m.job,
-                        pool: m.pool,
-                        gpus: m.gpus,
-                        opportunistic: false,
-                    });
+                    staged.push((
+                        Action::Place {
+                            job: m.job,
+                            pool: m.pool,
+                            gpus: m.gpus,
+                            opportunistic: false,
+                        },
+                        m.reason,
+                        Some(m.loss),
+                    ));
                 }
                 Some(m.loss)
             }
@@ -476,14 +525,16 @@ impl ArenaPolicy {
                 }
             }
             match best {
-                Some((id, pool, gpus, _)) => {
+                Some((id, pool, gpus, gain)) => {
                     virt.place(id, pool, gpus, false);
-                    actions.push(Action::Place {
+                    let a = Action::Place {
                         job: id,
                         pool,
                         gpus,
                         opportunistic: false,
-                    });
+                    };
+                    record(&view.obs, &a, "departure-upscale", Some(gain));
+                    actions.push(a);
                 }
                 None => break,
             }
@@ -528,12 +579,16 @@ impl Policy for ArenaPolicy {
             // deadline-hopeless jobs are dropped early (§8.5).
             let cands = self.candidates(view, job);
             if cands.is_empty() {
+                view.obs
+                    .decision(Decision::drop(job.id()).why("no-feasible-cell"));
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
             if self.variant == ArenaVariant::Deadline
                 && !cands.iter().any(|c| Self::meets_deadline(view, job, c))
             {
+                view.obs
+                    .decision(Decision::drop(job.id()).why("deadline-hopeless"));
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
@@ -546,12 +601,14 @@ impl Policy for ArenaPolicy {
                 // pending job without scaling anyone.
                 if let Some(c) = cands.iter().find(|c| virt.free[c.pool.0] >= c.gpus) {
                     virt.place(job.id(), c.pool, c.gpus, true);
-                    actions.push(Action::Place {
+                    let a = Action::Place {
                         job: job.id(),
                         pool: c.pool,
                         gpus: c.gpus,
                         opportunistic: true,
-                    });
+                    };
+                    record(&view.obs, &a, "opportunistic-backfill", Some(c.score));
+                    actions.push(a);
                 }
                 continue;
             }
@@ -623,6 +680,7 @@ mod tests {
                 running,
                 pools,
                 service: &self.service,
+                obs: arena_obs::Obs::disabled(),
             }
         }
     }
@@ -813,6 +871,7 @@ mod tests {
             running: &[],
             pools: &pools,
             service: &service,
+            obs: arena_obs::Obs::disabled(),
         };
         let mut policy = ArenaPolicy::new();
         let actions = policy.schedule(SchedEvent::Round, &view);

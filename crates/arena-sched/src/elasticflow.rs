@@ -1,6 +1,7 @@
 //! ElasticFlow-style elastic baseline.
 
 use arena_cluster::GpuTypeId;
+use arena_obs::Decision;
 
 use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -182,6 +183,8 @@ impl Policy for ElasticFlowPolicy {
                                 None => true,
                             };
                             if hopeless {
+                                view.obs
+                                    .decision(Decision::drop(job.id()).why("deadline-hopeless"));
                                 actions.push(Action::Drop { job: job.id() });
                             }
                         }
@@ -189,6 +192,8 @@ impl Policy for ElasticFlowPolicy {
                 }
                 None => {
                     // DP-infeasible at any share on its pool: rejected.
+                    view.obs
+                        .decision(Decision::drop(job.id()).why("dp-infeasible"));
                     actions.push(Action::Drop { job: job.id() });
                 }
             }
@@ -241,6 +246,13 @@ impl Policy for ElasticFlowPolicy {
                 .placement
                 .is_some_and(|pl| pl.pool == pool && pl.gpus == k);
             if !unchanged {
+                if view.obs.is_enabled() {
+                    let mut d = Decision::place(id, pool.0, k).why("target-share");
+                    if let Some(sps) = Self::profile(view, job, k, pool) {
+                        d = d.with_score(sps);
+                    }
+                    view.obs.decision(d);
+                }
                 actions.push(Action::Place {
                     job: id,
                     pool,

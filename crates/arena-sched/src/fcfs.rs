@@ -1,5 +1,7 @@
 //! First-Come-First-Served (Kubernetes/YARN-style) baseline.
 
+use arena_obs::Decision;
+
 use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
 
 /// Strict FCFS: jobs run in arrival order on their requested pool at
@@ -38,11 +40,15 @@ impl Policy for FcfsPolicy {
                 .adaptive_run(&job.spec.model, need, pool)
                 .is_none()
             {
+                view.obs
+                    .decision(Decision::drop(job.id()).why("infeasible-requested-config"));
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
             if free[pool.0] >= need {
                 free[pool.0] -= need;
+                view.obs
+                    .decision(Decision::place(job.id(), pool.0, need).why("head-of-line"));
                 actions.push(Action::Place {
                     job: job.id(),
                     pool,

@@ -1,6 +1,7 @@
 //! Gandiva-style introspective baseline.
 
 use arena_cluster::GpuTypeId;
+use arena_obs::Decision;
 
 use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -64,6 +65,8 @@ impl Policy for GandivaPolicy {
                     match alt {
                         Some(q) => {
                             free[q] -= need;
+                            view.obs
+                                .decision(Decision::place(job.id(), q, need).why("blind-retry"));
                             actions.push(Action::Place {
                                 job: job.id(),
                                 pool: GpuTypeId(q),
@@ -78,6 +81,9 @@ impl Policy for GandivaPolicy {
                                     .is_some()
                             });
                             if !feasible_somewhere {
+                                view.obs.decision(
+                                    Decision::drop(job.id()).why("infeasible-at-fixed-size"),
+                                );
                                 actions.push(Action::Drop { job: job.id() });
                             }
                         }
@@ -85,6 +91,8 @@ impl Policy for GandivaPolicy {
                     continue;
                 }
                 free[p] -= need;
+                view.obs
+                    .decision(Decision::place(job.id(), p, need).why("blind-pick"));
                 actions.push(Action::Place {
                     job: job.id(),
                     pool,
@@ -124,12 +132,20 @@ impl Policy for GandivaPolicy {
                                 .is_some()
                         {
                             // Move the running job, then admit the stuck one.
+                            view.obs.decision(
+                                Decision::place(running.id(), q, pl.gpus)
+                                    .why("introspective-migrate"),
+                            );
                             actions.push(Action::Place {
                                 job: running.id(),
                                 pool: GpuTypeId(q),
                                 gpus: pl.gpus,
                                 opportunistic: false,
                             });
+                            view.obs.decision(
+                                Decision::place(stuck.id(), pl.pool.0, need)
+                                    .why("admit-after-migration"),
+                            );
                             actions.push(Action::Place {
                                 job: stuck.id(),
                                 pool: pl.pool,

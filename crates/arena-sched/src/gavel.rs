@@ -1,6 +1,7 @@
 //! Gavel-style heterogeneity-aware baseline.
 
 use arena_cluster::GpuTypeId;
+use arena_obs::Decision;
 
 use crate::policy::{Action, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -62,8 +63,13 @@ impl Policy for GavelPolicy {
                 .filter(|&p| free[p] >= need)
                 .filter_map(|p| Self::rate(view, job, p).map(|r| (p, r)))
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            if let Some((p, _)) = best {
+            if let Some((p, r)) = best {
                 free[p] -= need;
+                view.obs.decision(
+                    Decision::place(job.id(), p, need)
+                        .with_score(r)
+                        .why("best-rate-pool"),
+                );
                 actions.push(Action::Place {
                     job: job.id(),
                     pool: GpuTypeId(p),
@@ -75,6 +81,8 @@ impl Policy for GavelPolicy {
                 // if none is DP-feasible at all, Gavel rejects the job.
                 let feasible_anywhere = (0..free.len()).any(|p| Self::rate(view, job, p).is_some());
                 if !feasible_anywhere {
+                    view.obs
+                        .decision(Decision::drop(job.id()).why("dp-infeasible-everywhere"));
                     actions.push(Action::Drop { job: job.id() });
                 }
             }
@@ -99,6 +107,11 @@ impl Policy for GavelPolicy {
                     if r > cur * self.migration_gain {
                         free[p] -= pl.gpus;
                         moved += 1;
+                        view.obs.decision(
+                            Decision::place(job.id(), p, pl.gpus)
+                                .with_score(r)
+                                .why("rate-migration"),
+                        );
                         actions.push(Action::Place {
                             job: job.id(),
                             pool: GpuTypeId(p),

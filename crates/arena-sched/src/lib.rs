@@ -31,6 +31,7 @@ mod baseline_tests;
 pub(crate) mod test_fixtures;
 
 pub use arena::{ArenaPolicy, ArenaVariant, QueueOrder};
+pub use arena_obs::{Decision, DecisionKind, Obs, TraceReport};
 pub use elasticflow::ElasticFlowPolicy;
 pub use fcfs::FcfsPolicy;
 pub use gandiva::GandivaPolicy;

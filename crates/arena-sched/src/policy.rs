@@ -1,6 +1,7 @@
 //! The policy interface between schedulers and the simulator.
 
 use arena_cluster::{GpuTypeId, PoolStats};
+use arena_obs::Obs;
 use arena_trace::JobSpec;
 
 use crate::service::PlanService;
@@ -59,6 +60,9 @@ pub struct SchedView<'a> {
     pub pools: &'a [PoolStats],
     /// Gateway to performance data.
     pub service: &'a PlanService,
+    /// Observability sink for decision provenance. `Obs::disabled()`
+    /// (the default) makes every recording call a no-op.
+    pub obs: Obs,
 }
 
 impl SchedView<'_> {
@@ -96,6 +100,20 @@ pub enum SchedEvent {
         /// Node index within the pool.
         node: usize,
     },
+}
+
+impl SchedEvent {
+    /// Stable label used as the `trigger` field of recorded decisions.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedEvent::Arrival(_) => "arrival",
+            SchedEvent::Departure(_) => "departure",
+            SchedEvent::Round => "round",
+            SchedEvent::NodeFailure { .. } => "node-failure",
+            SchedEvent::NodeRepair { .. } => "node-repair",
+        }
+    }
 }
 
 /// A scheduling decision. The simulator executes evictions/drops before

@@ -121,6 +121,12 @@ impl PlanService {
         &self.estimator
     }
 
+    /// A snapshot of the estimator's cache hit/miss counters.
+    #[must_use]
+    pub fn estimator_stats(&self) -> arena_estimator::CacheStatsSnapshot {
+        self.estimator.stats().snapshot()
+    }
+
     /// Number of pools the service knows.
     #[must_use]
     pub fn num_pools(&self) -> usize {

@@ -20,6 +20,7 @@
 //! objective, not the search, is the binding design choice.
 
 use arena_cluster::GpuTypeId;
+use arena_obs::Decision;
 
 use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -219,6 +220,8 @@ impl Policy for ArenaSolverPolicy {
             let item = Self::item(view, job);
             if item.choices.len() == 1 && item.current.is_none() {
                 // Queued and infeasible everywhere: reject.
+                view.obs
+                    .decision(Decision::drop(item.job).why("infeasible-everywhere"));
                 actions.push(Action::Drop { job: item.job });
                 continue;
             }
@@ -237,6 +240,11 @@ impl Policy for ArenaSolverPolicy {
             let choice = item.choices[pick];
             match (item.current, choice.placement) {
                 (cur, Some((pool, gpus))) if cur != Some((pool, gpus)) => {
+                    view.obs.decision(
+                        Decision::place(item.job, pool.0, gpus)
+                            .with_score(choice.value)
+                            .why("joint-assignment"),
+                    );
                     actions.push(Action::Place {
                         job: item.job,
                         pool,
@@ -244,7 +252,14 @@ impl Policy for ArenaSolverPolicy {
                         opportunistic: false,
                     });
                 }
-                (Some(_), None) => actions.push(Action::Evict { job: item.job }),
+                (Some(_), None) => {
+                    view.obs.decision(
+                        Decision::evict(item.job)
+                            .with_score(choice.value)
+                            .why("solver-park"),
+                    );
+                    actions.push(Action::Evict { job: item.job });
+                }
                 _ => {}
             }
         }
@@ -293,6 +308,7 @@ mod tests {
             running: &[],
             pools: &pools,
             service: &service,
+            obs: arena_obs::Obs::disabled(),
         };
         let actions = ArenaSolverPolicy::new().schedule(SchedEvent::Round, &view);
         let placed: Vec<u64> = actions
@@ -328,6 +344,7 @@ mod tests {
             running: &running,
             pools: &pools,
             service: &service,
+            obs: arena_obs::Obs::disabled(),
         };
         let actions = ArenaSolverPolicy::new().schedule(SchedEvent::Round, &view);
         // The restart penalty makes marginal reshuffles unattractive; at
@@ -352,6 +369,7 @@ mod tests {
             running: &[],
             pools: &pools,
             service: &service,
+            obs: arena_obs::Obs::disabled(),
         };
         let actions = ArenaSolverPolicy::new()
             .with_beam_width(1)
@@ -378,6 +396,7 @@ mod tests {
             running: &[],
             pools: &pools,
             service: &service,
+            obs: arena_obs::Obs::disabled(),
         };
         let actions = ArenaSolverPolicy::new().schedule(SchedEvent::Round, &view);
         assert_eq!(actions, vec![Action::Drop { job: 1 }]);

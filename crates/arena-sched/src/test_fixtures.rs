@@ -37,6 +37,7 @@ impl Fixture {
             running,
             pools,
             service: &self.service,
+            obs: arena_obs::Obs::disabled(),
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The event loop: arrivals, rounds, restarts, completions.
 
 use arena_cluster::{Allocation, Cluster, GpuTypeId};
+use arena_obs::{Decision, Obs, TraceReport};
 use arena_sched::PlanService;
 use arena_sched::{Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView};
 use arena_trace::{FaultEvent, FaultKind, JobSpec};
@@ -55,6 +56,10 @@ pub struct SimResult {
     pub raw_timeline: Vec<(f64, f64)>,
     /// Aggregated metrics.
     pub metrics: Metrics,
+    /// Everything the observability layer recorded. Empty unless the run
+    /// went through [`simulate_traced`] / [`simulate_with_faults_traced`]
+    /// with an enabled [`Obs`].
+    pub trace: TraceReport,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,6 +149,22 @@ pub fn simulate(
     simulate_with_faults(cluster, jobs, policy, service, cfg, &[])
 }
 
+/// Like [`simulate`], but records decision provenance, spans, counters and
+/// gauges into `obs` and returns the resulting [`TraceReport`] in
+/// [`SimResult::trace`]. With `Obs::disabled()` this is exactly
+/// [`simulate`].
+#[must_use]
+pub fn simulate_traced(
+    cluster: &Cluster,
+    jobs: &[JobSpec],
+    policy: &mut dyn Policy,
+    service: &PlanService,
+    cfg: &SimConfig,
+    obs: &Obs,
+) -> SimResult {
+    simulate_with_faults_traced(cluster, jobs, policy, service, cfg, &[], obs)
+}
+
 /// Like [`simulate`], but injects a node-failure schedule (see
 /// [`arena_trace::generate_faults`]).
 ///
@@ -168,6 +189,33 @@ pub fn simulate_with_faults(
     service: &PlanService,
     cfg: &SimConfig,
     faults: &[FaultEvent],
+) -> SimResult {
+    simulate_with_faults_traced(
+        cluster,
+        jobs,
+        policy,
+        service,
+        cfg,
+        faults,
+        &Obs::disabled(),
+    )
+}
+
+/// Like [`simulate_with_faults`], but records into `obs` (see
+/// [`simulate_traced`]). Engine-side provenance — node-failure evictions,
+/// capacity races, infeasible placements — is recorded as
+/// [`arena_obs::DecisionKind::Requeue`] decisions so it never mixes with
+/// the policies' own place/evict/drop records.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn simulate_with_faults_traced(
+    cluster: &Cluster,
+    jobs: &[JobSpec],
+    policy: &mut dyn Policy,
+    service: &PlanService,
+    cfg: &SimConfig,
+    faults: &[FaultEvent],
+    obs: &Obs,
 ) -> SimResult {
     assert!(
         jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s),
@@ -274,6 +322,8 @@ pub fn simulate_with_faults(
                     cluster
                         .fail_node(pool, fault.node)
                         .expect("fault schedule names a node the cluster has");
+                    obs.context(t, "engine", "node-failure");
+                    obs.incr("sim.fault.failure", 1);
                     for j in &mut sjobs {
                         let hit = j.active()
                             && j.alloc
@@ -301,6 +351,7 @@ pub fn simulate_with_faults(
                         // knocked over again while restarting.
                         j.recovering_since.get_or_insert(t);
                         flog.failure_evictions += 1;
+                        obs.decision(Decision::requeue(j.spec.id).why("node-failure-evict"));
                     }
                     SchedEvent::NodeFailure {
                         pool,
@@ -311,6 +362,7 @@ pub fn simulate_with_faults(
                     cluster
                         .repair_node(pool, fault.node)
                         .expect("fault schedule names a node the cluster has");
+                    obs.incr("sim.fault.repair", 1);
                     SchedEvent::NodeRepair {
                         pool,
                         node: fault.node,
@@ -327,6 +379,7 @@ pub fn simulate_with_faults(
                 t,
                 &mut acquired,
                 &mut decisions,
+                obs,
             );
         }
 
@@ -374,6 +427,7 @@ pub fn simulate_with_faults(
                 t,
                 &mut acquired,
                 &mut decisions,
+                obs,
             );
         }
 
@@ -420,12 +474,22 @@ pub fn simulate_with_faults(
         })
         .collect();
     let metrics = aggregate(&records, &timeline, &raw_timeline, &decisions, &flog);
+    if obs.is_enabled() {
+        let est = service.estimator_stats();
+        obs.incr("estimator.estimate.hits", est.estimate_hits);
+        obs.incr("estimator.estimate.misses", est.estimate_misses);
+        obs.incr("estimator.profile.hits", est.profile_hits);
+        obs.incr("estimator.profile.misses", est.profile_misses);
+        obs.incr("estimator.table.hits", est.table_hits);
+        obs.incr("estimator.table.misses", est.table_misses);
+    }
     SimResult {
         policy: policy.name().to_string(),
         records,
         timeline,
         raw_timeline,
         metrics,
+        trace: obs.report(),
     }
 }
 
@@ -441,6 +505,7 @@ fn dispatch(
     t: f64,
     acquired: &mut std::collections::HashSet<(String, usize, usize, usize)>,
     decisions: &mut Vec<f64>,
+    obs: &Obs,
 ) {
     let actions = {
         let queued: Vec<JobView> = sjobs
@@ -450,19 +515,32 @@ fn dispatch(
             .collect();
         let running: Vec<JobView> = sjobs.iter().filter(|j| j.active()).map(job_view).collect();
         let pools = cluster.pool_stats();
+        if obs.is_enabled() {
+            obs.context(t, policy.name(), ev.label());
+            obs.incr(&format!("sim.event.{}", ev.label()), 1);
+            obs.gauge("sim.queue_depth", t, queued.len() as f64);
+            obs.gauge("sim.running_jobs", t, running.len() as f64);
+        }
         let view = SchedView {
             now_s: t,
             queued: &queued,
             running: &running,
             pools: &pools,
             service,
+            obs: obs.clone(),
         };
         let started = std::time::Instant::now();
-        let actions = policy.schedule(ev, &view);
+        let actions = {
+            let _span = obs.span("sim.schedule");
+            policy.schedule(ev, &view)
+        };
         decisions.push(started.elapsed().as_secs_f64());
+        obs.observe("sim.actions_per_pass", actions.len() as f64);
         actions
     };
-    execute(&actions, sjobs, cluster, service, policy, cfg, t, acquired);
+    execute(
+        &actions, sjobs, cluster, service, policy, cfg, t, acquired, obs,
+    );
 }
 
 fn job_view(j: &SJob) -> JobView {
@@ -505,6 +583,7 @@ fn execute(
     cfg: &SimConfig,
     t: f64,
     acquired: &mut std::collections::HashSet<(String, usize, usize, usize)>,
+    obs: &Obs,
 ) {
     for action in actions {
         match *action {
@@ -551,7 +630,11 @@ fn execute(
                     PlanMode::Cell => service.arena_run(&j.spec.model, gpus, pool),
                 };
                 let Some(run) = run else {
-                    continue; // Infeasible placement: ignored.
+                    // Infeasible placement: ignored (the job stays where
+                    // it was — queued or running).
+                    obs.incr("sim.place.infeasible", 1);
+                    obs.decision(Decision::requeue(job).why("infeasible-placement"));
+                    continue;
                 };
                 let was_active = j.active();
                 if let Some(alloc) = j.alloc.take() {
@@ -583,6 +666,7 @@ fn execute(
                         j.sps = run.throughput_sps;
                         j.iter_time = run.iter_time_s;
                         j.state = JState::Starting(t + delay);
+                        obs.incr("sim.place.ok", 1);
                     }
                     Err(_) => {
                         // Capacity race: job returns to the queue.
@@ -590,6 +674,8 @@ fn execute(
                             j.restarts += 1;
                         }
                         j.state = JState::Queued;
+                        obs.incr("sim.place.capacity_race", 1);
+                        obs.decision(Decision::requeue(job).why("capacity-race"));
                     }
                 }
             }

@@ -21,5 +21,9 @@
 pub mod engine;
 pub mod metrics;
 
-pub use engine::{simulate, simulate_with_faults, SimConfig, SimResult};
+pub use arena_obs::{Decision, DecisionKind, Obs, TraceReport};
+pub use engine::{
+    simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,
+    SimResult,
+};
 pub use metrics::{FaultLog, JobRecord, Metrics};

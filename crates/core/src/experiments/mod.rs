@@ -25,6 +25,7 @@
 //! | [`generality::fig21`] | Fig. 21 (search-depth sensitivity) |
 //! | [`ablations`] | reproduction-level ablations (noise, mechanisms, checkpoints) |
 //! | [`faults`] | fault-injection MTBF sweep (reproduction extension) |
+//! | [`observability`] | traced conformance workload (decision provenance) |
 
 pub mod ablations;
 pub mod clustersim;
@@ -32,6 +33,7 @@ pub mod faults;
 pub mod generality;
 pub mod microbench;
 pub mod motivation;
+pub mod observability;
 pub mod tables;
 
 use serde::Serialize;

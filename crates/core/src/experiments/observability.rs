@@ -1,0 +1,222 @@
+//! Observability conformance workload: the five-way policy comparison
+//! run with decision tracing enabled.
+//!
+//! Every policy schedules the same testbed trace while an [`Obs`] handle
+//! records a [`Decision`](arena_sim::Decision) for each place / evict /
+//! drop / requeue it takes, plus engine counters (event mix, queue-depth
+//! gauges) and estimator cache statistics. The output is one provenance
+//! summary per policy and the full decision log as JSON Lines — the
+//! workload the golden-trace test harness snapshots.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use arena_cluster::presets;
+use arena_perf::CostParams;
+use arena_sched::PlanService;
+use arena_sim::{simulate_traced, DecisionKind, Obs, SimConfig};
+use arena_trace::{generate, TraceConfig, TraceKind};
+
+use crate::report::{count_table, f3, Table};
+
+/// One policy's decision-provenance summary from the traced workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSummary {
+    /// Policy display name.
+    pub policy: String,
+    /// Total recorded decisions (policy + engine provenance).
+    pub decisions: usize,
+    /// Placement decisions.
+    pub places: usize,
+    /// Placements flagged opportunistic (evictable backfill).
+    pub opportunistic_places: usize,
+    /// Eviction decisions.
+    pub evictions: usize,
+    /// Job-rejection decisions.
+    pub drops: usize,
+    /// Engine requeue provenance (failure evictions, capacity races).
+    pub requeues: usize,
+    /// Distinct `kind/reason` labels observed.
+    pub distinct_reasons: usize,
+    /// Scheduling passes (completed `sim.schedule` spans).
+    pub sched_passes: u64,
+    /// Estimator estimate-cache hits over the run.
+    pub estimate_hits: u64,
+    /// Estimator estimate-cache misses over the run.
+    pub estimate_misses: u64,
+    /// Decision counts per `kind/reason` key.
+    pub reason_counts: BTreeMap<String, usize>,
+}
+
+/// One traced policy run: its summary plus the exported decision log.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRun {
+    /// Per-policy provenance summary.
+    pub summary: TraceSummary,
+    /// The full decision log as JSON Lines (one object per decision).
+    pub jsonl: String,
+}
+
+/// Runs the five-way comparison with tracing enabled.
+///
+/// Each policy gets a fresh [`PlanService`] built from the same seed, so
+/// all runs see identical ground truth *and* the estimator counters in
+/// each report cover exactly that run.
+#[must_use]
+pub fn conformance_workload(quick: bool) -> Vec<TraceRun> {
+    let cluster = presets::physical_testbed();
+    let hours = if quick { 1.0 } else { 2.0 };
+    let trace_cfg = TraceConfig::new(
+        TraceKind::PhillyHeavy,
+        hours * 3600.0,
+        cluster.total_gpus(),
+        vec![48.0, 24.0],
+    );
+    let jobs = generate(&trace_cfg);
+    let sim_cfg = SimConfig::new(if quick { 12.0 * 3600.0 } else { 24.0 * 3600.0 });
+
+    let mut runs = Vec::new();
+    for mut policy in crate::experiments::comparison_policies() {
+        let service = PlanService::new(&cluster, CostParams::default(), 27);
+        let obs = Obs::enabled();
+        let r = simulate_traced(&cluster, &jobs, policy.as_mut(), &service, &sim_cfg, &obs);
+        let t = &r.trace;
+        let kind_count = |k: DecisionKind| t.decisions.iter().filter(|d| d.kind == k).count();
+        let summary = TraceSummary {
+            policy: r.policy.clone(),
+            decisions: t.decisions.len(),
+            places: kind_count(DecisionKind::Place),
+            opportunistic_places: t.decisions.iter().filter(|d| d.opportunistic).count(),
+            evictions: kind_count(DecisionKind::Evict),
+            drops: kind_count(DecisionKind::Drop),
+            requeues: kind_count(DecisionKind::Requeue),
+            distinct_reasons: t.decision_counts().len(),
+            sched_passes: t.spans.get("sim.schedule").map_or(0, |s| s.count),
+            estimate_hits: t
+                .counters
+                .get("estimator.estimate.hits")
+                .copied()
+                .unwrap_or(0),
+            estimate_misses: t
+                .counters
+                .get("estimator.estimate.misses")
+                .copied()
+                .unwrap_or(0),
+            reason_counts: t.decision_counts(),
+        };
+        runs.push(TraceRun {
+            summary,
+            jsonl: t.decisions_jsonl(),
+        });
+    }
+    runs
+}
+
+/// Renders the per-policy provenance comparison.
+#[must_use]
+pub fn trace_table(runs: &[TraceRun]) -> Table {
+    let mut t = Table::new(
+        "Observability: decision provenance per policy (traced workload)",
+        &[
+            "policy",
+            "decisions",
+            "place",
+            "opp",
+            "evict",
+            "drop",
+            "requeue",
+            "reasons",
+            "passes",
+            "est hit rate",
+        ],
+    );
+    for run in runs {
+        let s = &run.summary;
+        let lookups = s.estimate_hits + s.estimate_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            s.estimate_hits as f64 / lookups as f64
+        };
+        t.row(vec![
+            s.policy.clone(),
+            s.decisions.to_string(),
+            s.places.to_string(),
+            s.opportunistic_places.to_string(),
+            s.evictions.to_string(),
+            s.drops.to_string(),
+            s.requeues.to_string(),
+            s.distinct_reasons.to_string(),
+            s.sched_passes.to_string(),
+            f3(hit_rate),
+        ]);
+    }
+    t
+}
+
+/// Renders one policy's `kind/reason` breakdown.
+#[must_use]
+pub fn reason_table(run: &TraceRun) -> Table {
+    count_table(
+        &format!("Decision reasons: {}", run.summary.policy),
+        &run.summary.reason_counts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabricated() -> TraceRun {
+        TraceRun {
+            summary: TraceSummary {
+                policy: "Test".into(),
+                decisions: 3,
+                places: 2,
+                opportunistic_places: 1,
+                evictions: 0,
+                drops: 1,
+                requeues: 0,
+                distinct_reasons: 2,
+                sched_passes: 5,
+                estimate_hits: 3,
+                estimate_misses: 1,
+                reason_counts: [
+                    ("place/best-cell".to_string(), 2),
+                    ("drop/x".to_string(), 1),
+                ]
+                .into_iter()
+                .collect(),
+            },
+            jsonl: String::new(),
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let runs = vec![fabricated()];
+        let t = trace_table(&runs);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().contains("0.750"), "hit rate column");
+        let rt = reason_table(&runs[0]);
+        assert_eq!(rt.num_rows(), 2);
+        assert!(rt.render().contains("place/best-cell"));
+    }
+
+    #[test]
+    #[ignore = "multi-minute cluster simulation; run via the repro binary"]
+    fn workload_produces_nonempty_logs_for_every_policy() {
+        let runs = conformance_workload(true);
+        assert_eq!(runs.len(), 5);
+        for run in &runs {
+            assert!(
+                run.summary.decisions > 0,
+                "{} recorded no decisions",
+                run.summary.policy
+            );
+            assert!(!run.jsonl.is_empty());
+            assert_eq!(run.jsonl.lines().count(), run.summary.decisions);
+        }
+    }
+}

@@ -62,6 +62,9 @@ pub mod prelude {
         ArenaPolicy, ArenaSolverPolicy, ArenaVariant, ElasticFlowPolicy, FcfsPolicy, GandivaPolicy,
         GavelPolicy, PlanService, Policy, QueueOrder,
     };
-    pub use arena_sim::{simulate, SimConfig, SimResult};
+    pub use arena_sim::{
+        simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, Decision,
+        DecisionKind, Obs, SimConfig, SimResult, TraceReport,
+    };
     pub use arena_trace::{generate, JobSpec, TraceConfig, TraceKind};
 }

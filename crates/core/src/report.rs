@@ -73,6 +73,17 @@ impl Table {
     }
 }
 
+/// Renders a name → count mapping as a two-column table, sorted by key
+/// (the shape of a decision-reason breakdown).
+#[must_use]
+pub fn count_table(title: &str, counts: &std::collections::BTreeMap<String, usize>) -> Table {
+    let mut t = Table::new(title, &["key", "count"]);
+    for (k, v) in counts {
+        t.row(vec![k.clone(), v.to_string()]);
+    }
+    t
+}
+
 /// Formats a float with 3 significant decimals.
 #[must_use]
 pub fn f3(x: f64) -> String {

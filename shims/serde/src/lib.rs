@@ -304,6 +304,12 @@ macro_rules! de_signed {
 }
 de_signed!(i8, i16, i32, i64, isize);
 
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match *v {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use arena::cluster::{Allocation, Cluster, GpuSpec, GpuTypeId, NodeHealth, NodeSpec};
 use arena::prelude::*;
-use arena::sim::simulate_with_faults;
+use arena::sim::{simulate_with_faults, simulate_with_faults_traced};
 use arena::trace::{generate_faults, FaultConfig, FaultEvent, FaultKind};
 
 fn two_pool_cluster() -> Cluster {
@@ -264,4 +264,78 @@ fn failures_cost_real_progress() {
         r.metrics.finished + r.metrics.dropped + r.metrics.unfinished,
         jobs.len()
     );
+}
+
+#[test]
+fn fault_evictions_carry_decision_provenance() {
+    // A traced faulty run must attribute every failure eviction to an
+    // engine-originated requeue decision, stamped with the node-failure
+    // trigger — and the decision log must agree with the fault metrics.
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 2);
+    let jobs = small_trace(6);
+    let mut cfg = SimConfig::new(24.0 * 3600.0);
+    cfg.checkpoint_interval_s = f64::INFINITY;
+    let mut faults: Vec<FaultEvent> = (0..16)
+        .map(|n| FaultEvent {
+            time_s: 1500.0,
+            pool: 0,
+            node: n,
+            kind: FaultKind::Failure,
+        })
+        .collect();
+    faults.extend((0..16).map(|n| FaultEvent {
+        time_s: 6000.0,
+        pool: 0,
+        node: n,
+        kind: FaultKind::Repair,
+    }));
+    let obs = Obs::enabled();
+    let r = simulate_with_faults_traced(
+        &cluster,
+        &jobs,
+        &mut GavelPolicy::new(),
+        &service,
+        &cfg,
+        &faults,
+        &obs,
+    );
+    assert!(r.metrics.failure_evictions > 0);
+
+    let failure_requeues: Vec<&Decision> = r
+        .trace
+        .decisions
+        .iter()
+        .filter(|d| d.kind == DecisionKind::Requeue && d.reason == "node-failure-evict")
+        .collect();
+    assert_eq!(
+        failure_requeues.len(),
+        r.metrics.failure_evictions,
+        "decision log disagrees with fault metrics"
+    );
+    for d in &failure_requeues {
+        assert_eq!(d.policy, "engine", "fault evictions are engine-originated");
+        assert_eq!(d.trigger, "node-failure");
+        assert!(jobs.iter().any(|j| j.id == d.job), "unknown job {}", d.job);
+    }
+    // The engine's fault counters line up with the schedule. (Repairs
+    // are scheduled after the failures; the loop may legitimately end —
+    // all jobs terminal — before processing them all.)
+    assert_eq!(r.trace.counters.get("sim.fault.failure"), Some(&16));
+    assert!(
+        r.trace
+            .counters
+            .get("sim.fault.repair")
+            .copied()
+            .unwrap_or(0)
+            <= 16
+    );
+    // Requeue provenance is engine-only: it never pollutes the policy's
+    // place/drop decision stream.
+    assert!(r
+        .trace
+        .decisions
+        .iter()
+        .filter(|d| d.policy == "engine")
+        .all(|d| d.kind == DecisionKind::Requeue));
 }
