@@ -27,7 +27,23 @@ struct BenchEntry {
 #[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
+    /// `git rev-parse --short HEAD` at bench time ("unknown" outside a
+    /// checkout).
+    git_rev: String,
+    /// Policies the bench suite exercises.
+    policies: Vec<String>,
     benches: Vec<BenchEntry>,
+}
+
+/// The current git revision, if the bench runs inside a checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
 }
 
 fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
@@ -154,7 +170,7 @@ fn bench_simulate_500(smoke: bool) -> BenchEntry {
     let cfg = SimConfig::new(14.0 * 24.0 * 3600.0);
     // Warm the plan caches once.
     let _ = simulate(&cluster, &jobs, &mut ArenaPolicy::new(), &service, &cfg);
-    let iters = if smoke { 1 } else { 3 };
+    let iters = if smoke { 1 } else { 5 };
     time_loop(&format!("sim/simulate_{n}_jobs_arena"), iters, || {
         let mut p = ArenaPolicy::new();
         black_box(simulate(&cluster, black_box(&jobs), &mut p, &service, &cfg));
@@ -165,6 +181,8 @@ fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let report = BenchReport {
         smoke,
+        git_rev: git_rev(),
+        policies: vec!["Arena".to_string()],
         benches: vec![
             bench_estimate(smoke),
             bench_arena_schedule(smoke),

@@ -1,0 +1,276 @@
+//! `arena-analyze` — offline analysis of timeline artifacts and bench
+//! regression checking.
+//!
+//! ```text
+//! arena-analyze summarize <results-dir>
+//! arena-analyze diff <dir-a> <dir-b> [--top N]
+//! arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]
+//! ```
+//!
+//! * `summarize` reads the `timeline_*.summary.json` files written by
+//!   `repro timeline` and renders the per-policy time-in-state +
+//!   utilization comparison.
+//! * `diff` compares two such directories (e.g. two branches' runs) and
+//!   reports JCT / utilization deltas per policy plus the jobs whose JCT
+//!   moved the most.
+//! * `bench-check` compares two `BENCH_sim.json` files and exits
+//!   non-zero when any bench's mean regressed by more than the
+//!   threshold (default 0.20 = +20%). The `smoke:true` single-iteration
+//!   format is accepted on either side.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use arena::experiments::observability::{timeline_summary_table, TimelineSummary};
+use arena::report::Table;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") if args.len() >= 2 => summarize(Path::new(&args[1])),
+        Some("diff") if args.len() >= 3 => {
+            let top = flag_value(&args, "--top").map_or(5, |v| v.parse().unwrap_or(5));
+            diff(Path::new(&args[1]), Path::new(&args[2]), top)
+        }
+        Some("bench-check") if args.len() >= 3 => {
+            let threshold =
+                flag_value(&args, "--threshold").map_or(0.20, |v| v.parse().unwrap_or(0.20));
+            bench_check(Path::new(&args[1]), Path::new(&args[2]), threshold)
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  arena-analyze summarize <results-dir>\n  \
+                 arena-analyze diff <dir-a> <dir-b> [--top N]\n  \
+                 arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The value following `name` in the argument list, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Loads every `timeline_*.summary.json` under `dir`, sorted by file
+/// name for deterministic output.
+fn load_summaries(dir: &Path) -> Result<Vec<TimelineSummary>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("timeline_") && n.ends_with(".summary.json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "no timeline_*.summary.json files in {} (run `repro timeline` first)",
+            dir.display()
+        ));
+    }
+    let mut out = Vec::new();
+    for p in paths {
+        let body = std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        let s: TimelineSummary =
+            serde_json::from_str(&body).map_err(|e| format!("parse {}: {e}", p.display()))?;
+        out.push(s);
+    }
+    Ok(out)
+}
+
+fn summarize(dir: &Path) -> ExitCode {
+    match load_summaries(dir) {
+        Ok(summaries) => {
+            println!("{}", timeline_summary_table(&summaries).render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("summarize: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn diff(dir_a: &Path, dir_b: &Path, top: usize) -> ExitCode {
+    let (a, b) = match (load_summaries(dir_a), load_summaries(dir_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let by_policy = |v: Vec<TimelineSummary>| -> BTreeMap<String, TimelineSummary> {
+        v.into_iter().map(|s| (s.policy.clone(), s)).collect()
+    };
+    let (a, b) = (by_policy(a), by_policy(b));
+
+    let mut t = Table::new(
+        &format!("Timeline diff: {} -> {}", dir_a.display(), dir_b.display()),
+        &[
+            "policy",
+            "avg JCT a",
+            "avg JCT b",
+            "dJCT s",
+            "util a",
+            "util b",
+            "d prod GPU-s",
+        ],
+    );
+    for (policy, sa) in &a {
+        let Some(sb) = b.get(policy) else {
+            eprintln!("diff: policy {policy} missing from {}", dir_b.display());
+            continue;
+        };
+        t.row(vec![
+            policy.clone(),
+            format!("{:.0}", sa.avg_jct_s),
+            format!("{:.0}", sb.avg_jct_s),
+            format!("{:+.0}", sb.avg_jct_s - sa.avg_jct_s),
+            format!("{:.3}", sa.mean_util_frac),
+            format!("{:.3}", sb.mean_util_frac),
+            format!("{:+.0}", sb.productive_gpu_s - sa.productive_gpu_s),
+        ]);
+    }
+    println!("{}", t.render());
+
+    for (policy, sa) in &a {
+        let Some(sb) = b.get(policy) else { continue };
+        let jcts_b: BTreeMap<u64, Option<f64>> = sb.jobs.iter().map(|j| (j.id, j.jct_s)).collect();
+        // Jobs whose JCT moved, largest absolute move first.
+        let mut moved: Vec<(u64, f64, f64)> = sa
+            .jobs
+            .iter()
+            .filter_map(|j| {
+                let ja = j.jct_s?;
+                let jb = (*jcts_b.get(&j.id)?)?;
+                Some((j.id, ja, jb - ja))
+            })
+            .filter(|&(_, _, d)| d != 0.0)
+            .collect();
+        moved.sort_by(|x, y| y.2.abs().partial_cmp(&x.2.abs()).unwrap());
+        moved.truncate(top);
+        if moved.is_empty() {
+            println!("{policy}: no per-job JCT changes\n");
+            continue;
+        }
+        let mut jt = Table::new(
+            &format!("{policy}: top JCT moves"),
+            &["job", "JCT a (s)", "dJCT (s)"],
+        );
+        for (id, ja, d) in moved {
+            jt.row(vec![id.to_string(), format!("{ja:.0}"), format!("{d:+.0}")]);
+        }
+        println!("{}", jt.render());
+    }
+    ExitCode::SUCCESS
+}
+
+/// One bench entry pulled out of a `BENCH_sim.json` file.
+struct BenchLine {
+    iters: u64,
+    mean_s: f64,
+}
+
+/// Parses a `BENCH_sim.json` file tolerantly: `git_rev` / `policies`
+/// stamps and the `smoke` flag are all optional.
+fn load_bench(path: &Path) -> Result<(bool, BTreeMap<String, BenchLine>), String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let v: serde::Value =
+        serde_json::from_str(&body).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let smoke = matches!(v.get("smoke"), Some(serde::Value::Bool(true)));
+    let benches = v
+        .get("benches")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| format!("{}: no `benches` array", path.display()))?;
+    let mut out = BTreeMap::new();
+    for b in benches {
+        let name = match b.get("name") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => return Err(format!("{}: bench entry without a name", path.display())),
+        };
+        let num = |field: &str| -> Option<f64> {
+            match b.get(field) {
+                Some(serde::Value::F64(x)) => Some(*x),
+                Some(serde::Value::U64(x)) => Some(*x as f64),
+                Some(serde::Value::I64(x)) => Some(*x as f64),
+                _ => None,
+            }
+        };
+        let mean_s = num("mean_s").ok_or_else(|| format!("{name}: missing mean_s"))?;
+        let iters = num("iters").map_or(1, |x| x as u64);
+        out.insert(name, BenchLine { iters, mean_s });
+    }
+    Ok((smoke, out))
+}
+
+fn bench_check(old: &Path, new: &Path, threshold: f64) -> ExitCode {
+    let ((old_smoke, old_b), (new_smoke, new_b)) = match (load_bench(old), load_bench(new)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old_smoke || new_smoke {
+        eprintln!(
+            "bench-check: comparing smoke-mode timings (single iteration); \
+             expect noise"
+        );
+    }
+    let mut t = Table::new(
+        &format!(
+            "bench-check: {} -> {} (threshold +{:.0}%)",
+            old.display(),
+            new.display(),
+            threshold * 100.0
+        ),
+        &["bench", "old mean s", "new mean s", "ratio", "verdict"],
+    );
+    let mut failures = 0;
+    for (name, o) in &old_b {
+        let Some(n) = new_b.get(name) else {
+            t.row(vec![
+                name.clone(),
+                format!("{:.6}", o.mean_s),
+                "-".into(),
+                "-".into(),
+                "MISSING".into(),
+            ]);
+            failures += 1;
+            continue;
+        };
+        let ratio = if o.mean_s > 0.0 {
+            n.mean_s / o.mean_s
+        } else {
+            f64::INFINITY
+        };
+        let regressed = ratio > 1.0 + threshold;
+        if regressed {
+            failures += 1;
+        }
+        t.row(vec![
+            format!("{name} ({}x/{}x)", o.iters, n.iters),
+            format!("{:.6}", o.mean_s),
+            format!("{:.6}", n.mean_s),
+            format!("{ratio:.3}"),
+            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if failures > 0 {
+        eprintln!("bench-check: {failures} bench(es) regressed past the threshold");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

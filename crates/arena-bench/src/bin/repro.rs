@@ -42,6 +42,7 @@ const ALL: &[&str] = &[
     "ablate_faults",
     "solver",
     "trace",
+    "timeline",
 ];
 
 fn main() {
@@ -207,6 +208,21 @@ fn run(name: &str, quick: bool) {
                 println!("{}", observability::reason_table(run).render());
                 let file = format!("trace_decisions_{}.jsonl", slug(&run.summary.policy));
                 write_text(&file, &run.jsonl).expect("write");
+            }
+        }
+        "timeline" => {
+            let runs = observability::timeline_workload(quick);
+            let summaries: Vec<_> = runs.iter().map(|r| r.summary.clone()).collect();
+            println!(
+                "{}",
+                observability::timeline_summary_table(&summaries).render()
+            );
+            for run in &runs {
+                let s = slug(&run.summary.policy);
+                write_json(&format!("timeline_{s}.summary"), &run.summary).expect("write");
+                write_text(&format!("timeline_{s}.trace.json"), &run.perfetto_json).expect("write");
+                write_text(&format!("timeline_{s}.util.jsonl"), &run.utilization_jsonl)
+                    .expect("write");
             }
         }
         other => eprintln!("unknown experiment '{other}'; known: {ALL:?}"),

@@ -43,6 +43,13 @@ use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+pub mod timeline;
+
+pub use timeline::{
+    AllocEvent, JobAccount, JobEvent, JobEventKind, JobInterval, JobState, NodeSlot, StopCause,
+    Timeline, UtilSample,
+};
+
 /// What kind of action a [`Decision`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DecisionKind {
@@ -101,6 +108,11 @@ pub struct Decision {
     /// The candidate score the decision was taken on (policy-specific:
     /// normalised throughput for Arena, profiled rate for Gavel, …).
     pub score: Option<f64>,
+    /// Pool the job held *before* this decision (rescales/migrations of
+    /// active jobs only).
+    pub prev_pool: Option<usize>,
+    /// GPU count held before this decision (rescales/migrations only).
+    pub prev_gpus: Option<usize>,
     /// Why: a stable, policy-specific reason label.
     pub reason: &'static str,
 }
@@ -118,6 +130,8 @@ impl Decision {
             gpus: None,
             opportunistic: false,
             score: None,
+            prev_pool: None,
+            prev_gpus: None,
             reason: "",
         }
     }
@@ -160,6 +174,16 @@ impl Decision {
     #[must_use]
     pub fn opportunistic(mut self) -> Self {
         self.opportunistic = true;
+        self
+    }
+
+    /// Attaches the placement the job is moving *from* — making the
+    /// record a rescale (same pool, different GPU count) or migration
+    /// (different pool) with both endpoints visible.
+    #[must_use]
+    pub fn moving_from(mut self, pool: usize, gpus: usize) -> Self {
+        self.prev_pool = Some(pool);
+        self.prev_gpus = Some(gpus);
         self
     }
 
@@ -206,6 +230,9 @@ impl Decision {
             }
             None => s.push_str(",\"score\":null"),
         }
+        if let (Some(p), Some(g)) = (self.prev_pool, self.prev_gpus) {
+            let _ = write!(s, ",\"prev_pool\":{p},\"prev_gpus\":{g}");
+        }
         let _ = write!(s, ",\"reason\":\"{}\"", json_escape(self.reason));
         s.push('}');
         s
@@ -225,6 +252,9 @@ impl Decision {
         if let (Some(p), Some(g)) = (self.pool, self.gpus) {
             let _ = write!(s, " pool={p} gpus={g}");
         }
+        if let (Some(p), Some(g)) = (self.prev_pool, self.prev_gpus) {
+            let _ = write!(s, " from={p}/{g}");
+        }
         if self.opportunistic {
             s.push_str(" opp");
         }
@@ -233,7 +263,7 @@ impl Decision {
     }
 }
 
-fn json_escape(raw: &str) -> String {
+pub(crate) fn json_escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
     for c in raw.chars() {
         match c {
@@ -251,7 +281,7 @@ fn json_escape(raw: &str) -> String {
 }
 
 /// JSON-safe float rendering (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -262,7 +292,7 @@ fn json_f64(v: f64) -> String {
 /// Deterministic short float rendering for snapshot lines: times in this
 /// simulator are sums of exact config constants, so plain `{}` printing
 /// is stable across runs and platforms.
-fn trim_f64(v: f64) -> String {
+pub(crate) fn trim_f64(v: f64) -> String {
     format!("{v}")
 }
 
@@ -277,7 +307,8 @@ pub struct SpanStats {
     pub max_s: f64,
 }
 
-/// Summary of one histogram.
+/// Summary of one histogram: moments plus percentile summaries, so
+/// reports render distributions without dumping raw samples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistStats {
     /// Recorded values.
@@ -288,6 +319,12 @@ pub struct HistStats {
     pub min: f64,
     /// Largest value.
     pub max: f64,
+    /// Median (nearest-rank percentile over all recorded samples).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 impl HistStats {
@@ -298,6 +335,30 @@ impl HistStats {
             0.0
         } else {
             self.sum / self.count as f64
+        }
+    }
+
+    /// Summarises raw samples (nearest-rank percentiles; samples need
+    /// not be sorted).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return HistStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        HistStats {
+            count: sorted.len() as u64,
+            sum: sorted.iter().sum(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
         }
     }
 }
@@ -312,8 +373,10 @@ struct Inner {
     decisions: Vec<Decision>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, Vec<(f64, f64)>>,
-    histograms: BTreeMap<String, HistStats>,
+    // Raw samples; summarised (with percentiles) at report time.
+    histograms: BTreeMap<String, Vec<f64>>,
     spans: BTreeMap<String, SpanStats>,
+    timeline: Timeline,
 }
 
 /// The observability handle.
@@ -421,16 +484,69 @@ impl Obs {
     /// Records a value into a histogram.
     pub fn observe(&self, name: &str, value: f64) {
         if let Some(mut g) = self.lock() {
-            let h = g.histograms.entry(name.to_string()).or_default();
-            if h.count == 0 {
-                h.min = value;
-                h.max = value;
-            } else {
-                h.min = h.min.min(value);
-                h.max = h.max.max(value);
-            }
-            h.count += 1;
-            h.sum += value;
+            g.histograms
+                .entry(name.to_string())
+                .or_default()
+                .push(value);
+        }
+    }
+
+    /// Registers the cluster's node layout for timeline accounting:
+    /// `(pool, node, capacity)` triples. The engine calls this once at
+    /// the start of a traced run.
+    pub fn timeline_nodes(&self, nodes: &[(usize, usize, usize)]) {
+        if let Some(mut g) = self.lock() {
+            g.timeline.nodes = nodes
+                .iter()
+                .map(|&(pool, node, capacity)| NodeSlot {
+                    pool,
+                    node,
+                    capacity,
+                })
+                .collect();
+        }
+    }
+
+    /// Records one job-state transition on the timeline.
+    pub fn job_event(&self, time_s: f64, job: u64, kind: JobEventKind) {
+        if let Some(mut g) = self.lock() {
+            let seq = g.timeline.events.len() as u64;
+            g.timeline.events.push(JobEvent {
+                seq,
+                time_s,
+                job,
+                kind,
+            });
+            g.timeline.end_s = g.timeline.end_s.max(time_s);
+        }
+    }
+
+    /// Records one GPU acquire/release with its node layout.
+    pub fn alloc_event(
+        &self,
+        time_s: f64,
+        job: u64,
+        pool: usize,
+        node_gpus: &[(usize, usize)],
+        acquire: bool,
+    ) {
+        if let Some(mut g) = self.lock() {
+            g.timeline.allocs.push(AllocEvent {
+                time_s,
+                job,
+                pool,
+                node_gpus: node_gpus.to_vec(),
+                acquire,
+            });
+            g.timeline.end_s = g.timeline.end_s.max(time_s);
+        }
+    }
+
+    /// Closes the timeline at the run's final time; open job intervals
+    /// end here.
+    pub fn timeline_close(&self, end_s: f64) {
+        if let Some(mut g) = self.lock() {
+            g.timeline.end_s = g.timeline.end_s.max(end_s);
         }
     }
 
@@ -452,8 +568,13 @@ impl Obs {
                 decisions: g.decisions.clone(),
                 counters: g.counters.clone(),
                 gauges: g.gauges.clone(),
-                histograms: g.histograms.clone(),
+                histograms: g
+                    .histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), HistStats::from_samples(v)))
+                    .collect(),
                 spans: g.spans.clone(),
+                timeline: g.timeline.clone(),
             })
     }
 }
@@ -487,10 +608,12 @@ pub struct TraceReport {
     pub counters: BTreeMap<String, u64>,
     /// Gauge sample series.
     pub gauges: BTreeMap<String, Vec<(f64, f64)>>,
-    /// Histogram summaries.
+    /// Histogram summaries (with p50/p95/p99 percentiles).
     pub histograms: BTreeMap<String, HistStats>,
     /// Span wall-clock summaries (the only non-deterministic content).
     pub spans: BTreeMap<String, SpanStats>,
+    /// Job-lifecycle timeline and GPU allocation events.
+    pub timeline: Timeline,
 }
 
 impl TraceReport {
@@ -502,6 +625,28 @@ impl TraceReport {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
+            && self.timeline.is_empty()
+    }
+
+    /// Renders histogram summaries as deterministic percentile lines
+    /// (`name count mean p50 p95 p99 max`), one per histogram, instead
+    /// of a raw sample dump.
+    #[must_use]
+    pub fn histogram_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name} count={} mean={:.6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            );
+        }
+        out
     }
 
     /// Decision counts per `kind/reason` key, sorted by key.
@@ -545,6 +690,11 @@ impl TraceReport {
                 let _ = writeln!(out, "last {}", d.compact());
             }
         }
+        // Compact per-run time-in-state footer: timeline regressions
+        // fail the snapshot just like decision regressions do.
+        if !self.timeline.is_empty() {
+            out.push_str(&self.timeline.golden_footer());
+        }
         out
     }
 }
@@ -562,6 +712,10 @@ mod tests {
         obs.incr("c", 3);
         obs.gauge("g", 0.0, 1.0);
         obs.observe("h", 2.0);
+        obs.timeline_nodes(&[(0, 0, 8)]);
+        obs.job_event(0.0, 1, JobEventKind::Submit);
+        obs.alloc_event(1.0, 1, 0, &[(0, 4)], true);
+        obs.timeline_close(10.0);
         drop(obs.span("s"));
         assert_eq!(obs.decision_count(), 0);
         assert!(obs.report().is_empty());
@@ -612,6 +766,68 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 5.0);
         assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let obs = Obs::enabled();
+        for v in 1..=100 {
+            obs.observe("h", f64::from(v));
+        }
+        let h = obs.report().histograms["h"];
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        // Single sample: every percentile is that sample.
+        let one = HistStats::from_samples(&[7.0]);
+        assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
+        assert_eq!(HistStats::from_samples(&[]), HistStats::default());
+        let lines = obs.report().histogram_lines();
+        assert!(lines.contains("h count=100"));
+        assert!(lines.contains("p95=95.000000"));
+    }
+
+    #[test]
+    fn timeline_records_through_handle() {
+        let obs = Obs::enabled();
+        obs.timeline_nodes(&[(0, 0, 8), (0, 1, 8)]);
+        obs.job_event(0.0, 3, JobEventKind::Submit);
+        obs.job_event(
+            5.0,
+            3,
+            JobEventKind::Place {
+                pool: 0,
+                gpus: 4,
+                prev: None,
+                opportunistic: false,
+            },
+        );
+        obs.alloc_event(5.0, 3, 0, &[(0, 4)], true);
+        obs.job_event(10.0, 3, JobEventKind::RunStart);
+        obs.timeline_close(50.0);
+        let t = obs.report().timeline;
+        t.validate().unwrap();
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.allocs.len(), 1);
+        assert_eq!(t.end_s, 50.0);
+        let acc = t.accounts()[&3];
+        assert_eq!(acc.queue_s, 5.0);
+        assert_eq!(acc.placed_s, 5.0);
+        assert_eq!(acc.run_s, 40.0);
+    }
+
+    #[test]
+    fn moving_from_serialises_and_renders() {
+        let d = Decision::place(4, 1, 8).moving_from(0, 4).why("rescale");
+        let js = d.to_json();
+        assert!(js.contains("\"prev_pool\":0,\"prev_gpus\":4"));
+        assert!(d.compact().contains("from=0/4"));
+        // Without a previous placement neither field appears.
+        let plain = Decision::place(4, 1, 8).why("x");
+        assert!(!plain.to_json().contains("prev_pool"));
+        assert!(!plain.compact().contains("from="));
     }
 
     #[test]

@@ -1,0 +1,915 @@
+//! Job-lifecycle timelines and GPU-utilization accounting.
+//!
+//! Every traced simulation records two deterministic event streams here:
+//!
+//! * **Job events** — the per-job state machine
+//!   `Queued → Placed → Running → {Queued | Finished | Dropped}`, where a
+//!   return to `Queued` is a preemption (policy eviction, capacity race
+//!   or node failure with checkpoint rollback) and a `Placed` from
+//!   `Running` is a rescale or migration. Each transition carries its
+//!   provenance (old → new pool/GPU counts, lost iterations).
+//! * **Allocation events** — every acquire/release of GPUs, with the
+//!   exact `(node, gpus)` layout, so per-node busy intervals and
+//!   cluster-utilization time-series can be reconstructed.
+//!
+//! From the raw events the [`Timeline`] derives per-job intervals
+//! ([`Timeline::job_intervals`]), interval accounting
+//! ([`Timeline::accounts`]: queueing delay, restart overhead, run time,
+//! allocated vs. productive GPU-seconds), a cluster-utilization
+//! time-series ([`Timeline::utilization`], including a fragmentation
+//! measure) and two export formats: Chrome-trace/Perfetto JSON
+//! ([`Timeline::perfetto_json`], loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and a JSONL utilization series
+//! ([`Timeline::utilization_jsonl`]). Everything is a pure function of
+//! simulation time — two runs of the same workload export byte-identical
+//! artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{json_escape, json_f64, trim_f64};
+
+/// The lifecycle states of the per-job state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobState {
+    /// Waiting for GPUs (initial state, and after any preemption).
+    Queued,
+    /// Holding GPUs but not yet making progress: restart overhead,
+    /// checkpoint restore, plan acquisition.
+    Placed,
+    /// Making progress.
+    Running,
+    /// Completed all iterations (terminal).
+    Finished,
+    /// Permanently rejected by the scheduler (terminal).
+    Dropped,
+}
+
+impl JobState {
+    /// Stable label used in exports and snapshots.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "Queued",
+            JobState::Placed => "Placed",
+            JobState::Running => "Running",
+            JobState::Finished => "Finished",
+            JobState::Dropped => "Dropped",
+        }
+    }
+
+    /// Whether the state is terminal.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Finished | JobState::Dropped)
+    }
+}
+
+/// Why a job stopped holding GPUs and returned to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The policy evicted it (scaling move, reclaim, parking).
+    Preemption,
+    /// Two placements raced for the same capacity; this one lost.
+    CapacityRace,
+    /// A node it ran on failed; progress rolled back to the last
+    /// checkpoint.
+    NodeFailure,
+}
+
+impl StopCause {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopCause::Preemption => "preemption",
+            StopCause::CapacityRace => "capacity-race",
+            StopCause::NodeFailure => "node-failure",
+        }
+    }
+}
+
+/// One transition of a job's state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEventKind {
+    /// The job entered the queue (`→ Queued`).
+    Submit,
+    /// The scheduler granted GPUs (`Queued|Placed|Running → Placed`).
+    /// `prev` carries the old `(pool, gpus)` when this is a rescale or
+    /// migration of an active job.
+    Place {
+        /// Target pool.
+        pool: usize,
+        /// Target GPU count.
+        gpus: usize,
+        /// Previous `(pool, gpus)` if the job was active (rescale or
+        /// migration), `None` for a placement out of the queue.
+        prev: Option<(usize, usize)>,
+        /// Whether the placement is opportunistic backfill.
+        opportunistic: bool,
+    },
+    /// Restart overhead over; progress resumes (`Placed → Running`).
+    RunStart,
+    /// The job lost its GPUs and returned to the queue
+    /// (`Placed|Running → Queued`). `lost_iters` is the progress rolled
+    /// back (non-zero only for node failures).
+    Stop {
+        /// Why the job stopped.
+        cause: StopCause,
+        /// Iterations of progress lost to the checkpoint rollback.
+        lost_iters: f64,
+    },
+    /// All iterations done (`Running → Finished`).
+    Finish,
+    /// Permanently rejected (`Queued|Placed|Running → Dropped`).
+    Drop,
+}
+
+impl JobEventKind {
+    /// Stable lowercase label.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobEventKind::Submit => "submit",
+            JobEventKind::Place { .. } => "place",
+            JobEventKind::RunStart => "run-start",
+            JobEventKind::Stop { .. } => "stop",
+            JobEventKind::Finish => "finish",
+            JobEventKind::Drop => "drop",
+        }
+    }
+}
+
+/// One recorded job-state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// Global sequence number within the timeline (stamped on record).
+    pub seq: u64,
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Subject job id.
+    pub job: u64,
+    /// The transition.
+    pub kind: JobEventKind,
+}
+
+/// One GPU acquire or release with its exact node layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocEvent {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Holding job.
+    pub job: u64,
+    /// Pool the GPUs come from.
+    pub pool: usize,
+    /// `(node index, GPUs on that node)` pairs.
+    pub node_gpus: Vec<(usize, usize)>,
+    /// `true` for acquire, `false` for release.
+    pub acquire: bool,
+}
+
+/// One node's identity and capacity, registered before the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSlot {
+    /// Pool (GPU type) index.
+    pub pool: usize,
+    /// Node index within the pool.
+    pub node: usize,
+    /// GPUs on the node.
+    pub capacity: usize,
+}
+
+/// One contiguous interval a job spent in one state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobInterval {
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Interval end, seconds (the close time for still-open intervals).
+    pub end_s: f64,
+    /// State during the interval.
+    pub state: JobState,
+    /// GPUs held during the interval (0 while queued/terminal).
+    pub gpus: usize,
+    /// Pool of the held GPUs (meaningful only when `gpus > 0`).
+    pub pool: usize,
+}
+
+/// Interval accounting of one job's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobAccount {
+    /// Total time in `Queued`, seconds (queueing delay, all visits).
+    pub queue_s: f64,
+    /// Total time in `Placed`, seconds (restart/acquisition overhead).
+    pub placed_s: f64,
+    /// Total time in `Running`, seconds.
+    pub run_s: f64,
+    /// GPU-seconds held (`Placed` + `Running` intervals × GPUs).
+    pub allocated_gpu_s: f64,
+    /// GPU-seconds making progress (`Running` intervals × GPUs).
+    pub productive_gpu_s: f64,
+    /// Placements out of the queue or while active.
+    pub placements: u32,
+    /// Rescales/migrations (placements of an already-active job).
+    pub moves: u32,
+    /// Times the job lost its GPUs and re-queued.
+    pub preemptions: u32,
+    /// Iterations of progress lost to checkpoint rollbacks.
+    pub lost_iters: f64,
+}
+
+/// One sample of the cluster-utilization time-series (event-driven: one
+/// sample per time at which any allocation changed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilSample {
+    /// Sample time, seconds.
+    pub time_s: f64,
+    /// Busy GPUs across the cluster.
+    pub busy_gpus: usize,
+    /// Total GPUs across the cluster.
+    pub total_gpus: usize,
+    /// Nodes with at least one busy GPU.
+    pub busy_nodes: usize,
+    /// Fraction of *free* GPUs stranded on partially-occupied nodes — a
+    /// fragmentation measure: 1.0 means every free GPU shares a node
+    /// with a running job, 0.0 means all free capacity is on whole idle
+    /// nodes.
+    pub frag_frac: f64,
+    /// Per-pool busy GPU counts.
+    pub busy_per_pool: Vec<usize>,
+}
+
+impl UtilSample {
+    /// Busy fraction of the cluster.
+    #[must_use]
+    pub fn util_frac(&self) -> f64 {
+        if self.total_gpus == 0 {
+            0.0
+        } else {
+            self.busy_gpus as f64 / self.total_gpus as f64
+        }
+    }
+}
+
+/// The recorded timeline of one traced run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Registered nodes (pool, node, capacity), in registration order.
+    pub nodes: Vec<NodeSlot>,
+    /// Job-state transitions, in recording order.
+    pub events: Vec<JobEvent>,
+    /// GPU acquire/release events, in recording order.
+    pub allocs: Vec<AllocEvent>,
+    /// Close time: open intervals end here (the run's horizon).
+    pub end_s: f64,
+}
+
+impl Timeline {
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.allocs.is_empty()
+    }
+
+    /// The legal transition function of the job state machine. Returns
+    /// the successor state, or `None` for an illegal transition.
+    #[must_use]
+    pub fn transition(state: Option<JobState>, kind: &JobEventKind) -> Option<JobState> {
+        match (state, kind) {
+            (None, JobEventKind::Submit) => Some(JobState::Queued),
+            (
+                Some(JobState::Queued | JobState::Placed | JobState::Running),
+                JobEventKind::Place { .. },
+            ) => Some(JobState::Placed),
+            (Some(JobState::Placed), JobEventKind::RunStart) => Some(JobState::Running),
+            (Some(JobState::Placed | JobState::Running), JobEventKind::Stop { .. }) => {
+                Some(JobState::Queued)
+            }
+            (Some(JobState::Running), JobEventKind::Finish) => Some(JobState::Finished),
+            (Some(JobState::Queued | JobState::Placed | JobState::Running), JobEventKind::Drop) => {
+                Some(JobState::Dropped)
+            }
+            _ => None,
+        }
+    }
+
+    /// Checks every per-job event sequence against the state machine and
+    /// time monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first illegal transition or
+    /// non-monotonic timestamp found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut state: BTreeMap<u64, (Option<JobState>, f64)> = BTreeMap::new();
+        for ev in &self.events {
+            let (cur, last_t) = state.get(&ev.job).copied().unwrap_or((None, f64::MIN));
+            if ev.time_s < last_t {
+                return Err(format!(
+                    "job {}: event {} at t={} precedes t={}",
+                    ev.job,
+                    ev.kind.as_str(),
+                    ev.time_s,
+                    last_t
+                ));
+            }
+            let Some(next) = Self::transition(cur, &ev.kind) else {
+                return Err(format!(
+                    "job {}: illegal transition {:?} --{}--> at t={}",
+                    ev.job,
+                    cur,
+                    ev.kind.as_str(),
+                    ev.time_s
+                ));
+            };
+            state.insert(ev.job, (Some(next), ev.time_s));
+        }
+        Ok(())
+    }
+
+    /// Derives each job's state intervals from its events. Open intervals
+    /// of non-terminal states are closed at [`Timeline::end_s`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an illegal event sequence (use [`Timeline::validate`]
+    /// first when the stream is untrusted).
+    #[must_use]
+    pub fn job_intervals(&self) -> BTreeMap<u64, Vec<JobInterval>> {
+        let mut out: BTreeMap<u64, Vec<JobInterval>> = BTreeMap::new();
+        // (state, since, pool, gpus) per job.
+        let mut cur: BTreeMap<u64, (JobState, f64, usize, usize)> = BTreeMap::new();
+        for ev in &self.events {
+            let prev = cur.get(&ev.job).copied();
+            let next = Self::transition(prev.map(|(s, ..)| s), &ev.kind)
+                .unwrap_or_else(|| panic!("illegal timeline event: {ev:?}"));
+            if let Some((state, since, pool, gpus)) = prev {
+                out.entry(ev.job).or_default().push(JobInterval {
+                    start_s: since,
+                    end_s: ev.time_s,
+                    state,
+                    gpus,
+                    pool,
+                });
+            }
+            let (pool, gpus) = match ev.kind {
+                JobEventKind::Place { pool, gpus, .. } => (pool, gpus),
+                // Run keeps its grant; queue/terminal states hold none.
+                JobEventKind::RunStart => prev.map_or((0, 0), |(.., p, g)| (p, g)),
+                _ => (0, 0),
+            };
+            cur.insert(ev.job, (next, ev.time_s, pool, gpus));
+        }
+        for (job, (state, since, pool, gpus)) in cur {
+            if !state.is_terminal() && self.end_s > since {
+                out.entry(job).or_default().push(JobInterval {
+                    start_s: since,
+                    end_s: self.end_s,
+                    state,
+                    gpus,
+                    pool,
+                });
+            } else {
+                out.entry(job).or_default();
+            }
+        }
+        out
+    }
+
+    /// Interval accounting per job. GPU-second sums accumulate interval
+    /// by interval in chronological order, so they match an engine that
+    /// does the same arithmetic bitwise.
+    #[must_use]
+    pub fn accounts(&self) -> BTreeMap<u64, JobAccount> {
+        let mut out: BTreeMap<u64, JobAccount> = BTreeMap::new();
+        for (job, intervals) in self.job_intervals() {
+            let acc = out.entry(job).or_default();
+            for iv in intervals {
+                let dt = iv.end_s - iv.start_s;
+                match iv.state {
+                    JobState::Queued => acc.queue_s += dt,
+                    JobState::Placed => {
+                        acc.placed_s += dt;
+                        acc.allocated_gpu_s += dt * iv.gpus as f64;
+                    }
+                    JobState::Running => {
+                        acc.run_s += dt;
+                        acc.productive_gpu_s += dt * iv.gpus as f64;
+                        acc.allocated_gpu_s += dt * iv.gpus as f64;
+                    }
+                    JobState::Finished | JobState::Dropped => {}
+                }
+            }
+        }
+        for ev in &self.events {
+            let acc = out.entry(ev.job).or_default();
+            match ev.kind {
+                JobEventKind::Place { prev, .. } => {
+                    acc.placements += 1;
+                    if prev.is_some() {
+                        acc.moves += 1;
+                    }
+                }
+                JobEventKind::Stop { lost_iters, .. } => {
+                    acc.preemptions += 1;
+                    acc.lost_iters += lost_iters;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total time across all jobs in each state, seconds.
+    #[must_use]
+    pub fn time_in_state(&self) -> BTreeMap<&'static str, f64> {
+        let mut out = BTreeMap::new();
+        for intervals in self.job_intervals().values() {
+            for iv in intervals {
+                *out.entry(iv.state.as_str()).or_insert(0.0) += iv.end_s - iv.start_s;
+            }
+        }
+        out
+    }
+
+    /// Event-driven cluster-utilization time-series: one sample per
+    /// distinct time at which any allocation changed, plus a closing
+    /// sample at [`Timeline::end_s`].
+    #[must_use]
+    pub fn utilization(&self) -> Vec<UtilSample> {
+        let total_gpus: usize = self.nodes.iter().map(|n| n.capacity).sum();
+        let num_pools = self
+            .nodes
+            .iter()
+            .map(|n| n.pool + 1)
+            .max()
+            .unwrap_or_default();
+        // Busy GPUs per registered node.
+        let mut busy: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut out: Vec<UtilSample> = Vec::new();
+        let mut i = 0;
+        while i < self.allocs.len() {
+            let t = self.allocs[i].time_s;
+            // Apply every event at this instant before sampling.
+            while i < self.allocs.len() && self.allocs[i].time_s == t {
+                let ev = &self.allocs[i];
+                for &(node, gpus) in &ev.node_gpus {
+                    let slot = busy.entry((ev.pool, node)).or_insert(0);
+                    if ev.acquire {
+                        *slot += gpus;
+                    } else {
+                        *slot = slot.saturating_sub(gpus);
+                    }
+                }
+                i += 1;
+            }
+            out.push(Self::sample(t, &busy, &self.nodes, total_gpus, num_pools));
+        }
+        if let Some(last) = out.last() {
+            if self.end_s > last.time_s {
+                let mut closing = last.clone();
+                closing.time_s = self.end_s;
+                out.push(closing);
+            }
+        }
+        out
+    }
+
+    fn sample(
+        t: f64,
+        busy: &BTreeMap<(usize, usize), usize>,
+        nodes: &[NodeSlot],
+        total_gpus: usize,
+        num_pools: usize,
+    ) -> UtilSample {
+        let busy_gpus: usize = busy.values().sum();
+        let busy_nodes = busy.values().filter(|&&b| b > 0).count();
+        let mut busy_per_pool = vec![0_usize; num_pools];
+        for (&(pool, _), &b) in busy {
+            if pool < num_pools {
+                busy_per_pool[pool] += b;
+            }
+        }
+        // Free GPUs on nodes that are partially occupied, over all free
+        // GPUs: capacity stranded next to running jobs.
+        let mut free_total = 0_usize;
+        let mut free_stranded = 0_usize;
+        for n in nodes {
+            let b = busy.get(&(n.pool, n.node)).copied().unwrap_or(0);
+            let free = n.capacity.saturating_sub(b);
+            free_total += free;
+            if b > 0 {
+                free_stranded += free;
+            }
+        }
+        UtilSample {
+            time_s: t,
+            busy_gpus,
+            total_gpus,
+            busy_nodes,
+            frag_frac: if free_total == 0 {
+                0.0
+            } else {
+                free_stranded as f64 / free_total as f64
+            },
+            busy_per_pool,
+        }
+    }
+
+    /// Mean busy fraction of the cluster, time-weighted over the
+    /// utilization series.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        let series = self.utilization();
+        let (mut area, mut span) = (0.0, 0.0);
+        for w in series.windows(2) {
+            let dt = w[1].time_s - w[0].time_s;
+            area += w[0].util_frac() * dt;
+            span += dt;
+        }
+        if span > 0.0 {
+            area / span
+        } else {
+            0.0
+        }
+    }
+
+    /// The utilization series as JSON Lines, one object per sample.
+    #[must_use]
+    pub fn utilization_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.utilization() {
+            let _ = write!(
+                out,
+                "{{\"time_s\":{},\"busy_gpus\":{},\"total_gpus\":{},\"util\":{},\
+                 \"busy_nodes\":{},\"frag_frac\":{},\"busy_per_pool\":[",
+                json_f64(s.time_s),
+                s.busy_gpus,
+                s.total_gpus,
+                json_f64(s.util_frac()),
+                s.busy_nodes,
+                json_f64(s.frag_frac),
+            );
+            for (i, b) in s.busy_per_pool.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Chrome-trace/Perfetto JSON: one track per job (pid 1, complete
+    /// events per state interval) and one counter track per node (busy
+    /// GPUs). Load in `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// Timestamps are simulation time in microseconds — the export is
+    /// deterministic.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn perfetto_json(&self, label: &str) -> String {
+        const US: f64 = 1.0e6;
+        let mut ev: Vec<String> = Vec::new();
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"jobs ({})\"}}}}",
+            json_escape(label)
+        ));
+        ev.push(
+            "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"nodes (busy GPUs)\"}}"
+                .to_string(),
+        );
+        let intervals = self.job_intervals();
+        for (&job, ivs) in &intervals {
+            // Perfetto reserves tid 0; jobs are 1-based tracks.
+            let tid = job + 1;
+            ev.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"job {job}\"}}}}"
+            ));
+            for iv in ivs {
+                if iv.end_s <= iv.start_s {
+                    continue;
+                }
+                let mut args = String::new();
+                if iv.gpus > 0 {
+                    let _ = write!(args, "\"pool\":{},\"gpus\":{}", iv.pool, iv.gpus);
+                }
+                ev.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{}\",\"args\":{{{args}}}}}",
+                    json_f64(iv.start_s * US),
+                    json_f64((iv.end_s - iv.start_s) * US),
+                    iv.state.as_str(),
+                ));
+            }
+        }
+        // Per-node busy-GPU counters, emitted in event order.
+        let mut busy: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut i = 0;
+        while i < self.allocs.len() {
+            let t = self.allocs[i].time_s;
+            let mut touched: Vec<(usize, usize)> = Vec::new();
+            while i < self.allocs.len() && self.allocs[i].time_s == t {
+                let a = &self.allocs[i];
+                for &(node, gpus) in &a.node_gpus {
+                    let slot = busy.entry((a.pool, node)).or_insert(0);
+                    if a.acquire {
+                        *slot += gpus;
+                    } else {
+                        *slot = slot.saturating_sub(gpus);
+                    }
+                    if !touched.contains(&(a.pool, node)) {
+                        touched.push((a.pool, node));
+                    }
+                }
+                i += 1;
+            }
+            touched.sort_unstable();
+            for (pool, node) in touched {
+                ev.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":2,\"ts\":{},\"name\":\"pool{pool}/node{node}\",\
+                     \"args\":{{\"busy\":{}}}}}",
+                    json_f64(t * US),
+                    busy.get(&(pool, node)).copied().unwrap_or(0),
+                ));
+            }
+        }
+        let mut out = String::with_capacity(ev.len() * 96 + 64);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, e) in ev.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(e);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Compact time-in-state footer for golden snapshots: one line per
+    /// state plus event/allocation totals.
+    #[must_use]
+    pub fn golden_footer(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline events {} allocs {}",
+            self.events.len(),
+            self.allocs.len()
+        );
+        for (state, total) in self.time_in_state() {
+            let _ = writeln!(out, "state {state} {}", trim_f64(total));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(pool: usize, gpus: usize) -> JobEventKind {
+        JobEventKind::Place {
+            pool,
+            gpus,
+            prev: None,
+            opportunistic: false,
+        }
+    }
+
+    fn tl(events: Vec<(f64, u64, JobEventKind)>, end_s: f64) -> Timeline {
+        Timeline {
+            nodes: vec![
+                NodeSlot {
+                    pool: 0,
+                    node: 0,
+                    capacity: 4,
+                },
+                NodeSlot {
+                    pool: 0,
+                    node: 1,
+                    capacity: 4,
+                },
+            ],
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, job, kind))| JobEvent {
+                    seq: i as u64,
+                    time_s: t,
+                    job,
+                    kind,
+                })
+                .collect(),
+            allocs: Vec::new(),
+            end_s,
+        }
+    }
+
+    #[test]
+    fn lifecycle_intervals_and_account() {
+        let t = tl(
+            vec![
+                (0.0, 7, JobEventKind::Submit),
+                (10.0, 7, place(0, 4)),
+                (40.0, 7, JobEventKind::RunStart),
+                (
+                    100.0,
+                    7,
+                    JobEventKind::Stop {
+                        cause: StopCause::NodeFailure,
+                        lost_iters: 5.0,
+                    },
+                ),
+                (120.0, 7, place(1, 2)),
+                (130.0, 7, JobEventKind::RunStart),
+                (200.0, 7, JobEventKind::Finish),
+            ],
+            500.0,
+        );
+        t.validate().unwrap();
+        let ivs = &t.job_intervals()[&7];
+        let states: Vec<(JobState, f64, f64)> =
+            ivs.iter().map(|i| (i.state, i.start_s, i.end_s)).collect();
+        assert_eq!(
+            states,
+            vec![
+                (JobState::Queued, 0.0, 10.0),
+                (JobState::Placed, 10.0, 40.0),
+                (JobState::Running, 40.0, 100.0),
+                (JobState::Queued, 100.0, 120.0),
+                (JobState::Placed, 120.0, 130.0),
+                (JobState::Running, 130.0, 200.0),
+            ]
+        );
+        let acc = t.accounts()[&7];
+        assert_eq!(acc.queue_s, 30.0);
+        assert_eq!(acc.placed_s, 40.0);
+        assert_eq!(acc.run_s, 130.0);
+        assert_eq!(acc.productive_gpu_s, 60.0 * 4.0 + 70.0 * 2.0);
+        assert_eq!(acc.allocated_gpu_s, 90.0 * 4.0 + 80.0 * 2.0);
+        assert_eq!(acc.placements, 2);
+        assert_eq!(acc.preemptions, 1);
+        assert_eq!(acc.lost_iters, 5.0);
+        // Terminal: no open interval at end_s.
+        assert_eq!(ivs.last().unwrap().end_s, 200.0);
+    }
+
+    #[test]
+    fn open_intervals_close_at_end() {
+        let t = tl(
+            vec![(0.0, 1, JobEventKind::Submit), (50.0, 1, place(0, 8))],
+            80.0,
+        );
+        let ivs = &t.job_intervals()[&1];
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[1].state, JobState::Placed);
+        assert_eq!(ivs[1].end_s, 80.0);
+        let tis = t.time_in_state();
+        assert_eq!(tis["Queued"], 50.0);
+        assert_eq!(tis["Placed"], 30.0);
+    }
+
+    #[test]
+    fn rescale_is_legal_and_counted_as_move() {
+        let t = tl(
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (1.0, 1, place(0, 4)),
+                (2.0, 1, JobEventKind::RunStart),
+                (
+                    3.0,
+                    1,
+                    JobEventKind::Place {
+                        pool: 0,
+                        gpus: 8,
+                        prev: Some((0, 4)),
+                        opportunistic: false,
+                    },
+                ),
+                (4.0, 1, JobEventKind::RunStart),
+                (9.0, 1, JobEventKind::Finish),
+            ],
+            10.0,
+        );
+        t.validate().unwrap();
+        let acc = t.accounts()[&1];
+        assert_eq!(acc.placements, 2);
+        assert_eq!(acc.moves, 1);
+        assert_eq!(acc.preemptions, 0);
+        assert_eq!(acc.productive_gpu_s, 1.0 * 4.0 + 5.0 * 8.0);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        for events in [
+            // Finish from queue.
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (1.0, 1, JobEventKind::Finish),
+            ],
+            // RunStart without placement.
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (1.0, 1, JobEventKind::RunStart),
+            ],
+            // Double submit.
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (1.0, 1, JobEventKind::Submit),
+            ],
+            // Event before submit.
+            vec![(0.0, 1, place(0, 2))],
+        ] {
+            assert!(tl(events, 10.0).validate().is_err());
+        }
+        // Time going backwards.
+        let t = tl(
+            vec![(5.0, 1, JobEventKind::Submit), (1.0, 1, place(0, 2))],
+            10.0,
+        );
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn utilization_tracks_alloc_events() {
+        let mut t = tl(vec![], 100.0);
+        t.allocs = vec![
+            AllocEvent {
+                time_s: 0.0,
+                job: 1,
+                pool: 0,
+                node_gpus: vec![(0, 4), (1, 2)],
+                acquire: true,
+            },
+            AllocEvent {
+                time_s: 50.0,
+                job: 1,
+                pool: 0,
+                node_gpus: vec![(0, 4), (1, 2)],
+                acquire: false,
+            },
+        ];
+        let series = t.utilization();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].busy_gpus, 6);
+        assert_eq!(series[0].busy_nodes, 2);
+        // Node 1 has 2 free GPUs next to a busy pair; node 0 is full.
+        assert!((series[0].frag_frac - 1.0).abs() < 1e-12);
+        assert_eq!(series[1].busy_gpus, 0);
+        assert_eq!(series[1].frag_frac, 0.0);
+        // Closing sample at end_s.
+        assert_eq!(series[2].time_s, 100.0);
+        let jsonl = t.utilization_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.lines().next().unwrap().contains("\"busy_gpus\":6"));
+    }
+
+    #[test]
+    fn perfetto_export_is_wellformed_and_deterministic() {
+        let mut t = tl(
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (1.0, 1, place(0, 4)),
+                (2.0, 1, JobEventKind::RunStart),
+                (9.0, 1, JobEventKind::Finish),
+            ],
+            10.0,
+        );
+        t.allocs = vec![AllocEvent {
+            time_s: 1.0,
+            job: 1,
+            pool: 0,
+            node_gpus: vec![(0, 4)],
+            acquire: true,
+        }];
+        let a = t.perfetto_json("Test");
+        let b = t.perfetto_json("Test");
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"name\":\"Running\""));
+        assert!(a.contains("pool0/node0"));
+        assert!(a.contains("\"name\":\"job 1\""));
+        // Balanced braces ⇒ structurally plausible JSON.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn golden_footer_lists_states() {
+        let t = tl(
+            vec![
+                (0.0, 1, JobEventKind::Submit),
+                (4.0, 1, place(0, 2)),
+                (5.0, 1, JobEventKind::RunStart),
+                (9.0, 1, JobEventKind::Finish),
+            ],
+            10.0,
+        );
+        let f = t.golden_footer();
+        assert!(f.contains("timeline events 4 allocs 0"));
+        assert!(f.contains("state Queued 4"));
+        assert!(f.contains("state Running 4"));
+    }
+}

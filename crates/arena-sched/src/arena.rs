@@ -1,7 +1,7 @@
 //! The Arena (Crius) Cell-based scheduler: Algorithm 1.
 
 use arena_cluster::GpuTypeId;
-use arena_obs::{Decision, Obs};
+use arena_obs::Decision;
 
 use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
 
@@ -215,8 +215,11 @@ const FAILED_POOL_PENALTY: f64 = 0.25;
 /// will be recorded under if the transaction commits.
 type Staged = (Action, &'static str, Option<f64>);
 
-/// Records the provenance of one emitted action.
-fn record(obs: &Obs, action: &Action, reason: &'static str, score: Option<f64>) {
+/// Records the provenance of one emitted action. Placements of jobs that
+/// were active when the pass started carry their old `(pool, gpus)` so
+/// rescales and migrations read as moves in the decision log.
+fn record(view: &SchedView<'_>, action: &Action, reason: &'static str, score: Option<f64>) {
+    let obs = &view.obs;
     if !obs.is_enabled() {
         return;
     }
@@ -227,7 +230,15 @@ fn record(obs: &Obs, action: &Action, reason: &'static str, score: Option<f64>) 
             gpus,
             opportunistic,
         } => {
-            let d = Decision::place(job, pool.0, gpus);
+            let mut d = Decision::place(job, pool.0, gpus);
+            let prev = view
+                .running
+                .iter()
+                .find(|j| j.id() == job)
+                .and_then(|j| j.placement);
+            if let Some(pl) = prev {
+                d = d.moving_from(pl.pool.0, pl.gpus);
+            }
             if opportunistic {
                 d.opportunistic()
             } else {
@@ -324,7 +335,7 @@ impl ArenaPolicy {
                 ));
                 *virt = trial;
                 for (a, reason, score) in staged {
-                    record(&view.obs, &a, reason, score);
+                    record(view, &a, reason, score);
                     actions.push(a);
                 }
                 return true;
@@ -533,7 +544,7 @@ impl ArenaPolicy {
                         gpus,
                         opportunistic: false,
                     };
-                    record(&view.obs, &a, "departure-upscale", Some(gain));
+                    record(view, &a, "departure-upscale", Some(gain));
                     actions.push(a);
                 }
                 None => break,
@@ -607,7 +618,7 @@ impl Policy for ArenaPolicy {
                         gpus: c.gpus,
                         opportunistic: true,
                     };
-                    record(&view.obs, &a, "opportunistic-backfill", Some(c.score));
+                    record(view, &a, "opportunistic-backfill", Some(c.score));
                     actions.push(a);
                 }
                 continue;

@@ -248,6 +248,9 @@ impl Policy for ElasticFlowPolicy {
             if !unchanged {
                 if view.obs.is_enabled() {
                     let mut d = Decision::place(id, pool.0, k).why("target-share");
+                    if let Some(pl) = job.placement {
+                        d = d.moving_from(pl.pool.0, pl.gpus);
+                    }
                     if let Some(sps) = Self::profile(view, job, k, pool) {
                         d = d.with_score(sps);
                     }

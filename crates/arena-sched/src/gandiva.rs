@@ -134,6 +134,7 @@ impl Policy for GandivaPolicy {
                             // Move the running job, then admit the stuck one.
                             view.obs.decision(
                                 Decision::place(running.id(), q, pl.gpus)
+                                    .moving_from(pl.pool.0, pl.gpus)
                                     .why("introspective-migrate"),
                             );
                             actions.push(Action::Place {

@@ -109,6 +109,7 @@ impl Policy for GavelPolicy {
                         moved += 1;
                         view.obs.decision(
                             Decision::place(job.id(), p, pl.gpus)
+                                .moving_from(pl.pool.0, pl.gpus)
                                 .with_score(r)
                                 .why("rate-migration"),
                         );

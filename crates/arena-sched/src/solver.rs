@@ -240,11 +240,13 @@ impl Policy for ArenaSolverPolicy {
             let choice = item.choices[pick];
             match (item.current, choice.placement) {
                 (cur, Some((pool, gpus))) if cur != Some((pool, gpus)) => {
-                    view.obs.decision(
-                        Decision::place(item.job, pool.0, gpus)
-                            .with_score(choice.value)
-                            .why("joint-assignment"),
-                    );
+                    let mut d = Decision::place(item.job, pool.0, gpus)
+                        .with_score(choice.value)
+                        .why("joint-assignment");
+                    if let Some((p, g)) = cur {
+                        d = d.moving_from(p.0, g);
+                    }
+                    view.obs.decision(d);
                     actions.push(Action::Place {
                         job: item.job,
                         pool,

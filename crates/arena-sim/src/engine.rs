@@ -1,7 +1,7 @@
 //! The event loop: arrivals, rounds, restarts, completions.
 
 use arena_cluster::{Allocation, Cluster, GpuTypeId};
-use arena_obs::{Decision, Obs, TraceReport};
+use arena_obs::{Decision, JobEventKind, Obs, StopCause, TraceReport};
 use arena_sched::PlanService;
 use arena_sched::{Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView};
 use arena_trace::{FaultEvent, FaultKind, JobSpec};
@@ -92,11 +92,43 @@ struct SJob {
     /// Set when a failure evicts the job; cleared (and recorded) when it
     /// runs again.
     recovering_since: Option<f64>,
+    /// Start of the current `Running` segment; flushed into the totals
+    /// when the job stops, finishes, or the run ends.
+    run_since: Option<f64>,
+    /// Start of the current GPU-holding segment (`Starting` or
+    /// `Running`); flushed like `run_since`.
+    alloc_since: Option<f64>,
+    /// Total wall-clock spent running.
+    run_s: f64,
+    /// GPU-seconds spent making progress (`Running` only).
+    productive_gpu_s: f64,
+    /// GPU-seconds held, productive or not (`Starting` + `Running`).
+    allocated_gpu_s: f64,
 }
 
 impl SJob {
     fn active(&self) -> bool {
         matches!(self.state, JState::Starting(_) | JState::Running)
+    }
+
+    /// Closes the current `Running` segment at `t`. The accumulation —
+    /// one `(t - since) * gpus` product added per segment, in
+    /// chronological order — mirrors [`arena_obs::Timeline::accounts`]
+    /// exactly, so the two stay bitwise equal.
+    fn flush_run(&mut self, t: f64) {
+        if let Some(since) = self.run_since.take() {
+            let dt = t - since;
+            self.run_s += dt;
+            self.productive_gpu_s += dt * self.gpus as f64;
+        }
+    }
+
+    /// Closes the current GPU-holding segment at `t` (see
+    /// [`SJob::flush_run`]).
+    fn flush_alloc(&mut self, t: f64) {
+        if let Some(since) = self.alloc_since.take() {
+            self.allocated_gpu_s += (t - since) * self.gpus as f64;
+        }
     }
 }
 
@@ -225,6 +257,17 @@ pub fn simulate_with_faults_traced(
         faults.windows(2).all(|w| w[0].time_s <= w[1].time_s),
         "fault schedule must be sorted by time"
     );
+    let cluster_gpu_capacity = cluster.total_gpus();
+    if obs.is_enabled() {
+        let nodes: Vec<(usize, usize, usize)> = cluster
+            .pool_ids()
+            .flat_map(|pool| {
+                let cap = cluster.spec(pool).gpus_per_node;
+                (0..cluster.num_nodes(pool)).map(move |node| (pool.0, node, cap))
+            })
+            .collect();
+        obs.timeline_nodes(&nodes);
+    }
     let mut cluster = cluster.clone();
     let mut sjobs: Vec<SJob> = Vec::with_capacity(jobs.len());
     // Plan databases are cached per configuration: the first job placed
@@ -291,9 +334,16 @@ pub fn simulate_with_faults_traced(
                     j.state = JState::Running;
                     j.start_s.get_or_insert(t);
                     j.since_ckpt_s = 0.0;
+                    // Split the allocation segment at the run boundary so
+                    // the accumulation order matches the timeline's
+                    // Placed/Running interval split bitwise.
+                    j.flush_alloc(t);
+                    j.alloc_since = Some(t);
+                    j.run_since = Some(t);
                     if let Some(since) = j.recovering_since.take() {
                         flog.recovery_times_s.push(t - since);
                     }
+                    obs.job_event(t, j.spec.id, JobEventKind::RunStart);
                 }
             }
         }
@@ -304,9 +354,13 @@ pub fn simulate_with_faults_traced(
             if j.state == JState::Running && j.remaining <= EPS {
                 j.state = JState::Finished;
                 j.finish_s = Some(t);
+                j.flush_run(t);
+                j.flush_alloc(t);
                 if let Some(alloc) = j.alloc.take() {
                     cluster.release(&alloc).expect("release finished job");
+                    obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
                 }
+                obs.job_event(t, j.spec.id, JobEventKind::Finish);
                 event = Some(SchedEvent::Departure(j.spec.id));
             }
         }
@@ -334,15 +388,28 @@ pub fn simulate_with_faults_traced(
                         }
                         let alloc = j.alloc.take().expect("active job holds an allocation");
                         cluster.release(&alloc).expect("release crashed job");
+                        j.flush_run(t);
+                        j.flush_alloc(t);
+                        obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
                         // A running victim loses everything since its
                         // last checkpoint; a starting one had nothing to
                         // lose (its checkpoint was saved at placement).
+                        let mut rollback = 0.0;
                         if j.state == JState::Running && j.iter_time > 0.0 {
                             let lost_iters = (j.since_ckpt_s / j.iter_time)
                                 .min(j.spec.iterations as f64 - j.remaining);
                             j.remaining += lost_iters;
                             flog.samples_lost += lost_iters * j.iter_time * j.sps;
+                            rollback = lost_iters;
                         }
+                        obs.job_event(
+                            t,
+                            j.spec.id,
+                            JobEventKind::Stop {
+                                cause: StopCause::NodeFailure,
+                                lost_iters: rollback,
+                            },
+                        );
                         j.state = JState::Queued;
                         j.restarts += 1;
                         j.opportunistic = false;
@@ -405,7 +472,13 @@ pub fn simulate_with_faults_traced(
                 profiled: false,
                 since_ckpt_s: 0.0,
                 recovering_since: None,
+                run_since: None,
+                alloc_since: None,
+                run_s: 0.0,
+                productive_gpu_s: 0.0,
+                allocated_gpu_s: 0.0,
             });
+            obs.job_event(t, id, JobEventKind::Submit);
             event = Some(SchedEvent::Arrival(id));
         }
 
@@ -456,6 +529,15 @@ pub fn simulate_with_faults_traced(
         }
     }
     flog.elapsed_s = t.min(cfg.horizon_s);
+    flog.gpu_capacity_s = cluster_gpu_capacity as f64 * flog.elapsed_s;
+    // Close open accounting segments at the end of the run — the same
+    // cutoff the timeline applies to still-open intervals.
+    let t_end = flog.elapsed_s;
+    for j in &mut sjobs {
+        j.flush_run(t_end);
+        j.flush_alloc(t_end);
+    }
+    obs.timeline_close(t_end);
 
     let records: Vec<JobRecord> = sjobs
         .iter()
@@ -467,6 +549,9 @@ pub fn simulate_with_faults_traced(
             finish_s: j.finish_s,
             dropped: j.state == JState::Dropped,
             restarts: j.restarts,
+            run_s: j.run_s,
+            productive_gpu_s: j.productive_gpu_s,
+            allocated_gpu_s: j.allocated_gpu_s,
             deadline_met: j
                 .spec
                 .deadline_s
@@ -591,22 +676,40 @@ fn execute(
                 let Some(j) = sjobs.iter_mut().find(|j| j.spec.id == job) else {
                     continue;
                 };
+                if matches!(j.state, JState::Finished | JState::Dropped) {
+                    continue;
+                }
+                j.flush_run(t);
+                j.flush_alloc(t);
                 if let Some(alloc) = j.alloc.take() {
                     cluster.release(&alloc).expect("release dropped job");
+                    obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
                 }
                 j.state = JState::Dropped;
+                obs.job_event(t, job, JobEventKind::Drop);
             }
             Action::Evict { job } => {
                 let Some(j) = sjobs.iter_mut().find(|j| j.spec.id == job) else {
                     continue;
                 };
                 if j.active() {
+                    j.flush_run(t);
+                    j.flush_alloc(t);
                     if let Some(alloc) = j.alloc.take() {
                         cluster.release(&alloc).expect("release evicted job");
+                        obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
                     }
                     j.state = JState::Queued;
                     j.restarts += 1;
                     j.opportunistic = false;
+                    obs.job_event(
+                        t,
+                        job,
+                        JobEventKind::Stop {
+                            cause: StopCause::Preemption,
+                            lost_iters: 0.0,
+                        },
+                    );
                 }
             }
             Action::Place {
@@ -637,14 +740,19 @@ fn execute(
                     continue;
                 };
                 let was_active = j.active();
+                let prev_grant = was_active.then_some((j.pool, j.gpus));
+                j.flush_run(t);
+                j.flush_alloc(t);
                 if let Some(alloc) = j.alloc.take() {
                     cluster.release(&alloc).expect("release re-placed job");
+                    obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
                 }
                 match cluster.allocate(pool, gpus) {
                     Ok(alloc) => {
                         if was_active {
                             j.restarts += 1;
                         }
+                        obs.alloc_event(t, job, pool.0, &alloc.node_gpus, true);
                         // Profiling overlaps queueing (§8.2: one spare GPU
                         // per type suffices); the exploration/tuning wall
                         // is paid once per configuration (plan databases
@@ -666,12 +774,31 @@ fn execute(
                         j.sps = run.throughput_sps;
                         j.iter_time = run.iter_time_s;
                         j.state = JState::Starting(t + delay);
+                        j.alloc_since = Some(t);
                         obs.incr("sim.place.ok", 1);
+                        obs.job_event(
+                            t,
+                            job,
+                            JobEventKind::Place {
+                                pool: pool.0,
+                                gpus,
+                                prev: prev_grant,
+                                opportunistic,
+                            },
+                        );
                     }
                     Err(_) => {
                         // Capacity race: job returns to the queue.
                         if was_active {
                             j.restarts += 1;
+                            obs.job_event(
+                                t,
+                                job,
+                                JobEventKind::Stop {
+                                    cause: StopCause::CapacityRace,
+                                    lost_iters: 0.0,
+                                },
+                            );
                         }
                         j.state = JState::Queued;
                         obs.incr("sim.place.capacity_race", 1);
@@ -944,6 +1071,84 @@ mod tests {
         let ra: Vec<u32> = a.records.iter().map(|r| r.restarts).collect();
         let rb: Vec<u32> = b.records.iter().map(|r| r.restarts).collect();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn traced_run_produces_a_valid_timeline_with_matching_gpu_seconds() {
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let obs = Obs::enabled();
+        let r = simulate_traced(
+            &cluster,
+            &tiny_trace(),
+            &mut FcfsPolicy::new(),
+            &service,
+            &SimConfig::new(48.0 * 3600.0),
+            &obs,
+        );
+        let tl = &r.trace.timeline;
+        assert!(!tl.is_empty(), "traced run recorded no timeline");
+        tl.validate().expect("timeline passes the state machine");
+        assert_eq!(tl.nodes.len(), 32, "testbed has 2 pools x 16 nodes");
+        let accounts = tl.accounts();
+        for rec in &r.records {
+            let acc = &accounts[&rec.id];
+            assert_eq!(acc.productive_gpu_s, rec.productive_gpu_s, "job {}", rec.id);
+            assert_eq!(acc.allocated_gpu_s, rec.allocated_gpu_s, "job {}", rec.id);
+            assert_eq!(acc.run_s, rec.run_s, "job {}", rec.id);
+            assert!(rec.allocated_gpu_s >= rec.productive_gpu_s);
+        }
+        assert!(r.metrics.productive_gpu_s > 0.0);
+        assert!(r.metrics.cluster_util_frac > 0.0);
+        assert!(r.metrics.cluster_util_frac <= 1.0);
+        let util = tl.utilization();
+        assert!(!util.is_empty());
+        assert!(util.iter().all(|s| s.busy_gpus <= s.total_gpus));
+    }
+
+    #[test]
+    fn faulted_timeline_records_node_failure_stops() {
+        let cluster = presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let mut cfg = SimConfig::new(48.0 * 3600.0);
+        cfg.checkpoint_interval_s = f64::INFINITY;
+        let faults = pool0_outage(1000.0, 5000.0, 16);
+        let obs = Obs::enabled();
+        let r = simulate_with_faults_traced(
+            &cluster,
+            &tiny_trace(),
+            &mut FcfsPolicy::new(),
+            &service,
+            &cfg,
+            &faults,
+            &obs,
+        );
+        let tl = &r.trace.timeline;
+        tl.validate().unwrap();
+        let stops: Vec<f64> = tl
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                JobEventKind::Stop {
+                    cause: StopCause::NodeFailure,
+                    lost_iters,
+                } => Some(lost_iters),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stops.len(), r.metrics.failure_evictions);
+        assert!(
+            stops.iter().any(|&l| l > 0.0),
+            "no rollback recorded: {stops:?}"
+        );
+        let accounts = tl.accounts();
+        for rec in &r.records {
+            assert_eq!(
+                accounts[&rec.id].productive_gpu_s, rec.productive_gpu_s,
+                "job {}",
+                rec.id
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 pub mod engine;
 pub mod metrics;
 
-pub use arena_obs::{Decision, DecisionKind, Obs, TraceReport};
+pub use arena_obs::{
+    Decision, DecisionKind, JobAccount, JobEventKind, JobState, Obs, StopCause, Timeline,
+    TraceReport, UtilSample,
+};
 pub use engine::{
     simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,
     SimResult,

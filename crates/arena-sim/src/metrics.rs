@@ -19,6 +19,13 @@ pub struct JobRecord {
     pub dropped: bool,
     /// Times the job was restarted (evicted, rescaled or migrated).
     pub restarts: u32,
+    /// Wall-clock the job spent making progress, seconds.
+    pub run_s: f64,
+    /// GPU-seconds spent making progress (running time × GPUs held).
+    pub productive_gpu_s: f64,
+    /// GPU-seconds held in total, including restart/profiling stalls
+    /// where the GPUs were allocated but idle.
+    pub allocated_gpu_s: f64,
     /// Deadline satisfaction (None for jobs without deadlines).
     pub deadline_met: Option<bool>,
 }
@@ -53,6 +60,9 @@ pub struct FaultLog {
     pub recovery_times_s: Vec<f64>,
     /// Wall-clock span of the run, seconds.
     pub elapsed_s: f64,
+    /// Nameplate capacity × elapsed time, GPU-seconds (denominator of
+    /// cluster utilization).
+    pub gpu_capacity_s: f64,
 }
 
 /// Aggregated metrics of one simulation run.
@@ -96,6 +106,12 @@ pub struct Metrics {
     /// Mean failure-to-running-again wall-clock, seconds (0 with no
     /// failures).
     pub mean_recovery_s: f64,
+    /// GPU-seconds spent making progress, summed over all jobs.
+    pub productive_gpu_s: f64,
+    /// GPU-seconds held by jobs (productive + restart/profiling stalls).
+    pub allocated_gpu_s: f64,
+    /// Productive GPU-seconds over nameplate capacity GPU-seconds.
+    pub cluster_util_frac: f64,
 }
 
 /// Aggregates job records and a throughput timeline into [`Metrics`].
@@ -176,6 +192,13 @@ pub fn aggregate(
         },
         failure_evictions: faults.failure_evictions,
         mean_recovery_s: mean(&faults.recovery_times_s),
+        productive_gpu_s: records.iter().map(|r| r.productive_gpu_s).sum(),
+        allocated_gpu_s: records.iter().map(|r| r.allocated_gpu_s).sum(),
+        cluster_util_frac: if faults.gpu_capacity_s > 0.0 {
+            records.iter().map(|r| r.productive_gpu_s).sum::<f64>() / faults.gpu_capacity_s
+        } else {
+            0.0
+        },
     }
 }
 
@@ -200,6 +223,9 @@ mod tests {
             finish_s: finish,
             dropped: false,
             restarts: 0,
+            run_s: 0.0,
+            productive_gpu_s: 0.0,
+            allocated_gpu_s: 0.0,
             deadline_met: None,
         }
     }
@@ -269,12 +295,35 @@ mod tests {
             failure_evictions: 3,
             recovery_times_s: vec![10.0, 30.0],
             elapsed_s: 100.0,
+            gpu_capacity_s: 0.0,
         };
         let m = aggregate(&[], &[], &[], &[], &faults);
         assert!((m.goodput_sps - 7.5).abs() < 1e-12);
         assert!((m.work_lost_frac - 0.25).abs() < 1e-12);
         assert_eq!(m.failure_evictions, 3);
         assert!((m.mean_recovery_s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_second_aggregation_and_utilization() {
+        let mut a = rec(1, 0.0, Some(0.0), Some(100.0));
+        a.productive_gpu_s = 300.0;
+        a.allocated_gpu_s = 400.0;
+        let mut b = rec(2, 0.0, Some(0.0), Some(100.0));
+        b.productive_gpu_s = 100.0;
+        b.allocated_gpu_s = 100.0;
+        let faults = FaultLog {
+            elapsed_s: 100.0,
+            gpu_capacity_s: 1600.0,
+            ..FaultLog::default()
+        };
+        let m = aggregate(&[a, b], &[], &[], &[], &faults);
+        assert_eq!(m.productive_gpu_s, 400.0);
+        assert_eq!(m.allocated_gpu_s, 500.0);
+        assert!((m.cluster_util_frac - 0.25).abs() < 1e-12);
+        // Without a capacity denominator the fraction stays at zero.
+        let m0 = aggregate(&[], &[], &[], &[], &FaultLog::default());
+        assert_eq!(m0.cluster_util_frac, 0.0);
     }
 
     #[test]

@@ -364,6 +364,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
 macro_rules! de_tuple {
     ($(($len:literal; $($name:ident : $ix:tt),+)),+ $(,)?) => {$(
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {

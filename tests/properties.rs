@@ -8,6 +8,9 @@ use arena::parallelism::stages::pow2_composition;
 use arena::parallelism::{determine_stages, stage_plan_options, PipelinePlan, PlanSpace};
 use arena::perf::target::Channel;
 use arena::perf::{collective, noise::NoiseModel, CostParams, HwTarget, PerfModel};
+use arena::sched::{FcfsPolicy, PlanService};
+use arena::sim::{simulate_with_faults_traced, JobState, Obs, SimConfig};
+use arena::trace::{FaultEvent, FaultKind, JobSpec};
 
 fn family(ix: usize) -> (ModelFamily, f64) {
     let table = [
@@ -220,6 +223,108 @@ proptest! {
         let labels: Vec<String> = PlanSpace::new(part).iter().map(|p| p.label()).collect();
         let set: std::collections::HashSet<&String> = labels.iter().collect();
         prop_assert_eq!(set.len(), labels.len());
+    }
+}
+
+/// A small two-pool cluster that keeps each simulated timeline case
+/// cheap while still exercising multi-node spans and a fault domain.
+fn timeline_cluster() -> Cluster {
+    Cluster::new(&[
+        (NodeSpec::with_default_links(GpuSpec::A100, 4), 3),
+        (NodeSpec::with_default_links(GpuSpec::A10, 4), 2),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Traced runs produce a legal timeline under arbitrary small
+    /// workloads and fault schedules: per-job intervals are
+    /// chronological and non-overlapping, only active states hold GPUs,
+    /// and the timeline's `Running` GPU-second accounting equals the
+    /// engine's `Metrics` exactly (bitwise), faulted or not.
+    #[test]
+    fn timeline_intervals_legal_and_gpu_seconds_exact(
+        job_gen in proptest::collection::vec((0_usize..3, 30_u64..200, 0_u32..400), 1..6),
+        fault in (0_u32..2, 300_u32..3000, 1_usize..3),
+    ) {
+        let cluster = timeline_cluster();
+        let service = PlanService::new(&cluster, CostParams::default(), 11);
+        let mut submit = 0.0;
+        let jobs: Vec<JobSpec> = job_gen
+            .iter()
+            .enumerate()
+            .map(|(i, &(sel, iters, gap))| {
+                submit += f64::from(gap);
+                JobSpec {
+                    id: i as u64,
+                    name: format!("j{i}"),
+                    submit_s: submit,
+                    model: ModelConfig::new(ModelFamily::Bert, 0.76, 256),
+                    iterations: iters,
+                    requested_gpus: [1, 2, 4][sel],
+                    requested_pool: 0,
+                    deadline_s: None,
+                }
+            })
+            .collect();
+        // `fault.0` toggles the schedule so the unfaulted path gets the
+        // same coverage as the faulted one.
+        let (inject, fail_t, nodes) = fault;
+        let mut faults: Vec<FaultEvent> = Vec::new();
+        if inject == 1 {
+            let fail = f64::from(fail_t);
+            faults.extend((0..nodes).map(|n| FaultEvent {
+                time_s: fail,
+                pool: 0,
+                node: n,
+                kind: FaultKind::Failure,
+            }));
+            faults.extend((0..nodes).map(|n| FaultEvent {
+                time_s: fail + 1800.0,
+                pool: 0,
+                node: n,
+                kind: FaultKind::Repair,
+            }));
+        }
+        let obs = Obs::enabled();
+        let r = simulate_with_faults_traced(
+            &cluster,
+            &jobs,
+            &mut FcfsPolicy::new(),
+            &service,
+            &SimConfig::new(24.0 * 3600.0),
+            &faults,
+            &obs,
+        );
+        let tl = &r.trace.timeline;
+        prop_assert!(tl.validate().is_ok(), "invalid timeline: {:?}", tl.validate());
+        for (job, ivs) in tl.job_intervals() {
+            for w in ivs.windows(2) {
+                prop_assert!(w[0].end_s <= w[1].start_s, "job {} overlaps: {:?}", job, w);
+            }
+            for iv in &ivs {
+                prop_assert!(iv.end_s >= iv.start_s);
+                match iv.state {
+                    JobState::Placed | JobState::Running => prop_assert!(iv.gpus > 0),
+                    _ => prop_assert_eq!(iv.gpus, 0),
+                }
+            }
+        }
+        let accounts = tl.accounts();
+        for rec in &r.records {
+            let acc = accounts[&rec.id];
+            prop_assert_eq!(acc.productive_gpu_s, rec.productive_gpu_s);
+            prop_assert_eq!(acc.allocated_gpu_s, rec.allocated_gpu_s);
+            prop_assert_eq!(acc.run_s, rec.run_s);
+            prop_assert!(acc.allocated_gpu_s >= acc.productive_gpu_s);
+        }
+        // Summing the timeline's per-job Running GPU-seconds in record
+        // order reproduces the aggregate exactly, not approximately.
+        let productive: f64 = r.records.iter().map(|rec| accounts[&rec.id].productive_gpu_s).sum();
+        prop_assert_eq!(productive, r.metrics.productive_gpu_s);
+        let allocated: f64 = r.records.iter().map(|rec| accounts[&rec.id].allocated_gpu_s).sum();
+        prop_assert_eq!(allocated, r.metrics.allocated_gpu_s);
     }
 }
 
