@@ -1,13 +1,19 @@
 //! Criterion: one Arena scheduling decision under load, across search
-//! depths — the Fig. 21(a) axis measured on this implementation.
+//! depths — the Fig. 21(a) axis measured on this implementation — plus a
+//! loaded 500-job round on the 4-pool simulated cluster with a
+//! warm-vs-cold estimator-cache pair. The loaded-round timings are also
+//! exported in the machine-readable `BENCH` schema to
+//! `results/BENCH_sched.json` (`BENCH_SMOKE=1` collapses the export
+//! loops to one iteration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use arena::prelude::*;
 use arena::sched::{JobView, Obs, PlacementView, SchedEvent, SchedView};
+use arena_bench::{git_rev, time_loop, BenchReport};
 
-fn make_jobs(n: u64, base_gpus: usize) -> Vec<JobView> {
+fn make_jobs(n: u64, base_gpus: usize, num_pools: usize) -> Vec<JobView> {
     (0..n)
         .map(|i| {
             let fam =
@@ -25,7 +31,7 @@ fn make_jobs(n: u64, base_gpus: usize) -> Vec<JobView> {
                     model: ModelConfig::new(fam, size, 256),
                     iterations: 5000,
                     requested_gpus: base_gpus,
-                    requested_pool: (i % 2) as usize,
+                    requested_pool: i as usize % num_pools,
                     deadline_s: None,
                 },
                 remaining_iters: 4000.0,
@@ -40,7 +46,7 @@ fn bench_decision_by_depth(c: &mut Criterion) {
     let service = PlanService::new(&cluster, CostParams::default(), 21);
 
     // A loaded cluster: 6 running jobs holding most GPUs, 8 queued.
-    let mut running = make_jobs(6, 8);
+    let mut running = make_jobs(6, 8, 2);
     for (i, j) in running.iter_mut().enumerate() {
         j.placement = Some(PlacementView {
             pool: GpuTypeId(i % 2),
@@ -49,7 +55,7 @@ fn bench_decision_by_depth(c: &mut Criterion) {
             opportunistic: false,
         });
     }
-    let queued = make_jobs(8, 8);
+    let queued = make_jobs(8, 8, 2);
     let mut pools = cluster.pool_stats();
     pools[0].free_gpus = 8;
     pools[1].free_gpus = 8;
@@ -92,7 +98,7 @@ fn bench_decision_by_depth(c: &mut Criterion) {
 fn bench_baseline_decisions(c: &mut Criterion) {
     let cluster = arena::cluster::presets::physical_testbed();
     let service = PlanService::new(&cluster, CostParams::default(), 22);
-    let queued = make_jobs(8, 8);
+    let queued = make_jobs(8, 8, 2);
     let running: Vec<JobView> = Vec::new();
     let pools = cluster.pool_stats();
 
@@ -132,5 +138,68 @@ fn bench_baseline_decisions(c: &mut Criterion) {
     group.finish();
 }
 
+fn round_view<'a>(
+    queued: &'a [JobView],
+    pools: &'a [arena::cluster::PoolStats],
+    service: &'a PlanService,
+) -> SchedView<'a> {
+    SchedView {
+        now_s: 0.0,
+        queued,
+        running: &[],
+        pools,
+        service,
+        obs: Obs::disabled(),
+    }
+}
+
+/// A loaded 500-job round on the 4-pool simulated cluster, cold vs warm
+/// estimator cache, exported in the `BENCH` schema for trend tracking.
+fn bench_loaded_cluster_export() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let cluster = arena::cluster::presets::table1_simulated();
+    let n = if smoke { 40 } else { 500 };
+    let queued = make_jobs(n, 8, 4);
+    let pools = cluster.pool_stats();
+    let iters = if smoke { 1 } else { 5 };
+
+    // Cold: a fresh service each iteration, so every Cell estimate is a
+    // first touch.
+    let cold = time_loop(&format!("sched/loaded_round_{n}_cold"), iters, || {
+        let service = PlanService::new(&cluster, CostParams::default(), 21);
+        let mut policy = ArenaPolicy::new();
+        let view = SchedView {
+            now_s: 0.0,
+            queued: &queued,
+            running: &[],
+            pools: &pools,
+            service: &service,
+            obs: Obs::disabled(),
+        };
+        black_box(policy.schedule(SchedEvent::Round, &view));
+    });
+
+    // Warm: one shared pre-warmed service; every estimate is a cache hit.
+    let service = PlanService::new(&cluster, CostParams::default(), 21);
+    let _ = ArenaPolicy::new().schedule(SchedEvent::Round, &round_view(&queued, &pools, &service));
+    let warm = time_loop(&format!("sched/loaded_round_{n}_warm"), iters, || {
+        let mut policy = ArenaPolicy::new();
+        black_box(policy.schedule(SchedEvent::Round, &round_view(&queued, &pools, &service)));
+    });
+
+    let report = BenchReport {
+        smoke,
+        git_rev: git_rev(),
+        policies: vec!["Arena".to_string()],
+        benches: vec![cold, warm],
+    };
+    let body = serde_json::to_string_pretty(&report).expect("serialise");
+    arena_bench::write_text("BENCH_sched.json", &body).expect("write results/BENCH_sched.json");
+}
+
 criterion_group!(benches, bench_decision_by_depth, bench_baseline_decisions);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    bench_loaded_cluster_export();
+}

@@ -1,74 +1,21 @@
-//! Custom-harness baseline bench: machine-readable timings for the three
-//! hot paths of the stack — one Cell estimate, one Arena scheduling
-//! decision under load, and a full 500-job simulation — written to
-//! `BENCH_sim.json` at the workspace root for CI trend tracking.
+//! Custom-harness baseline bench: machine-readable timings for the hot
+//! paths of the stack — Cell estimation (cold and warm cache), Arena
+//! scheduling decisions under load (memoized vs sequential baseline, and
+//! a 500-job round at worker-pool sizes 1/4/8), and a full 500-job
+//! simulation — written to `BENCH_sim.json` at the workspace root for CI
+//! trend tracking via `arena-analyze bench-check`.
 //!
 //! Run with `cargo bench -p arena-bench --bench bench_sim_baseline`.
 //! `BENCH_SMOKE=1` drops every loop to a single iteration (the CI mode:
 //! proves the paths run, not how fast).
 
 use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
 
 use arena::prelude::*;
 use arena::sched::{JobView, Obs, PlacementView, SchedEvent, SchedView};
-use serde::Serialize;
+use arena_bench::{git_rev, time_loop, write_bench_report, BenchEntry, BenchReport};
 
-#[derive(Serialize)]
-struct BenchEntry {
-    name: String,
-    iters: usize,
-    mean_s: f64,
-    min_s: f64,
-    max_s: f64,
-}
-
-#[derive(Serialize)]
-struct BenchReport {
-    smoke: bool,
-    /// `git rev-parse --short HEAD` at bench time ("unknown" outside a
-    /// checkout).
-    git_rev: String,
-    /// Policies the bench suite exercises.
-    policies: Vec<String>,
-    benches: Vec<BenchEntry>,
-}
-
-/// The current git revision, if the bench runs inside a checkout.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
-}
-
-fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
-    let mut samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        f();
-        samples.push(t0.elapsed().as_secs_f64());
-    }
-    let sum: f64 = samples.iter().sum();
-    let entry = BenchEntry {
-        name: name.to_string(),
-        iters,
-        mean_s: sum / iters as f64,
-        min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
-        max_s: samples.iter().copied().fold(0.0, f64::max),
-    };
-    println!(
-        "{name}: {iters} iters, mean {:.6}s, min {:.6}s",
-        entry.mean_s, entry.min_s
-    );
-    entry
-}
-
-fn make_jobs(n: u64, base_gpus: usize, submit_gap_s: f64) -> Vec<JobSpec> {
+fn make_jobs(n: u64, base_gpus: usize, submit_gap_s: f64, num_pools: usize) -> Vec<JobSpec> {
     (0..n)
         .map(|i| {
             let fam =
@@ -85,14 +32,25 @@ fn make_jobs(n: u64, base_gpus: usize, submit_gap_s: f64) -> Vec<JobSpec> {
                 model: ModelConfig::new(fam, size, 256),
                 iterations: 400 + 100 * (i % 4),
                 requested_gpus: base_gpus,
-                requested_pool: (i % 2) as usize,
+                requested_pool: i as usize % num_pools,
                 deadline_s: None,
             }
         })
         .collect()
 }
 
-fn bench_estimate(smoke: bool) -> BenchEntry {
+fn queued_views(specs: &[JobSpec]) -> Vec<JobView> {
+    specs
+        .iter()
+        .map(|s| JobView {
+            spec: s.clone(),
+            remaining_iters: s.iterations as f64,
+            placement: None,
+        })
+        .collect()
+}
+
+fn bench_estimate(smoke: bool) -> Vec<BenchEntry> {
     let cluster = arena::cluster::presets::physical_testbed();
     let hw = arena::perf::HwTarget::new(cluster.spec(GpuTypeId(0)));
     let est = CellEstimator::new(CostParams::default(), 51);
@@ -101,72 +59,159 @@ fn bench_estimate(smoke: bool) -> BenchEntry {
     // Warm profile/table caches so the loop measures plan assembly.
     let _ = est.estimate(&g, 256, &cell, &hw);
     let iters = if smoke { 1 } else { 200 };
-    time_loop("estimator/estimate_uncached", iters, || {
-        black_box(est.estimate_bypassing_cache(black_box(&g), 256, black_box(&cell), &hw));
-    })
+    vec![
+        time_loop("estimator/estimate_uncached", iters, || {
+            black_box(est.estimate_bypassing_cache(black_box(&g), 256, black_box(&cell), &hw));
+        }),
+        // The estimate cache's hit path: a prehashed struct-key lookup.
+        time_loop("estimator/estimate_warm", iters, || {
+            black_box(est.estimate(black_box(&g), 256, black_box(&cell), &hw));
+        }),
+    ]
 }
 
-fn bench_arena_schedule(smoke: bool) -> BenchEntry {
-    let cluster = arena::cluster::presets::physical_testbed();
-    let service = PlanService::new(&cluster, CostParams::default(), 51);
-    let specs = make_jobs(14, 8, 0.0);
-    let mut running: Vec<JobView> = specs[..6]
-        .iter()
-        .map(|s| JobView {
-            spec: s.clone(),
-            remaining_iters: 300.0,
-            placement: Some(PlacementView {
-                pool: GpuTypeId(s.id as usize % 2),
-                gpus: 8,
-                throughput_sps: 100.0,
-                opportunistic: false,
-            }),
-        })
-        .collect();
-    for (i, j) in running.iter_mut().enumerate() {
-        j.placement.as_mut().expect("placed").pool = GpuTypeId(i % 2);
+/// The loaded-round fixture: 6 running jobs holding most of the testbed,
+/// 8 queued.
+struct LoadedRound {
+    cluster: arena::cluster::Cluster,
+    service: PlanService,
+    running: Vec<JobView>,
+    queued: Vec<JobView>,
+}
+
+impl LoadedRound {
+    fn new() -> Self {
+        let cluster = arena::cluster::presets::physical_testbed();
+        let service = PlanService::new(&cluster, CostParams::default(), 51);
+        let specs = make_jobs(14, 8, 0.0, 2);
+        let running: Vec<JobView> = specs[..6]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| JobView {
+                spec: s.clone(),
+                remaining_iters: 300.0,
+                placement: Some(PlacementView {
+                    pool: GpuTypeId(i % 2),
+                    gpus: 8,
+                    throughput_sps: 100.0,
+                    opportunistic: false,
+                }),
+            })
+            .collect();
+        let queued = queued_views(&specs[6..]);
+        LoadedRound {
+            cluster,
+            service,
+            running,
+            queued,
+        }
     }
-    let queued: Vec<JobView> = specs[6..]
-        .iter()
-        .map(|s| JobView {
-            spec: s.clone(),
-            remaining_iters: s.iterations as f64,
-            placement: None,
-        })
-        .collect();
-    let mut pools = cluster.pool_stats();
-    pools[0].free_gpus = 8;
-    pools[1].free_gpus = 8;
-    let mut policy = ArenaPolicy::new();
-    let view = SchedView {
-        now_s: 0.0,
-        queued: &queued,
-        running: &running,
-        pools: &pools,
-        service: &service,
-        obs: Obs::disabled(),
-    };
-    // Warm the plan caches once.
-    let _ = policy.schedule(SchedEvent::Round, &view);
-    let iters = if smoke { 1 } else { 50 };
-    time_loop("sched/arena_decision_loaded", iters, || {
-        let view = SchedView {
+
+    fn pools(&self) -> Vec<arena::cluster::PoolStats> {
+        let mut pools = self.cluster.pool_stats();
+        pools[0].free_gpus = 8;
+        pools[1].free_gpus = 8;
+        pools
+    }
+
+    fn view<'a>(&'a self, pools: &'a [arena::cluster::PoolStats]) -> SchedView<'a> {
+        SchedView {
             now_s: 0.0,
-            queued: &queued,
-            running: &running,
-            pools: &pools,
-            service: &service,
+            queued: &self.queued,
+            running: &self.running,
+            pools,
+            service: &self.service,
             obs: Obs::disabled(),
-        };
-        black_box(policy.schedule(SchedEvent::Round, &view));
-    })
+        }
+    }
+}
+
+/// The memoized decision loop (candidate memo on, the shipping default)
+/// against the sequential re-enumeration baseline (`_seq`, memo off) —
+/// the pair `bench-check` holds the ≥2× speedup claim against.
+fn bench_arena_schedule(smoke: bool) -> Vec<BenchEntry> {
+    let fixture = LoadedRound::new();
+    let pools = fixture.pools();
+    let iters = if smoke { 1 } else { 50 };
+
+    let mut policy = ArenaPolicy::new();
+    let _ = policy.schedule(SchedEvent::Round, &fixture.view(&pools)); // warm
+    let loaded = time_loop("sched/arena_decision_loaded", iters, || {
+        black_box(policy.schedule(SchedEvent::Round, &fixture.view(&pools)));
+    });
+
+    let mut seq = ArenaPolicy::new().without_candidate_memo();
+    let _ = seq.schedule(SchedEvent::Round, &fixture.view(&pools)); // warm
+    let loaded_seq = time_loop("sched/arena_decision_loaded_seq", iters, || {
+        black_box(seq.schedule(SchedEvent::Round, &fixture.view(&pools)));
+    });
+    vec![loaded, loaded_seq]
+}
+
+/// One scheduling round over a 500-job queue on the 4-pool simulated
+/// cluster, cold (fresh service + policy per iteration) at worker-pool
+/// sizes 1/4/8, plus the warm-estimate variant.
+fn bench_arena_500(smoke: bool) -> Vec<BenchEntry> {
+    let cluster = arena::cluster::presets::table1_simulated();
+    let n = if smoke { 40 } else { 500 };
+    let queued = queued_views(&make_jobs(n, 8, 0.0, 4));
+    let pools = cluster.pool_stats();
+    let iters = if smoke { 1 } else { 5 };
+    let mut entries = Vec::new();
+    for workers in [1_usize, 4, 8] {
+        entries.push(time_loop(
+            &format!("sched/arena_decision_{n}_cold_w{workers}"),
+            iters,
+            || {
+                let service = PlanService::new(&cluster, CostParams::default(), 51);
+                let mut policy = ArenaPolicy::new().with_worker_threads(workers);
+                let view = SchedView {
+                    now_s: 0.0,
+                    queued: &queued,
+                    running: &[],
+                    pools: &pools,
+                    service: &service,
+                    obs: Obs::disabled(),
+                };
+                black_box(policy.schedule(SchedEvent::Round, &view));
+            },
+        ));
+    }
+    // Warm: shared pre-warmed service, fresh policy per iteration — the
+    // cost of a round when only the candidate memo is cold.
+    let service = PlanService::new(&cluster, CostParams::default(), 51);
+    let _ = ArenaPolicy::new().schedule(SchedEvent::Round, &round_view(&queued, &pools, &service));
+    entries.push(time_loop(
+        &format!("sched/arena_decision_{n}_warm"),
+        iters,
+        || {
+            let mut policy = ArenaPolicy::new();
+            black_box(policy.schedule(SchedEvent::Round, &round_view(&queued, &pools, &service)));
+        },
+    ));
+    entries
+}
+
+fn round_view<'a>(
+    queued: &'a [JobView],
+    pools: &'a [arena::cluster::PoolStats],
+    service: &'a PlanService,
+) -> SchedView<'a> {
+    SchedView {
+        now_s: 0.0,
+        queued,
+        running: &[],
+        pools,
+        service,
+        obs: Obs::disabled(),
+    }
 }
 
 fn bench_simulate_500(smoke: bool) -> BenchEntry {
     let cluster = arena::cluster::presets::physical_testbed();
     let service = PlanService::new(&cluster, CostParams::default(), 51);
     let n = if smoke { 60 } else { 500 };
-    let jobs = make_jobs(n, 4, 120.0);
+    let jobs = make_jobs(n, 4, 120.0, 2);
     let cfg = SimConfig::new(14.0 * 24.0 * 3600.0);
     // Warm the plan caches once.
     let _ = simulate(&cluster, &jobs, &mut ArenaPolicy::new(), &service, &cfg);
@@ -179,23 +224,34 @@ fn bench_simulate_500(smoke: bool) -> BenchEntry {
 
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let mut benches = Vec::new();
+    benches.extend(bench_estimate(smoke));
+    benches.extend(bench_arena_schedule(smoke));
+    benches.extend(bench_arena_500(smoke));
+    benches.push(bench_simulate_500(smoke));
+
+    if !smoke {
+        let mean = |name: &str| {
+            benches
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| b.mean_s)
+                .unwrap_or(f64::NAN)
+        };
+        let fast = mean("sched/arena_decision_loaded");
+        let seq = mean("sched/arena_decision_loaded_seq");
+        assert!(
+            fast * 2.0 <= seq,
+            "memoized decision loop must be ≥2× the sequential baseline \
+             (got {fast:.6}s vs {seq:.6}s)"
+        );
+    }
+
     let report = BenchReport {
         smoke,
         git_rev: git_rev(),
         policies: vec!["Arena".to_string()],
-        benches: vec![
-            bench_estimate(smoke),
-            bench_arena_schedule(smoke),
-            bench_simulate_500(smoke),
-        ],
+        benches,
     };
-    let root: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root")
-        .to_path_buf();
-    let path = root.join("BENCH_sim.json");
-    let body = serde_json::to_string_pretty(&report).expect("serialise");
-    std::fs::write(&path, body).expect("write BENCH_sim.json");
-    println!("wrote {}", path.display());
+    write_bench_report("BENCH_sim.json", &report).expect("write BENCH_sim.json");
 }

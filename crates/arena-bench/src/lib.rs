@@ -8,7 +8,95 @@
 //!   agile estimator, the Cell-guided tuner and scheduling decisions at
 //!   various search depths (the Fig. 21(a) axis).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One timed loop's aggregate in the machine-readable `BENCH_*` schema
+/// consumed by `arena-analyze bench-check`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchEntry {
+    /// Stable bench name, e.g. `sched/arena_decision_loaded`.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Mean wall time per iteration, seconds.
+    pub mean_s: f64,
+    /// Fastest iteration, seconds.
+    pub min_s: f64,
+    /// Slowest iteration, seconds.
+    pub max_s: f64,
+}
+
+/// A full bench run in the `BENCH_*` schema.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// True when `BENCH_SMOKE=1` collapsed every loop to one iteration
+    /// (CI mode: proves the paths run, not how fast).
+    pub smoke: bool,
+    /// `git rev-parse --short HEAD` at bench time ("unknown" outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Policies the bench suite exercises.
+    pub policies: Vec<String>,
+    /// The timed entries.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// The current git revision, if the bench runs inside a checkout.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+/// Times `iters` executions of `f` and returns the aggregate entry,
+/// printing a one-line summary as it goes.
+pub fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let sum: f64 = samples.iter().sum();
+    let entry = BenchEntry {
+        name: name.to_string(),
+        iters,
+        mean_s: sum / iters as f64,
+        min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_s: samples.iter().copied().fold(0.0, f64::max),
+    };
+    println!(
+        "{name}: {iters} iters, mean {:.6}s, min {:.6}s",
+        entry.mean_s, entry.min_s
+    );
+    entry
+}
+
+/// Writes a [`BenchReport`] as pretty JSON at the workspace root (where
+/// CI's `arena-analyze bench-check` looks for `BENCH_*.json` trend
+/// files) and returns the path written.
+///
+/// # Errors
+///
+/// Returns any I/O or serialisation error.
+pub fn write_bench_report(filename: &str, report: &BenchReport) -> std::io::Result<PathBuf> {
+    let root: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let path = root.join(filename);
+    let body = serde_json::to_string_pretty(report).map_err(std::io::Error::other)?;
+    std::fs::write(&path, body)?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
 
 /// Writes a serialisable experiment result as pretty JSON under
 /// `results/`, creating the directory if needed.
@@ -53,6 +141,35 @@ pub fn slug(name: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn time_loop_aggregates_samples() {
+        let mut n = 0_u64;
+        let e = super::time_loop("unit/spin", 4, || n += 1);
+        assert_eq!(n, 4);
+        assert_eq!(e.iters, 4);
+        assert!(e.min_s <= e.mean_s && e.mean_s <= e.max_s);
+    }
+
+    #[test]
+    fn bench_report_serialises_to_the_schema() {
+        let report = super::BenchReport {
+            smoke: true,
+            git_rev: "deadbee".into(),
+            policies: vec!["Arena".into()],
+            benches: vec![super::BenchEntry {
+                name: "x/y".into(),
+                iters: 1,
+                mean_s: 0.5,
+                min_s: 0.5,
+                max_s: 0.5,
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        for key in ["smoke", "git_rev", "policies", "benches", "mean_s"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
     #[test]
     fn slug_is_filesystem_safe() {
         assert_eq!(super::slug("ElasticFlow-LS"), "elasticflow-ls");

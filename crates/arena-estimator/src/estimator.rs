@@ -1,10 +1,7 @@
 //! The agile Cell estimator: assembly of profiled parts (§5.1, Fig. 9).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-use parking_lot::RwLock;
 
 use arena_model::ModelGraph;
 use arena_parallelism::{PipelinePlan, StageAssignment, StagePlan};
@@ -12,6 +9,7 @@ use arena_perf::noise::NoiseModel;
 use arena_perf::{CostParams, HwTarget, ProfilingMeter};
 
 use crate::cell::{Cell, Favor};
+use crate::keys::{CellKey, Interner, ShardedMap, TableKey};
 use crate::profile::{profile_cell, CellProfiles};
 use crate::tables::{CollectiveKind, CommTables};
 
@@ -99,21 +97,28 @@ impl CacheStats {
 /// Owns the offline communication tables (built lazily per node class),
 /// a cache of runtime stage profiles (a job is profiled once per GPU type,
 /// §6.1), and a [`ProfilingMeter`] charged for every profile it takes.
+///
+/// All caches are keyed by precomputed-hash struct keys over interned
+/// model/hardware ids and sharded N-way, so concurrent lookups from a
+/// parallel candidate fan-out never contend on one lock or re-hash
+/// strings. Every cached value is a deterministic function of its key
+/// (noise is keyed, not drawn), so concurrent writers are idempotent.
 pub struct CellEstimator {
     params: CostParams,
     noise: NoiseModel,
     table_noise: NoiseModel,
     meter: Arc<ProfilingMeter>,
     stats: CacheStats,
-    tables: RwLock<HashMap<(String, usize), Arc<CommTables>>>,
-    profiles: RwLock<HashMap<String, Arc<CellProfiles>>>,
-    estimates: RwLock<HashMap<String, Option<CellEstimate>>>,
+    interner: Interner,
+    tables: ShardedMap<TableKey, Arc<CommTables>>,
+    profiles: ShardedMap<CellKey, Arc<CellProfiles>>,
+    estimates: ShardedMap<CellKey, Option<CellEstimate>>,
 }
 
 impl std::fmt::Debug for CellEstimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CellEstimator")
-            .field("profiled_cells", &self.profiles.read().len())
+            .field("profiled_cells", &self.profiles.len())
             .field("gpu_seconds", &self.meter.gpu_seconds())
             .finish()
     }
@@ -131,9 +136,10 @@ impl CellEstimator {
             table_noise,
             meter: Arc::new(ProfilingMeter::new()),
             stats: CacheStats::default(),
-            tables: RwLock::new(HashMap::new()),
-            profiles: RwLock::new(HashMap::new()),
-            estimates: RwLock::new(HashMap::new()),
+            interner: Interner::new(),
+            tables: ShardedMap::new(),
+            profiles: ShardedMap::new(),
+            estimates: ShardedMap::new(),
         }
     }
 
@@ -155,17 +161,50 @@ impl CellEstimator {
         &self.stats
     }
 
+    /// The interned struct key identifying one `(model, batch, cell, hw)`
+    /// combination in the profile and estimate caches.
+    fn cell_key(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> CellKey {
+        CellKey::new(
+            self.interner.intern(&graph.name),
+            global_batch,
+            cell.num_gpus,
+            cell.num_stages,
+            self.interner.intern(hw.name()),
+            hw.packed_gpn,
+        )
+    }
+
     fn tables_for(&self, hw: &HwTarget, max_group: usize) -> Arc<CommTables> {
-        let key = (hw.name().to_string(), hw.packed_gpn);
-        if let Some(t) = self.tables.read().get(&key) {
+        let key = TableKey::new(self.interner.intern(hw.name()), hw.packed_gpn);
+        let shard = self.tables.shard(key.hash_value());
+        if let Some(t) = shard.read().get(&key) {
+            if t.max_group() >= max_group {
+                self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
+                return t.clone();
+            }
+        }
+        // Build outside any lock — the table is a pure function of the
+        // key and seed, so a racing duplicate build is identical and
+        // harmless, and no shard lock is ever held across a build. The
+        // insert re-checks so the loser of a race adopts the winner's
+        // copy; sequentially, misses equal builds exactly.
+        let built = Arc::new(CommTables::build(hw, max_group.max(64), &self.table_noise));
+        let mut w = shard.write();
+        if let Some(t) = w.get(&key) {
             if t.max_group() >= max_group {
                 self.stats.table_hits.fetch_add(1, Ordering::Relaxed);
                 return t.clone();
             }
         }
         self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(CommTables::build(hw, max_group.max(64), &self.table_noise));
-        self.tables.write().insert(key, built.clone());
+        w.insert(key, built.clone());
+        drop(w);
         built
     }
 
@@ -176,19 +215,18 @@ impl CellEstimator {
         cell: &Cell,
         hw: &HwTarget,
     ) -> Arc<CellProfiles> {
-        let key = format!(
-            "{}|{}|{}|{}|{}",
-            graph.name,
-            global_batch,
-            cell.label(),
-            hw.name(),
-            hw.packed_gpn
-        );
-        if let Some(p) = self.profiles.read().get(&key) {
+        let key = self.cell_key(graph, global_batch, cell, hw);
+        let shard = self.profiles.shard(key.hash_value());
+        if let Some(p) = shard.read().get(&key) {
             self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
             return p.clone();
         }
-        self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+        // Profile outside any lock — the profile is a pure function of
+        // the key and seed, so a racing duplicate is identical and
+        // harmless, and concurrent fan-outs over *distinct* cells (the
+        // scheduler's case) never serialize on a shared shard. The insert
+        // re-checks so the loser of a same-key race adopts the winner's
+        // copy; sequentially, misses equal profiler runs exactly.
         let prof = Arc::new(profile_cell(
             &self.params,
             &self.noise,
@@ -198,7 +236,14 @@ impl CellEstimator {
             cell,
             hw,
         ));
-        self.profiles.write().insert(key, prof.clone());
+        let mut w = shard.write();
+        if let Some(p) = w.get(&key) {
+            self.stats.profile_hits.fetch_add(1, Ordering::Relaxed);
+            return p.clone();
+        }
+        self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
+        w.insert(key, prof.clone());
+        drop(w);
         prof
     }
 
@@ -234,18 +279,15 @@ impl CellEstimator {
         cell: &Cell,
         hw: &HwTarget,
     ) -> Option<CellEstimate> {
-        let key = format!(
-            "{}|{}|{}|{}|{}",
-            graph.name,
-            global_batch,
-            cell.label(),
-            hw.name(),
-            hw.packed_gpn
-        );
-        if let Some(e) = self.estimates.read().get(&key) {
+        let key = self.cell_key(graph, global_batch, cell, hw);
+        if let Some(e) = self.estimates.get(&key, key.hash_value()) {
             self.stats.estimate_hits.fetch_add(1, Ordering::Relaxed);
-            return e.clone();
+            return e;
         }
+        // Assembly runs outside any lock: a parallel fan-out estimates
+        // *distinct* cells, so duplicated work on a racing key is rare,
+        // and every writer computes the same deterministic value. Each
+        // call still counts exactly one of hit/miss.
         self.stats.estimate_misses.fetch_add(1, Ordering::Relaxed);
         let started = std::time::Instant::now();
         let est = self.estimate_uncached(graph, global_batch, cell, hw);
@@ -253,7 +295,7 @@ impl CellEstimator {
             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
-        self.estimates.write().insert(key, est.clone());
+        self.estimates.insert(key, key.hash_value(), est.clone());
         est
     }
 
@@ -428,9 +470,9 @@ fn assemble_best(
     if busy_cands.is_empty() {
         return None;
     }
-    busy_cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    busy_cands.sort_by(f64::total_cmp);
     busy_cands.dedup();
-    sync_cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sync_cands.sort_by(f64::total_cmp);
     sync_cands.dedup();
 
     let mut best: Option<(Vec<usize>, f64)> = None;

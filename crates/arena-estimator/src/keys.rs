@@ -1,0 +1,254 @@
+//! Precomputed-hash cache keys and sharded maps for the estimator.
+//!
+//! The estimator's caches sit on the scheduler's hot path: a loaded
+//! round prices thousands of `(job, allocation, stages)` candidates, and
+//! the parallel candidate fan-out hits the caches from several threads
+//! at once. Three ingredients keep lookups cheap and contention-free:
+//!
+//! * **Interned identifiers** — model and hardware names become dense
+//!   `u32` ids once, so keys never allocate or compare strings.
+//! * **Precomputed hashes** — every key carries an FNV-mixed `u64`
+//!   computed at construction; `Hash` just emits it and the maps use an
+//!   identity hasher, so probing never re-hashes fields.
+//! * **Sharding** — each map is split into [`SHARDS`] sub-maps behind
+//!   independent `RwLock`s, selected by the key hash's top bits (the
+//!   bottom bits index hash buckets *within* a shard), so concurrent
+//!   readers of different keys never touch the same lock.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use parking_lot::RwLock;
+
+/// Shard count for the sharded maps (a power of two).
+pub(crate) const SHARDS: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Interns strings to dense `u32` ids. Lookup of a known string takes a
+/// read lock only.
+#[derive(Debug, Default)]
+pub(crate) struct Interner {
+    map: RwLock<HashMap<String, u32>>,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The id for `s`, allocating one on first sight.
+    pub(crate) fn intern(&self, s: &str) -> u32 {
+        if let Some(&id) = self.map.read().get(s) {
+            return id;
+        }
+        let mut w = self.map.write();
+        let next = u32::try_from(w.len()).expect("interner overflow");
+        *w.entry(s.to_string()).or_insert(next)
+    }
+}
+
+/// Identity for a `(model, batch, cell, hardware)` combination — the key
+/// of both the stage-profile and the estimate cache (their inputs are
+/// identical). `Cell` identity reduces to `(num_gpus, num_stages)`
+/// because stage partitioning is a pure function of those and the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CellKey {
+    model: u32,
+    batch: usize,
+    gpus: usize,
+    stages: usize,
+    hw: u32,
+    gpn: usize,
+    hash: u64,
+}
+
+impl CellKey {
+    pub(crate) fn new(
+        model: u32,
+        batch: usize,
+        gpus: usize,
+        stages: usize,
+        hw: u32,
+        gpn: usize,
+    ) -> Self {
+        let mut h = FNV_OFFSET;
+        for v in [
+            u64::from(model),
+            batch as u64,
+            gpus as u64,
+            stages as u64,
+            u64::from(hw),
+            gpn as u64,
+        ] {
+            h = mix(h, v);
+        }
+        CellKey {
+            model,
+            batch,
+            gpus,
+            stages,
+            hw,
+            gpn,
+            hash: h,
+        }
+    }
+
+    pub(crate) fn hash_value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for CellKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Identity of a communication-table build: hardware class and packed
+/// GPUs-per-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TableKey {
+    hw: u32,
+    gpn: usize,
+    hash: u64,
+}
+
+impl TableKey {
+    pub(crate) fn new(hw: u32, gpn: usize) -> Self {
+        let hash = mix(mix(FNV_OFFSET, u64::from(hw)), gpn as u64);
+        TableKey { hw, gpn, hash }
+    }
+
+    pub(crate) fn hash_value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for TableKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Pass-through hasher for keys that carry a precomputed hash.
+#[derive(Debug, Default)]
+pub(crate) struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("prehashed keys emit a single u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// A `HashMap` keyed by prehashed keys, probing on the stored hash.
+pub(crate) type PrehashedMap<K, V> = HashMap<K, V, BuildHasherDefault<IdentityHasher>>;
+
+/// An N-way sharded map: the key hash's **top** bits select the shard
+/// (each behind its own `RwLock`), leaving the bottom bits — which the
+/// inner map's buckets use — uncorrelated with shard choice.
+pub(crate) struct ShardedMap<K, V> {
+    shards: Vec<RwLock<PrehashedMap<K, V>>>,
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> ShardedMap<K, V> {
+    pub(crate) fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(PrehashedMap::default()))
+                .collect(),
+        }
+    }
+
+    /// The shard lock a hash maps to; callers do hit/miss accounting
+    /// under it.
+    pub(crate) fn shard(&self, hash: u64) -> &RwLock<PrehashedMap<K, V>> {
+        let idx = (hash >> (64 - SHARDS.trailing_zeros())) as usize;
+        &self.shards[idx]
+    }
+
+    /// Clones the value under `key`, if present (read lock only).
+    pub(crate) fn get(&self, key: &K, hash: u64) -> Option<V> {
+        self.shard(hash).read().get(key).cloned()
+    }
+
+    /// Inserts (last writer wins — all writers of a key compute the same
+    /// deterministic value).
+    pub(crate) fn insert(&self, key: K, hash: u64, value: V) {
+        self.shard(hash).write().insert(key, value);
+    }
+
+    /// Total entries across shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_stable_and_dense() {
+        let i = Interner::new();
+        let a = i.intern("bert");
+        let b = i.intern("moe");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("bert"), a);
+        assert_eq!(i.intern("moe"), b);
+    }
+
+    #[test]
+    fn distinct_fields_give_distinct_keys() {
+        let base = CellKey::new(0, 256, 8, 4, 0, 4);
+        for other in [
+            CellKey::new(1, 256, 8, 4, 0, 4),
+            CellKey::new(0, 512, 8, 4, 0, 4),
+            CellKey::new(0, 256, 4, 4, 0, 4),
+            CellKey::new(0, 256, 8, 2, 0, 4),
+            CellKey::new(0, 256, 8, 4, 1, 4),
+            CellKey::new(0, 256, 8, 4, 0, 2),
+        ] {
+            assert_ne!(base, other);
+        }
+        assert_eq!(base, CellKey::new(0, 256, 8, 4, 0, 4));
+    }
+
+    #[test]
+    fn sharded_map_round_trips_and_spreads() {
+        let m: ShardedMap<CellKey, usize> = ShardedMap::new();
+        let keys: Vec<CellKey> = (0..200)
+            .map(|i| CellKey::new(i % 5, 256, 1 << (i % 6), 1 << (i % 3), i % 3, 4))
+            .collect();
+        for (n, k) in keys.iter().enumerate() {
+            m.insert(*k, k.hash_value(), n);
+        }
+        let distinct: std::collections::HashSet<CellKey> = keys.iter().copied().collect();
+        assert_eq!(m.len(), distinct.len());
+        // Hashes must actually spread across shards.
+        let used: std::collections::HashSet<usize> = keys
+            .iter()
+            .map(|k| (k.hash_value() >> (64 - SHARDS.trailing_zeros())) as usize)
+            .collect();
+        assert!(used.len() > SHARDS / 2, "only {} shards used", used.len());
+        for (n, k) in keys.iter().enumerate().rev() {
+            // Last writer wins per key; the final loop wrote the highest n.
+            let got = m.get(k, k.hash_value()).unwrap();
+            let last = keys.iter().rposition(|k2| k2 == k).unwrap();
+            assert_eq!(got, last, "key {n} resolved wrong slot");
+        }
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod cell;
 pub mod estimator;
+mod keys;
 pub mod profile;
 pub mod tables;
 

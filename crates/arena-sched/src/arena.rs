@@ -1,8 +1,14 @@
 //! The Arena (Crius) Cell-based scheduler: Algorithm 1.
 
-use arena_cluster::GpuTypeId;
-use arena_obs::Decision;
+use std::cell::RefCell;
+use std::sync::Arc;
 
+use arena_cluster::{GpuTypeId, PoolStats};
+use arena_obs::Decision;
+use arena_runtime::WorkerPool;
+
+pub use crate::memo::CandidateMemoStats;
+use crate::memo::{CandidateMemo, JobClassKey};
 use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
 
 /// Which Arena variant runs.
@@ -21,7 +27,7 @@ pub enum ArenaVariant {
 /// A candidate placement for one job, scored by estimated normalised
 /// throughput.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
+pub(crate) struct Candidate {
     pool: GpuTypeId,
     gpus: usize,
     /// Estimated throughput / the job's ideal throughput.
@@ -59,6 +65,15 @@ pub struct ArenaPolicy {
     pub opportunistic: bool,
     /// Queue discipline.
     pub queue_order: QueueOrder,
+    /// Pool fanning Cell estimation out across the candidate grid.
+    /// Results merge in grid order, so any pool size produces the same
+    /// schedule; defaults to sequential unless `ARENA_WORKER_THREADS`
+    /// asks for more.
+    workers: WorkerPool,
+    /// Ranked-candidate memo (see [`crate::memo`]); flushed whenever the
+    /// per-pool free/failed/total signature moves.
+    memo: RefCell<CandidateMemo>,
+    use_memo: bool,
 }
 
 impl ArenaPolicy {
@@ -76,7 +91,38 @@ impl ArenaPolicy {
             search_depth: 3,
             opportunistic: true,
             queue_order: QueueOrder::Arrival,
+            workers: WorkerPool::from_env_or(1),
+            memo: RefCell::new(CandidateMemo::default()),
+            use_memo: true,
         }
+    }
+
+    /// Sets the worker-thread count for candidate estimation (1 =
+    /// sequential). The schedule is byte-identical at any count.
+    #[must_use]
+    pub fn with_worker_threads(self, threads: usize) -> Self {
+        self.with_worker_pool(WorkerPool::new(threads))
+    }
+
+    /// Supplies the worker pool for candidate estimation.
+    #[must_use]
+    pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
+        self.workers = pool;
+        self
+    }
+
+    /// Disables the candidate memo (every list is re-enumerated) — the
+    /// sequential baseline the incremental path is benchmarked against.
+    #[must_use]
+    pub fn without_candidate_memo(mut self) -> Self {
+        self.use_memo = false;
+        self
+    }
+
+    /// Hit/miss/invalidation counters of the candidate memo.
+    #[must_use]
+    pub fn candidate_memo_stats(&self) -> CandidateMemoStats {
+        self.memo.borrow().stats()
     }
 
     /// Overrides the search depth (Fig. 21).
@@ -135,40 +181,40 @@ impl ArenaPolicy {
     /// With zero failed capacity the ranking is exactly the fault-free
     /// one, so fault-free schedules are unchanged.
     fn candidates(&self, view: &SchedView<'_>, job: &JobView) -> Vec<Candidate> {
-        let ideal = view.service.ideal_sps(&job.spec);
-        let mut out = Vec::new();
-        for pool in self.pool_menu(view, job) {
-            for gpus in self.gpu_menu(job.spec.requested_gpus) {
-                if let Some(c) = view.service.cell_choice(&job.spec.model, gpus, pool) {
-                    out.push(Candidate {
-                        pool,
-                        gpus,
-                        score: c.throughput_sps / ideal,
-                        iter_time_s: c.iter_time_s,
-                    });
-                }
+        let key = JobClassKey::of(&job.spec);
+        if self.use_memo {
+            self.memo.borrow_mut().begin_pass(view.pools);
+            if let Some(cached) = self.memo.borrow_mut().get(&key) {
+                return cached.to_vec();
             }
         }
-        let degraded = view.pools.iter().any(|p| p.failed_gpus > 0);
-        if degraded {
-            let pool_stat = |id: GpuTypeId| view.pools.iter().find(|p| p.id == id);
-            let adjusted = |c: &Candidate| {
-                let frac = pool_stat(c.pool).map_or(0.0, |p| {
-                    p.failed_gpus as f64 / (p.total_gpus as f64).max(1.0)
-                });
-                c.score * (1.0 - FAILED_POOL_PENALTY * frac)
-            };
-            out.sort_by(|a, b| {
-                adjusted(b)
-                    .partial_cmp(&adjusted(a))
-                    .unwrap()
-                    .then_with(|| {
-                        let spare = |c: &Candidate| pool_stat(c.pool).map_or(0, |p| p.free_gpus);
-                        spare(b).cmp(&spare(a))
-                    })
-            });
-        } else {
-            out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let ideal = view.service.ideal_sps(&job.spec);
+        let grid: Vec<(GpuTypeId, usize)> = self
+            .pool_menu(view, job)
+            .into_iter()
+            .flat_map(|pool| {
+                self.gpu_menu(job.spec.requested_gpus)
+                    .into_iter()
+                    .map(move |gpus| (pool, gpus))
+            })
+            .collect();
+        // Fan the estimation grid out over the worker pool; the result
+        // vector keeps grid order, so ranking sees the same input (and
+        // stable-sort tie order) at every pool size.
+        let service = view.service;
+        let model = &job.spec.model;
+        let estimated = self.workers.map(&grid, |_, &(pool, gpus)| {
+            service.cell_choice(model, gpus, pool).map(|c| Candidate {
+                pool,
+                gpus,
+                score: c.throughput_sps / ideal,
+                iter_time_s: c.iter_time_s,
+            })
+        });
+        let mut out: Vec<Candidate> = estimated.into_iter().flatten().collect();
+        rank_candidates(&mut out, view.pools);
+        if self.use_memo {
+            self.memo.borrow_mut().put(key, Arc::new(out.clone()));
         }
         out
     }
@@ -210,6 +256,48 @@ const MOVE_PENALTY: f64 = 0.15;
 /// Score discount per unit failed-capacity fraction of a pool; only
 /// active while some capacity is actually down.
 const FAILED_POOL_PENALTY: f64 = 0.25;
+
+/// Descending-sort key: NaN (an upstream estimation bug, not a valid
+/// score) ranks *below* every real score instead of panicking the
+/// comparator or floating to the top.
+fn score_key(s: f64) -> f64 {
+    if s.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        s
+    }
+}
+
+/// Ranks candidates best-score-first against the given pool state.
+///
+/// When part of the cluster is down the ranking is failure-aware: a
+/// candidate's score is discounted by its pool's failed-capacity
+/// fraction, and exact ties prefer the pool with more spare healthy
+/// capacity. With zero failed capacity the ranking is exactly the
+/// fault-free one. The sort is stable, so equal-scored candidates keep
+/// enumeration (grid) order.
+fn rank_candidates(out: &mut [Candidate], pools: &[PoolStats]) {
+    let pool_stat = |id: GpuTypeId| pools.iter().find(|p| p.id == id);
+    let degraded = pools.iter().any(|p| p.failed_gpus > 0);
+    if degraded {
+        let adjusted = |c: &Candidate| {
+            let frac = pool_stat(c.pool).map_or(0.0, |p| {
+                p.failed_gpus as f64 / (p.total_gpus as f64).max(1.0)
+            });
+            c.score * (1.0 - FAILED_POOL_PENALTY * frac)
+        };
+        out.sort_by(|a, b| {
+            score_key(adjusted(b))
+                .total_cmp(&score_key(adjusted(a)))
+                .then_with(|| {
+                    let spare = |c: &Candidate| pool_stat(c.pool).map_or(0, |p| p.free_gpus);
+                    spare(b).cmp(&spare(a))
+                })
+        });
+    } else {
+        out.sort_by(|a, b| score_key(b.score).total_cmp(&score_key(a.score)));
+    }
+}
 
 /// An action staged during the transactional pass, with the provenance it
 /// will be recorded under if the transaction commits.
@@ -580,7 +668,7 @@ impl Policy for ArenaPolicy {
                     j.remaining_iters * j.spec.model.global_batch as f64
                         / view.service.ideal_sps(&j.spec).max(1e-9)
                 };
-                work(a).partial_cmp(&work(b)).unwrap()
+                work(a).total_cmp(&work(b))
             });
         }
 
@@ -892,6 +980,92 @@ mod tests {
             }
             other => panic!("unexpected actions {other:?}"),
         }
+    }
+
+    #[test]
+    fn nan_scored_candidate_cannot_panic_ranking() {
+        // A NaN score (an estimator bug upstream) must neither panic the
+        // comparator nor float to the top of the ranking.
+        let cand = |pool: usize, score: f64| Candidate {
+            pool: GpuTypeId(pool),
+            gpus: 8,
+            score,
+            iter_time_s: 1.0,
+        };
+        let f = Fixture::new();
+        let mut pools = f.cluster.pool_stats();
+        let mut cands = vec![cand(0, f64::NAN), cand(1, 0.9), cand(0, 1.1)];
+        rank_candidates(&mut cands, &pools);
+        assert_eq!(cands[0].score, 1.1);
+        assert!(cands[2].score.is_nan(), "NaN must rank last: {cands:?}");
+        // Same under the failure-aware (degraded) ranking.
+        pools[0].failed_gpus = 8;
+        let mut cands = vec![cand(0, f64::NAN), cand(1, 0.9), cand(1, f64::NAN)];
+        rank_candidates(&mut cands, &pools);
+        assert_eq!(cands[0].score, 0.9);
+        assert!(cands[1].score.is_nan() && cands[2].score.is_nan());
+    }
+
+    #[test]
+    fn nan_remaining_work_cannot_panic_scheduler() {
+        // A NaN remaining-work estimate must not panic the
+        // shortest-first queue sort; the poisoned job just sorts last.
+        let f = Fixture::new();
+        let mut poisoned = job(1, 1.3, 8, 0);
+        poisoned.remaining_iters = f64::NAN;
+        let queued = vec![poisoned, job(2, 1.3, 8, 0), job(3, 1.3, 8, 1)];
+        let pools = f.cluster.pool_stats();
+        let mut policy = ArenaPolicy::new().with_queue_order(QueueOrder::ShortestFirst);
+        let actions = policy.schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+        assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn memo_and_pool_sizes_leave_schedule_unchanged() {
+        let f = Fixture::new();
+        let queued: Vec<JobView> = (0..6).map(|i| job(i, 1.3, 8, (i % 2) as usize)).collect();
+        let pools = f.cluster.pool_stats();
+        let reference = ArenaPolicy::new()
+            .without_candidate_memo()
+            .schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+        for mut policy in [
+            ArenaPolicy::new(),
+            ArenaPolicy::new().with_worker_threads(4),
+            ArenaPolicy::new()
+                .with_worker_threads(8)
+                .without_candidate_memo(),
+        ] {
+            let actions = policy.schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+            assert_eq!(actions, reference);
+        }
+    }
+
+    #[test]
+    fn memo_hits_on_quiet_rounds_and_flushes_on_capacity_change() {
+        let f = Fixture::new();
+        // Two same-class jobs: the second one's candidate list is a memo
+        // hit even within the first pass.
+        let queued = vec![job(1, 1.3, 8, 0), job(2, 1.3, 8, 0)];
+        let mut pools = f.cluster.pool_stats();
+        pools[0].free_gpus = 0;
+        pools[1].free_gpus = 0; // Nothing places, so pool state stays put.
+        let mut policy = ArenaPolicy::new();
+        let view = f.view(&queued, &[], &pools);
+        let _ = policy.schedule(SchedEvent::Round, &view);
+        let s1 = policy.candidate_memo_stats();
+        assert!(s1.hits > 0, "same-class job should hit the memo: {s1:?}");
+        assert!(s1.misses > 0);
+        // A quiet round re-enumerates nothing.
+        let _ = policy.schedule(SchedEvent::Round, &view);
+        let s2 = policy.candidate_memo_stats();
+        assert_eq!(s2.misses, s1.misses, "quiet round re-enumerated: {s2:?}");
+        assert_eq!(s2.invalidations, 0);
+        // Capacity moved (e.g. an allocation elsewhere): memo flushes.
+        pools[0].free_gpus = 8;
+        let _ = policy.schedule(SchedEvent::Round, &f.view(&queued, &[], &pools));
+        let s3 = policy.candidate_memo_stats();
+        assert_eq!(s3.invalidations, 1);
+        assert!(s3.misses > s2.misses);
     }
 
     #[test]

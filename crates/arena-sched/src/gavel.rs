@@ -62,7 +62,7 @@ impl Policy for GavelPolicy {
             let best = (0..free.len())
                 .filter(|&p| free[p] >= need)
                 .filter_map(|p| Self::rate(view, job, p).map(|r| (p, r)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                .max_by(|a, b| a.1.total_cmp(&b.1));
             if let Some((p, r)) = best {
                 free[p] -= need;
                 view.obs.decision(
@@ -102,7 +102,7 @@ impl Policy for GavelPolicy {
                 let better = (0..free.len())
                     .filter(|&p| p != pl.pool.0 && free[p] >= pl.gpus)
                     .filter_map(|p| Self::rate(view, job, p).map(|r| (p, r)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
                 if let Some((p, r)) = better {
                     if r > cur * self.migration_gain {
                         free[p] -= pl.gpus;

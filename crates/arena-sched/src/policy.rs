@@ -145,7 +145,11 @@ pub enum Action {
 }
 
 /// A cluster scheduling policy.
-pub trait Policy {
+///
+/// `Send` is a supertrait so boxed policies can move onto worker threads
+/// (the `repro` driver fans whole policy runs out over a
+/// [`arena_runtime::WorkerPool`]); every policy here is plain data.
+pub trait Policy: Send {
     /// Display name used in experiment output.
     fn name(&self) -> &'static str;
 

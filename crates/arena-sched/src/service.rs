@@ -127,6 +127,14 @@ impl PlanService {
         self.estimator.stats().snapshot()
     }
 
+    /// Drops every memoised Cell choice, forcing the next
+    /// [`PlanService::cell_choice`] per key back through the estimator.
+    /// The estimator's own caches are untouched, so this isolates *their*
+    /// hit rate in tests without changing any returned value.
+    pub fn clear_cell_choice_cache(&self) {
+        self.cells.write().clear();
+    }
+
     /// Number of pools the service knows.
     #[must_use]
     pub fn num_pools(&self) -> usize {
@@ -412,6 +420,14 @@ mod tests {
     use super::*;
     use arena_cluster::presets;
     use arena_model::zoo::ModelFamily;
+
+    /// The parallel candidate fan-out shares one `&PlanService` across
+    /// worker threads.
+    #[test]
+    fn plan_service_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<PlanService>();
+    }
 
     fn service() -> PlanService {
         PlanService::new(&presets::physical_testbed(), CostParams::default(), 7)

@@ -156,7 +156,7 @@ impl ArenaSolverPolicy {
                 0.0
             },
         });
-        choices.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+        choices.sort_by(|a, b| b.value.total_cmp(&a.value));
         Item {
             job: job.id(),
             current,
@@ -192,7 +192,7 @@ impl ArenaSolverPolicy {
                     next.push(s);
                 }
             }
-            next.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+            next.sort_by(|a, b| b.value.total_cmp(&a.value));
             next.truncate(self.beam_width);
             beam = next;
         }
@@ -233,7 +233,7 @@ impl Policy for ArenaSolverPolicy {
 
         // Jobs with the most to contribute are assigned first, so the beam
         // fills capacity with high-value placements before low-value ones.
-        items.sort_by(|a, b| b.choices[0].value.partial_cmp(&a.choices[0].value).unwrap());
+        items.sort_by(|a, b| b.choices[0].value.total_cmp(&a.choices[0].value));
 
         let picks = self.solve(&items, free);
         for (item, &pick) in items.iter().zip(&picks) {

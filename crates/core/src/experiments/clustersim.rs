@@ -6,11 +6,11 @@ use arena_cluster::{presets, Cluster, GpuTypeId};
 use arena_estimator::{Cell, CellEstimator};
 use arena_model::zoo::{ModelConfig, ModelFamily};
 use arena_perf::{CostParams, GroundTruth};
-use arena_sched::PlanService;
+use arena_runtime::WorkerPool;
 use arena_sim::SimConfig;
 use arena_trace::{generate, JobSpec, TraceConfig, TraceKind};
 
-use super::{run_policies, summary_table, PolicySummary};
+use super::{run_policies_parallel, summary_table, PolicySummary};
 use crate::report::{f3, pct, Table};
 
 /// A cluster-comparison experiment's full output.
@@ -101,13 +101,16 @@ fn run_comparison(
     horizon_s: f64,
     seed: u64,
 ) -> ClusterExperiment {
-    let service = PlanService::new(cluster, CostParams::default(), seed);
-    let results = run_policies(
+    // One policy per worker; each gets a freshly seeded service (same
+    // ground truth, fair comparison) so nothing is shared across threads.
+    let results = run_policies_parallel(
         cluster,
         jobs,
         policies,
-        &service,
+        &CostParams::default(),
+        seed,
         &SimConfig::new(horizon_s),
+        &WorkerPool::from_env(),
     );
     let mut summaries: Vec<PolicySummary> = results.iter().map(PolicySummary::from).collect();
     super::fill_common_jct(&results, &mut summaries);

@@ -38,6 +38,8 @@ pub mod tables;
 
 use serde::Serialize;
 
+use arena_perf::CostParams;
+use arena_runtime::WorkerPool;
 use arena_sched::{PlanService, Policy};
 use arena_sim::{simulate, SimConfig, SimResult};
 use arena_trace::JobSpec;
@@ -146,6 +148,37 @@ pub fn run_policies(
         .into_iter()
         .map(|mut p| simulate(cluster, jobs, p.as_mut(), service, cfg))
         .collect()
+}
+
+/// Runs several policies concurrently over the same trace, one policy per
+/// worker thread, merging results in the policies' submission order.
+///
+/// Each policy gets its *own* [`PlanService`] built from the same
+/// `(params, seed)` pair. The service is a pure function of cluster,
+/// cost parameters and seed, so every run still sees identical ground
+/// truth, while no wall-clock profiling meter is shared across threads —
+/// apart from `avg_decision_s` (wall-clock) the results are identical to
+/// a sequential run, at any worker-pool size.
+#[must_use]
+pub fn run_policies_parallel(
+    cluster: &arena_cluster::Cluster,
+    jobs: &[JobSpec],
+    policies: Vec<Box<dyn Policy>>,
+    params: &CostParams,
+    seed: u64,
+    cfg: &SimConfig,
+    pool: &WorkerPool,
+) -> Vec<SimResult> {
+    let tasks: Vec<_> = policies
+        .into_iter()
+        .map(|mut p| {
+            move || {
+                let service = PlanService::new(cluster, params.clone(), seed);
+                simulate(cluster, jobs, p.as_mut(), &service, cfg)
+            }
+        })
+        .collect();
+    pool.run_all(tasks)
 }
 
 /// The paper's five-way policy comparison set (§8.1).

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use arena_cluster::presets;
 use arena_perf::CostParams;
+use arena_runtime::WorkerPool;
 use arena_sched::PlanService;
 use arena_sim::{simulate_traced, DecisionKind, Obs, SimConfig, SimResult, Timeline};
 use arena_trace::{generate, TraceConfig, TraceKind};
@@ -76,8 +77,15 @@ pub fn conformance_workload(quick: bool) -> Vec<TraceRun> {
     let jobs = generate(&trace_cfg);
     let sim_cfg = SimConfig::new(if quick { 12.0 * 3600.0 } else { 24.0 * 3600.0 });
 
-    let mut runs = Vec::new();
-    for mut policy in crate::experiments::comparison_policies() {
+    // One traced run per worker thread: each policy already gets its own
+    // service and Obs sink, so runs are independent; the pool merges them
+    // back in the comparison set's order.
+    let n = crate::experiments::comparison_policies().len();
+    WorkerPool::from_env().map_indices(n, |i| {
+        let mut policy = crate::experiments::comparison_policies()
+            .into_iter()
+            .nth(i)
+            .expect("policy index in range");
         let service = PlanService::new(&cluster, CostParams::default(), 27);
         let obs = Obs::enabled();
         let r = simulate_traced(&cluster, &jobs, policy.as_mut(), &service, &sim_cfg, &obs);
@@ -105,12 +113,11 @@ pub fn conformance_workload(quick: bool) -> Vec<TraceRun> {
                 .unwrap_or(0),
             reason_counts: t.decision_counts(),
         };
-        runs.push(TraceRun {
+        TraceRun {
             summary,
             jsonl: t.decisions_jsonl(),
-        });
-    }
-    runs
+        }
+    })
 }
 
 /// Renders the per-policy provenance comparison.
@@ -318,8 +325,12 @@ pub fn timeline_workload(quick: bool) -> Vec<TimelineRun> {
     let jobs = generate(&trace_cfg);
     let sim_cfg = SimConfig::new(if quick { 12.0 * 3600.0 } else { 24.0 * 3600.0 });
 
-    let mut runs = Vec::new();
-    for mut policy in crate::experiments::comparison_policies() {
+    let n = crate::experiments::comparison_policies().len();
+    WorkerPool::from_env().map_indices(n, |i| {
+        let mut policy = crate::experiments::comparison_policies()
+            .into_iter()
+            .nth(i)
+            .expect("policy index in range");
         let service = PlanService::new(&cluster, CostParams::default(), 27);
         let obs = Obs::enabled();
         let r = simulate_traced(&cluster, &jobs, policy.as_mut(), &service, &sim_cfg, &obs);
@@ -327,9 +338,8 @@ pub fn timeline_workload(quick: bool) -> Vec<TimelineRun> {
             .timeline
             .validate()
             .expect("engine emits a legal timeline");
-        runs.push(summarize_run(&r));
-    }
-    runs
+        summarize_run(&r)
+    })
 }
 
 /// Renders the per-policy time-in-state + utilization comparison.

@@ -16,6 +16,7 @@
 //! | [`estimator`] | `arena-estimator` | the Cell abstraction + agile estimation |
 //! | [`tuner`] | `arena-tuner` | Cell-guided pruned parallelism tuning |
 //! | [`sched`] | `arena-sched` | Arena's scheduler + FCFS/Gandiva/Gavel/ElasticFlow |
+//! | [`runtime`] | `arena-runtime` | deterministic worker pool for parallel fan-out |
 //! | [`trace`] | `arena-trace` | synthetic Philly/Helios/PAI workloads |
 //! | [`sim`] | `arena-sim` | discrete-event cluster simulator |
 //!
@@ -42,6 +43,7 @@ pub use arena_estimator as estimator;
 pub use arena_model as model;
 pub use arena_parallelism as parallelism;
 pub use arena_perf as perf;
+pub use arena_runtime as runtime;
 pub use arena_sched as sched;
 pub use arena_sim as sim;
 pub use arena_trace as trace;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use arena_model::ModelGraph;
     pub use arena_parallelism::{PipelinePlan, PlanSpace, StagePlan};
     pub use arena_perf::{CostParams, GroundTruth, HwTarget};
+    pub use arena_runtime::WorkerPool;
     pub use arena_sched::{
         ArenaPolicy, ArenaSolverPolicy, ArenaVariant, ElasticFlowPolicy, FcfsPolicy, GandivaPolicy,
         GavelPolicy, PlanService, Policy, QueueOrder,
