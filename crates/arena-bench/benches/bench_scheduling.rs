@@ -24,7 +24,7 @@ fn make_jobs(n: u64, base_gpus: usize, num_pools: usize) -> Vec<JobView> {
                 ModelFamily::WideResNet => 1.0,
             };
             JobView {
-                spec: JobSpec {
+                spec: std::sync::Arc::new(JobSpec {
                     id: i,
                     name: format!("j{i}"),
                     submit_s: 0.0,
@@ -33,7 +33,7 @@ fn make_jobs(n: u64, base_gpus: usize, num_pools: usize) -> Vec<JobView> {
                     requested_gpus: base_gpus,
                     requested_pool: i as usize % num_pools,
                     deadline_s: None,
-                },
+                }),
                 remaining_iters: 4000.0,
                 placement: None,
             }

@@ -43,7 +43,7 @@ fn queued_views(specs: &[JobSpec]) -> Vec<JobView> {
     specs
         .iter()
         .map(|s| JobView {
-            spec: s.clone(),
+            spec: std::sync::Arc::new(s.clone()),
             remaining_iters: s.iterations as f64,
             placement: None,
         })
@@ -88,7 +88,7 @@ impl LoadedRound {
             .iter()
             .enumerate()
             .map(|(i, s)| JobView {
-                spec: s.clone(),
+                spec: std::sync::Arc::new(s.clone()),
                 remaining_iters: 300.0,
                 placement: Some(PlacementView {
                     pool: GpuTypeId(i % 2),
@@ -222,6 +222,50 @@ fn bench_simulate_500(smoke: bool) -> BenchEntry {
     })
 }
 
+/// The loaded engine round: a 5000-job trace under a generated
+/// node-failure schedule, replayed with FCFS so the event loop — not the
+/// policy — dominates. This is the bench the CI speedup gate holds the
+/// event-indexed core's ≥3x claim against (`BENCH_sim_pre_event_core.json`
+/// records the pre-change engine on the same fixture).
+fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 51);
+    let n = if smoke { 200 } else { 5000 };
+    let jobs = make_jobs(n, 4, 30.0, 2);
+    let fault_span_s = n as f64 * 30.0 * 1.4;
+    let faults = arena::trace::generate_faults(
+        &arena::trace::FaultConfig::with_mtbf(60_000.0),
+        &[16, 16],
+        fault_span_s,
+    );
+    let cfg = SimConfig::new(30.0 * 24.0 * 3600.0);
+    // Warm the plan caches once.
+    let _ = simulate_with_faults(
+        &cluster,
+        &jobs,
+        &mut FcfsPolicy::new(),
+        &service,
+        &cfg,
+        &faults,
+    );
+    let iters = if smoke { 1 } else { 3 };
+    time_loop(
+        &format!("sim/simulate_{n}_jobs_faulted_fcfs"),
+        iters,
+        || {
+            let mut p = FcfsPolicy::new();
+            black_box(simulate_with_faults(
+                &cluster,
+                black_box(&jobs),
+                &mut p,
+                &service,
+                &cfg,
+                &faults,
+            ));
+        },
+    )
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let mut benches = Vec::new();
@@ -229,6 +273,7 @@ fn main() {
     benches.extend(bench_arena_schedule(smoke));
     benches.extend(bench_arena_500(smoke));
     benches.push(bench_simulate_500(smoke));
+    benches.push(bench_simulate_loaded(smoke));
 
     if !smoke {
         let mean = |name: &str| {

@@ -73,6 +73,16 @@ struct Pool {
     used: Vec<usize>,
     /// Health of each node.
     health: Vec<NodeHealth>,
+    /// Capacity index: running totals of the three per-node columns,
+    /// maintained incrementally by [`Pool::update_node`] so aggregate
+    /// queries ([`Cluster::free_gpus`], [`Cluster::pool_stats`], …) never
+    /// scan the node vectors. Invariant: `free_total + used_total +
+    /// failed_total == num_nodes * gpus_per_node`.
+    free_total: usize,
+    /// See [`Pool::free_total`].
+    used_total: usize,
+    /// See [`Pool::free_total`]; the sum of [`Pool::failed_contrib`].
+    failed_total: usize,
 }
 
 impl Pool {
@@ -82,6 +92,36 @@ impl Pool {
             NodeHealth::Healthy => self.spec.gpus_per_node - self.used[node],
             NodeHealth::Failed | NodeHealth::Draining => 0,
         };
+    }
+
+    /// Unavailable capacity on one node: GPUs a failed/draining node can
+    /// no longer offer (GPUs still granted to un-released allocations on
+    /// it count as used, not failed).
+    fn failed_contrib(&self, node: usize) -> usize {
+        match self.health[node] {
+            NodeHealth::Healthy => 0,
+            NodeHealth::Failed | NodeHealth::Draining => self.spec.gpus_per_node - self.used[node],
+        }
+    }
+
+    /// The single mutation point for a node's books: applies a new
+    /// used-count and health, re-derives `free[node]`, and keeps the
+    /// aggregate totals in sync by delta.
+    fn update_node(&mut self, node: usize, used: usize, health: NodeHealth) {
+        self.free_total -= self.free[node];
+        self.used_total -= self.used[node];
+        self.failed_total -= self.failed_contrib(node);
+        self.used[node] = used;
+        self.health[node] = health;
+        self.sync_free(node);
+        self.free_total += self.free[node];
+        self.used_total += self.used[node];
+        self.failed_total += self.failed_contrib(node);
+        debug_assert_eq!(
+            self.free_total + self.used_total + self.failed_total,
+            self.free.len() * self.spec.gpus_per_node,
+            "capacity index out of sync with node books"
+        );
     }
 }
 
@@ -124,6 +164,9 @@ impl Cluster {
                     free: vec![spec.gpus_per_node; n],
                     used: vec![0; n],
                     health: vec![NodeHealth::Healthy; n],
+                    free_total: spec.gpus_per_node * n,
+                    used_total: 0,
+                    failed_total: 0,
                 })
                 .collect(),
         }
@@ -168,10 +211,10 @@ impl Cluster {
             .sum()
     }
 
-    /// Free GPUs in one pool.
+    /// Free GPUs in one pool (O(1): served from the capacity index).
     #[must_use]
     pub fn free_gpus(&self, id: GpuTypeId) -> usize {
-        self.pools.get(id.0).map_or(0, |p| p.free.iter().sum())
+        self.pools.get(id.0).map_or(0, |p| p.free_total)
     }
 
     /// Free GPUs across all pools.
@@ -188,24 +231,19 @@ impl Cluster {
         self.pools.get(id.0).map_or(0, |p| p.free.len())
     }
 
-    /// GPUs currently granted to allocations in one pool.
+    /// GPUs currently granted to allocations in one pool (O(1): served
+    /// from the capacity index).
     #[must_use]
     pub fn used_gpus(&self, id: GpuTypeId) -> usize {
-        self.pools.get(id.0).map_or(0, |p| p.used.iter().sum())
+        self.pools.get(id.0).map_or(0, |p| p.used_total)
     }
 
     /// Unavailable capacity in one pool: GPUs on failed or draining nodes
-    /// that are neither free nor held by an allocation.
+    /// that are neither free nor held by an allocation (O(1): served from
+    /// the capacity index).
     #[must_use]
     pub fn failed_gpus(&self, id: GpuTypeId) -> usize {
-        self.pools.get(id.0).map_or(0, |p| {
-            p.health
-                .iter()
-                .zip(&p.used)
-                .filter(|(h, _)| **h != NodeHealth::Healthy)
-                .map(|(_, &u)| p.spec.gpus_per_node - u)
-                .sum()
-        })
+        self.pools.get(id.0).map_or(0, |p| p.failed_total)
     }
 
     /// Health of one node.
@@ -235,8 +273,7 @@ impl Cluster {
         if node >= pool.health.len() {
             return Err(ClusterError::UnknownNode { pool: id, node });
         }
-        pool.health[node] = health;
-        pool.sync_free(node);
+        pool.update_node(node, pool.used[node], health);
         Ok(())
     }
 
@@ -277,7 +314,8 @@ impl Cluster {
         self.set_health(id, node, NodeHealth::Draining)
     }
 
-    /// Statistics for every pool.
+    /// Statistics for every pool (O(pools): served from the capacity
+    /// index, no node scans).
     #[must_use]
     pub fn pool_stats(&self) -> Vec<PoolStats> {
         self.pools
@@ -287,8 +325,8 @@ impl Cluster {
                 id: GpuTypeId(i),
                 spec: p.spec,
                 total_gpus: p.free.len() * p.spec.gpus_per_node,
-                free_gpus: p.free.iter().sum(),
-                failed_gpus: self.failed_gpus(GpuTypeId(i)),
+                free_gpus: p.free_total,
+                failed_gpus: p.failed_total,
             })
             .collect()
     }
@@ -330,7 +368,7 @@ impl Cluster {
             .pools
             .get_mut(id.0)
             .ok_or(ClusterError::UnknownPool(id))?;
-        let free_total: usize = pool.free.iter().sum();
+        let free_total = pool.free_total;
         if n == 0 || free_total < n {
             return Err(ClusterError::Insufficient {
                 requested: n,
@@ -349,8 +387,7 @@ impl Cluster {
             .filter(|&(_, &f)| f >= remaining)
             .min_by_key(|&(_, &f)| f)
         {
-            pool.free[node] -= remaining;
-            pool.used[node] += remaining;
+            pool.update_node(node, pool.used[node] + remaining, pool.health[node]);
             node_gpus.push((node, remaining));
             return Ok(Allocation {
                 pool: id,
@@ -366,8 +403,7 @@ impl Cluster {
                 break;
             }
             let take = pool.free[node].min(remaining);
-            pool.free[node] -= take;
-            pool.used[node] += take;
+            pool.update_node(node, pool.used[node] + take, pool.health[node]);
             node_gpus.push((node, take));
             remaining -= take;
         }
@@ -402,8 +438,7 @@ impl Cluster {
             }
         }
         for &(node, gpus) in &alloc.node_gpus {
-            pool.used[node] -= gpus;
-            pool.sync_free(node);
+            pool.update_node(node, pool.used[node] - gpus, pool.health[node]);
         }
         Ok(())
     }
@@ -611,6 +646,63 @@ mod tests {
         assert_eq!(stats[1].free_gpus, 14);
         assert_eq!(stats[1].failed_gpus, 2);
         assert_eq!(stats[0].failed_gpus, 0);
+    }
+
+    /// The incremental capacity index must agree with a from-scratch scan
+    /// of the node books after any interleaving of allocate / release /
+    /// fail / drain / repair.
+    #[test]
+    fn capacity_index_matches_node_scans() {
+        let mut c = small_cluster();
+        let scan_check = |c: &Cluster| {
+            for (i, p) in c.pools.iter().enumerate() {
+                let id = GpuTypeId(i);
+                let free: usize = p.free.iter().sum();
+                let used: usize = p.used.iter().sum();
+                let failed: usize = (0..p.free.len()).map(|n| p.failed_contrib(n)).sum();
+                assert_eq!(c.free_gpus(id), free, "pool {i} free");
+                assert_eq!(c.used_gpus(id), used, "pool {i} used");
+                assert_eq!(c.failed_gpus(id), failed, "pool {i} failed");
+                assert_eq!(
+                    free + used + failed,
+                    p.free.len() * p.spec.gpus_per_node,
+                    "pool {i} conservation"
+                );
+            }
+        };
+        let mut held: Vec<Allocation> = Vec::new();
+        // A deterministic pseudo-random walk over every operation kind,
+        // including idempotent re-fails and repairs of busy nodes.
+        let mut x: u64 = 0x9e37_79b9;
+        for step in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pool = GpuTypeId((x >> 33) as usize % 2);
+            let node = (x >> 17) as usize % c.num_nodes(pool);
+            match step % 7 {
+                0 | 1 => {
+                    let want = 1 + (x as usize % 6);
+                    if let Ok(a) = c.allocate(pool, want) {
+                        held.push(a);
+                    }
+                }
+                2 => {
+                    if !held.is_empty() {
+                        let a = held.swap_remove(x as usize % held.len());
+                        c.release(&a).unwrap();
+                    }
+                }
+                3 => c.fail_node(pool, node).unwrap(),
+                4 => c.drain_node(pool, node).unwrap(),
+                _ => c.repair_node(pool, node).unwrap(),
+            }
+            scan_check(&c);
+        }
+        for a in held {
+            c.release(&a).unwrap();
+        }
+        scan_check(&c);
     }
 
     #[test]

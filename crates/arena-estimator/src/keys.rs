@@ -32,18 +32,24 @@ fn mix(h: u64, v: u64) -> u64 {
 
 /// Interns strings to dense `u32` ids. Lookup of a known string takes a
 /// read lock only.
+///
+/// Public (re-exported at the crate root) so other crates on hot paths —
+/// e.g. the simulator's plan-database key — can reuse it instead of
+/// hashing freshly allocated strings.
 #[derive(Debug, Default)]
-pub(crate) struct Interner {
+pub struct Interner {
     map: RwLock<HashMap<String, u32>>,
 }
 
 impl Interner {
-    pub(crate) fn new() -> Self {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
         Interner::default()
     }
 
     /// The id for `s`, allocating one on first sight.
-    pub(crate) fn intern(&self, s: &str) -> u32 {
+    pub fn intern(&self, s: &str) -> u32 {
         if let Some(&id) = self.map.read().get(s) {
             return id;
         }

@@ -32,4 +32,5 @@ pub mod tables;
 
 pub use cell::{Cell, Favor};
 pub use estimator::{CacheStats, CacheStatsSnapshot, CellEstimate, CellEstimator};
+pub use keys::Interner;
 pub use tables::{CollectiveKind, CommTables};

@@ -741,7 +741,7 @@ mod tests {
         let model = ModelConfig::new(ModelFamily::Bert, size, 256);
         JobView {
             remaining_iters: 1000.0,
-            spec: JobSpec {
+            spec: std::sync::Arc::new(JobSpec {
                 id,
                 name: format!("j{id}"),
                 submit_s: 0.0,
@@ -750,7 +750,7 @@ mod tests {
                 requested_gpus: gpus,
                 requested_pool: pool,
                 deadline_s: None,
-            },
+            }),
             placement: None,
         }
     }
@@ -870,7 +870,7 @@ mod tests {
     fn hopeless_deadline_jobs_dropped_early() {
         let f = Fixture::new();
         let mut j = job(1, 2.6, 8, 0);
-        j.spec.deadline_s = Some(1.0); // Impossible deadline.
+        std::sync::Arc::make_mut(&mut j.spec).deadline_s = Some(1.0); // Impossible deadline.
         let queued = vec![j];
         let pools = f.cluster.pool_stats();
         let mut policy = ArenaPolicy::with_variant(ArenaVariant::Deadline);

@@ -139,7 +139,7 @@ fn elasticflow_grows_shares_with_spare_capacity() {
 fn elasticflow_deadline_mode_drops_hopeless_jobs() {
     let f = Fixture::new();
     let mut j = job(1, 1.3, 8, 0);
-    j.spec.deadline_s = Some(1.0);
+    std::sync::Arc::make_mut(&mut j.spec).deadline_s = Some(1.0);
     let queued = vec![j];
     let pools = f.cluster.pool_stats();
     let actions =
@@ -156,7 +156,7 @@ fn elasticflow_overestimates_big_job_shares() {
     // BERT-2.6B cannot run pure-DP at any width (42.7 GiB of state per
     // replica), so EF's minimum share comes from the inflated fallback.
     let mut j = job(1, 2.6, 4, 0);
-    j.spec.model = ModelConfig::new(ModelFamily::Bert, 2.6, 256);
+    std::sync::Arc::make_mut(&mut j.spec).model = ModelConfig::new(ModelFamily::Bert, 2.6, 256);
     let queued = vec![j];
     let mut pools = f.cluster.pool_stats();
     pools[1].free_gpus = 0;

@@ -1,5 +1,7 @@
 //! The policy interface between schedulers and the simulator.
 
+use std::sync::Arc;
+
 use arena_cluster::{GpuTypeId, PoolStats};
 use arena_obs::Obs;
 use arena_trace::JobSpec;
@@ -30,10 +32,15 @@ pub struct PlacementView {
 }
 
 /// A job as a policy sees it.
+///
+/// `spec` is shared, not owned: the simulator builds fresh view vectors
+/// for every scheduling pass, and an `Arc` clone is a refcount bump
+/// instead of a deep copy of the spec's strings and model config. Field
+/// access is unchanged for policies (`job.spec.model` auto-derefs).
 #[derive(Debug, Clone)]
 pub struct JobView {
     /// The submitted job.
-    pub spec: JobSpec,
+    pub spec: Arc<JobSpec>,
     /// Iterations still to run.
     pub remaining_iters: f64,
     /// Current placement, if running.

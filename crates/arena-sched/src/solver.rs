@@ -281,7 +281,7 @@ mod tests {
 
     fn job(id: u64, gpus: usize) -> JobView {
         JobView {
-            spec: JobSpec {
+            spec: std::sync::Arc::new(JobSpec {
                 id,
                 name: format!("j{id}"),
                 submit_s: 0.0,
@@ -290,7 +290,7 @@ mod tests {
                 requested_gpus: gpus,
                 requested_pool: 0,
                 deadline_s: None,
-            },
+            }),
             remaining_iters: 1000.0,
             placement: None,
         }
@@ -388,8 +388,9 @@ mod tests {
         let cluster = presets::physical_testbed();
         let service = PlanService::new(&cluster, CostParams::default(), 34);
         let mut j = job(1, 2);
-        j.spec.model = ModelConfig::new(ModelFamily::Moe, 27.0, 256);
-        j.spec.requested_gpus = 1; // menu {1, 2}: hopeless for MoE-27B
+        let spec = std::sync::Arc::make_mut(&mut j.spec);
+        spec.model = ModelConfig::new(ModelFamily::Moe, 27.0, 256);
+        spec.requested_gpus = 1; // menu {1, 2}: hopeless for MoE-27B
         let queued = vec![j];
         let pools = cluster.pool_stats();
         let view = SchedView {

@@ -45,7 +45,7 @@ impl Fixture {
 /// A queued BERT job of the given size/GPU request on `pool`.
 pub fn job(id: u64, params_b: f64, gpus: usize, pool: usize) -> JobView {
     JobView {
-        spec: JobSpec {
+        spec: std::sync::Arc::new(JobSpec {
             id,
             name: format!("j{id}"),
             submit_s: 0.0,
@@ -54,7 +54,7 @@ pub fn job(id: u64, params_b: f64, gpus: usize, pool: usize) -> JobView {
             requested_gpus: gpus,
             requested_pool: pool,
             deadline_s: None,
-        },
+        }),
         remaining_iters: 1000.0,
         placement: None,
     }

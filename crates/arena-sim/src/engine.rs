@@ -1,11 +1,26 @@
 //! The event loop: arrivals, rounds, restarts, completions.
+//!
+//! The loop is event-indexed (see `DESIGN.md`, "Engine event core"): a
+//! lazy-deletion min-heap predicts the next job event, `BTreeSet`
+//! membership indexes replace full job-table scans, and jobs advance
+//! lazily — only `Running` members of the active set, and only when time
+//! actually moves. All of it is bitwise-invisible: every floating-point
+//! accumulation happens with the same operands in the same (ascending
+//! job-index) order as the pre-index reference loop preserved in
+//! [`crate::reference`], which the `engine_equivalence` suite holds this
+//! file to byte-for-byte.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use arena_cluster::{Allocation, Cluster, GpuTypeId};
+use arena_estimator::Interner;
 use arena_obs::{Decision, JobEventKind, Obs, StopCause, TraceReport};
 use arena_sched::PlanService;
 use arena_sched::{Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView};
 use arena_trace::{FaultEvent, FaultKind, JobSpec};
 
+use crate::heap::EventHeap;
 use crate::metrics::{aggregate, FaultLog, JobRecord, Metrics};
 
 /// Simulator configuration.
@@ -73,8 +88,19 @@ enum JState {
 }
 
 struct SJob {
-    spec: JobSpec,
+    spec: Arc<JobSpec>,
+    /// `spec.model.name()` interned once at arrival — the plan-database
+    /// key component, so placements never hash a fresh `String`.
+    model_key: u32,
     state: JState,
+    /// Epoch for this job's event-heap entries: bumped on every
+    /// transition that invalidates a predicted event, so stale heap
+    /// entries identify themselves by generation mismatch.
+    generation: u64,
+    /// Simulation time this job's progress was last advanced to. Lags
+    /// the clock only across zero-width event bursts, where an advance
+    /// would be an exact no-op.
+    last_update_s: f64,
     remaining: f64,
     alloc: Option<Allocation>,
     pool: usize,
@@ -129,6 +155,47 @@ impl SJob {
         if let Some(since) = self.alloc_since.take() {
             self.allocated_gpu_s += (t - since) * self.gpus as f64;
         }
+    }
+}
+
+/// Membership indexes over the job table plus the pending-event heap.
+///
+/// Invariants: `queued` holds exactly the `Queued` job indices and
+/// `active` exactly the `Starting`/`Running` ones — both iterate in
+/// ascending index order, which is submission order, the same order the
+/// reference loop's full-table scans visit jobs in. Every active job has
+/// exactly one *fresh* heap entry (generation matches) carrying its next
+/// predicted event; everything else in the heap is stale and discarded
+/// lazily.
+#[derive(Default)]
+struct EventIndex {
+    queued: BTreeSet<usize>,
+    active: BTreeSet<usize>,
+    heap: EventHeap,
+}
+
+impl EventIndex {
+    /// Queued or active -> holding a fresh grant (`Starting`): schedules
+    /// the start deadline and invalidates any previous prediction.
+    fn place(&mut self, j: &mut SJob, idx: usize, ready_at: f64) {
+        self.queued.remove(&idx);
+        self.active.insert(idx);
+        j.generation += 1;
+        self.heap.push(ready_at, j.generation, idx);
+    }
+
+    /// Active (or already queued, after a capacity race) -> `Queued`.
+    fn requeue(&mut self, j: &mut SJob, idx: usize) {
+        self.active.remove(&idx);
+        self.queued.insert(idx);
+        j.generation += 1;
+    }
+
+    /// Any state -> terminal (`Finished` / `Dropped`).
+    fn retire(&mut self, j: &mut SJob, idx: usize) {
+        self.queued.remove(&idx);
+        self.active.remove(&idx);
+        j.generation += 1;
     }
 }
 
@@ -270,11 +337,18 @@ pub fn simulate_with_faults_traced(
     }
     let mut cluster = cluster.clone();
     let mut sjobs: Vec<SJob> = Vec::with_capacity(jobs.len());
+    // First index in the job table carrying each job id — the same job
+    // a linear `find` by id would resolve to.
+    let mut id_of: HashMap<u64, usize> = HashMap::with_capacity(jobs.len());
+    let mut index = EventIndex::default();
+    // Indices collected before walks that mutate set membership.
+    let mut due: Vec<usize> = Vec::new();
     // Plan databases are cached per configuration: the first job placed
     // on a (model, batch, gpus, pool) combination pays the exploration or
-    // tuning wall-clock; later placements reuse the stored plan.
-    let mut acquired: std::collections::HashSet<(String, usize, usize, usize)> =
-        std::collections::HashSet::new();
+    // tuning wall-clock; later placements reuse the stored plan. Model
+    // names are interned so the key is four integers.
+    let interner = Interner::new();
+    let mut acquired: HashSet<(u32, usize, usize, usize)> = HashSet::new();
     let mut t = 0.0_f64;
     let mut arrival_idx = 0;
     let mut fault_idx = 0;
@@ -285,17 +359,21 @@ pub fn simulate_with_faults_traced(
     let mut decisions: Vec<f64> = Vec::new();
 
     loop {
-        // Next event candidates.
+        // Bound heap growth: stale entries below the top can't affect
+        // `next_fresh`, so this is purely a memory cap.
+        if index.heap.len() > 1024 && index.heap.len() > 8 * (index.active.len() + 1) {
+            let EventIndex { heap, .. } = &mut index;
+            heap.compact(|job, generation| sjobs[job].generation == generation);
+        }
+
+        // Next event candidates. The heap replaces the reference loop's
+        // full-table scan; its fresh minimum is bitwise the same value
+        // that scan folds to (see DESIGN.md, "Engine event core").
         let next_arrival = jobs.get(arrival_idx).map(|j| j.submit_s);
         let next_fault = faults.get(fault_idx).map_or(f64::INFINITY, |f| f.time_s);
-        let next_job_event = sjobs
-            .iter()
-            .filter_map(|j| match j.state {
-                JState::Starting(r) => Some(r),
-                JState::Running => Some(t + j.remaining * j.iter_time),
-                _ => None,
-            })
-            .fold(f64::INFINITY, f64::min);
+        let next_job_event = index
+            .heap
+            .next_fresh(|job, generation| sjobs[job].generation == generation);
         let te = [
             next_arrival.unwrap_or(f64::INFINITY),
             next_fault,
@@ -310,15 +388,29 @@ pub fn simulate_with_faults_traced(
             break;
         }
 
-        // Advance running jobs to `te`.
+        // Advance running jobs to `te`. Lazy on two axes, both exact:
+        // only Running members of the active set step (everything else
+        // was a no-op in the reference loop), and zero-width bursts skip
+        // the walk entirely (`x + 0.0 == x`, `x % m == x` for
+        // `0 <= x < m`). Each advanced job's completion prediction is
+        // refreshed here — `te + remaining * iter_time` is exactly the
+        // value the reference scan would recompute next iteration.
         let dt = (te - t).max(0.0);
-        for j in &mut sjobs {
-            if j.state == JState::Running && j.iter_time > 0.0 {
-                j.remaining = (j.remaining - dt / j.iter_time).max(0.0);
-                flog.samples_processed += dt * j.sps;
-                j.since_ckpt_s += dt;
-                if cfg.checkpoint_interval_s > 0.0 && cfg.checkpoint_interval_s.is_finite() {
-                    j.since_ckpt_s %= cfg.checkpoint_interval_s;
+        if dt > 0.0 {
+            let EventIndex { active, heap, .. } = &mut index;
+            for &i in active.iter() {
+                let j = &mut sjobs[i];
+                if j.state == JState::Running && j.iter_time > 0.0 {
+                    j.remaining = (j.remaining - dt / j.iter_time).max(0.0);
+                    flog.samples_processed += dt * j.sps;
+                    j.since_ckpt_s += dt;
+                    if cfg.checkpoint_interval_s > 0.0 && cfg.checkpoint_interval_s.is_finite() {
+                        j.since_ckpt_s %= cfg.checkpoint_interval_s;
+                    }
+                    debug_assert!(j.last_update_s <= te, "job advanced backwards");
+                    j.last_update_s = te;
+                    j.generation += 1;
+                    heap.push(te + j.remaining * j.iter_time, j.generation, i);
                 }
             }
         }
@@ -327,42 +419,58 @@ pub fn simulate_with_faults_traced(
             break;
         }
 
-        // 1. Starting -> Running transitions due now.
-        for j in &mut sjobs {
-            if let JState::Starting(r) = j.state {
-                if r <= t + EPS {
-                    j.state = JState::Running;
-                    j.start_s.get_or_insert(t);
-                    j.since_ckpt_s = 0.0;
-                    // Split the allocation segment at the run boundary so
-                    // the accumulation order matches the timeline's
-                    // Placed/Running interval split bitwise.
-                    j.flush_alloc(t);
-                    j.alloc_since = Some(t);
-                    j.run_since = Some(t);
-                    if let Some(since) = j.recovering_since.take() {
-                        flog.recovery_times_s.push(t - since);
+        // 1. Starting -> Running transitions due now. The heap wakes the
+        // loop at the earliest deadline; the EPS window means later
+        // deadlines can fire in the same burst, so the walk re-checks
+        // every active job rather than popping the heap.
+        {
+            let EventIndex { active, heap, .. } = &mut index;
+            for &i in active.iter() {
+                let j = &mut sjobs[i];
+                if let JState::Starting(r) = j.state {
+                    if r <= t + EPS {
+                        j.state = JState::Running;
+                        j.start_s.get_or_insert(t);
+                        j.since_ckpt_s = 0.0;
+                        // Split the allocation segment at the run boundary so
+                        // the accumulation order matches the timeline's
+                        // Placed/Running interval split bitwise.
+                        j.flush_alloc(t);
+                        j.alloc_since = Some(t);
+                        j.run_since = Some(t);
+                        j.last_update_s = t;
+                        if let Some(since) = j.recovering_since.take() {
+                            flog.recovery_times_s.push(t - since);
+                        }
+                        obs.job_event(t, j.spec.id, JobEventKind::RunStart);
+                        // Retire the start deadline, predict completion.
+                        j.generation += 1;
+                        heap.push(t + j.remaining * j.iter_time, j.generation, i);
                     }
-                    obs.job_event(t, j.spec.id, JobEventKind::RunStart);
                 }
             }
         }
 
         // 2. Completions due now (free resources before anything else).
         let mut event: Option<SchedEvent> = None;
-        for j in &mut sjobs {
-            if j.state == JState::Running && j.remaining <= EPS {
-                j.state = JState::Finished;
-                j.finish_s = Some(t);
-                j.flush_run(t);
-                j.flush_alloc(t);
-                if let Some(alloc) = j.alloc.take() {
-                    cluster.release(&alloc).expect("release finished job");
-                    obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
-                }
-                obs.job_event(t, j.spec.id, JobEventKind::Finish);
-                event = Some(SchedEvent::Departure(j.spec.id));
+        due.clear();
+        due.extend(index.active.iter().copied().filter(|&i| {
+            let j = &sjobs[i];
+            j.state == JState::Running && j.remaining <= EPS
+        }));
+        for &i in &due {
+            let j = &mut sjobs[i];
+            j.state = JState::Finished;
+            j.finish_s = Some(t);
+            j.flush_run(t);
+            j.flush_alloc(t);
+            if let Some(alloc) = j.alloc.take() {
+                cluster.release(&alloc).expect("release finished job");
+                obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
             }
+            obs.job_event(t, j.spec.id, JobEventKind::Finish);
+            event = Some(SchedEvent::Departure(j.spec.id));
+            index.retire(&mut sjobs[i], i);
         }
 
         // 2b. Fault events due now. Each gets its own scheduling pass so
@@ -378,14 +486,15 @@ pub fn simulate_with_faults_traced(
                         .expect("fault schedule names a node the cluster has");
                     obs.context(t, "engine", "node-failure");
                     obs.incr("sim.fault.failure", 1);
-                    for j in &mut sjobs {
-                        let hit = j.active()
-                            && j.alloc
-                                .as_ref()
-                                .is_some_and(|a| a.uses_node(pool, fault.node));
-                        if !hit {
-                            continue;
-                        }
+                    due.clear();
+                    due.extend(index.active.iter().copied().filter(|&i| {
+                        sjobs[i]
+                            .alloc
+                            .as_ref()
+                            .is_some_and(|a| a.uses_node(pool, fault.node))
+                    }));
+                    for &i in &due {
+                        let j = &mut sjobs[i];
                         let alloc = j.alloc.take().expect("active job holds an allocation");
                         cluster.release(&alloc).expect("release crashed job");
                         j.flush_run(t);
@@ -419,6 +528,7 @@ pub fn simulate_with_faults_traced(
                         j.recovering_since.get_or_insert(t);
                         flog.failure_evictions += 1;
                         obs.decision(Decision::requeue(j.spec.id).why("node-failure-evict"));
+                        index.requeue(&mut sjobs[i], i);
                     }
                     SchedEvent::NodeFailure {
                         pool,
@@ -439,6 +549,8 @@ pub fn simulate_with_faults_traced(
             dispatch(
                 ev,
                 &mut sjobs,
+                &mut index,
+                &id_of,
                 &mut cluster,
                 service,
                 policy,
@@ -452,13 +564,18 @@ pub fn simulate_with_faults_traced(
 
         // 3. Arrivals due now.
         while arrival_idx < jobs.len() && jobs[arrival_idx].submit_s <= t + EPS {
-            let spec = jobs[arrival_idx].clone();
+            let spec = Arc::new(jobs[arrival_idx].clone());
             arrival_idx += 1;
             let iters = spec.iterations as f64;
             let id = spec.id;
+            let model_key = interner.intern(&spec.model.name());
+            let idx = sjobs.len();
             sjobs.push(SJob {
                 spec,
+                model_key,
                 state: JState::Queued,
+                generation: 0,
+                last_update_s: t,
                 remaining: iters,
                 alloc: None,
                 pool: 0,
@@ -478,6 +595,8 @@ pub fn simulate_with_faults_traced(
                 productive_gpu_s: 0.0,
                 allocated_gpu_s: 0.0,
             });
+            id_of.entry(id).or_insert(idx);
+            index.queued.insert(idx);
             obs.job_event(t, id, JobEventKind::Submit);
             event = Some(SchedEvent::Arrival(id));
         }
@@ -493,6 +612,8 @@ pub fn simulate_with_faults_traced(
             dispatch(
                 ev,
                 &mut sjobs,
+                &mut index,
+                &id_of,
                 &mut cluster,
                 service,
                 policy,
@@ -506,27 +627,34 @@ pub fn simulate_with_faults_traced(
 
         // 6. Sample the throughput timeline at round boundaries.
         if matches!(event, Some(SchedEvent::Round)) {
-            timeline.push((t, normalized_throughput(&sjobs, service)));
-            raw_timeline.push((t, raw_throughput(&sjobs)));
+            timeline.push((t, normalized_throughput(&sjobs, &index.active, service)));
+            raw_timeline.push((t, raw_throughput(&sjobs, &index.active)));
         }
 
         // Termination: no arrivals left, nothing queued or active.
-        let live = sjobs.iter().any(|j| {
-            matches!(
-                j.state,
-                JState::Queued | JState::Starting(_) | JState::Running
-            )
-        });
-        if arrival_idx >= jobs.len() && !live {
+        if arrival_idx >= jobs.len() && index.queued.is_empty() && index.active.is_empty() {
             break;
         }
     }
 
-    // Conformance: a finished or dropped job must not hold GPUs.
-    for j in &sjobs {
+    // Conformance: a finished or dropped job must not hold GPUs, and the
+    // membership indexes must agree with the job table.
+    for (i, j) in sjobs.iter().enumerate() {
         if matches!(j.state, JState::Finished | JState::Dropped) {
             assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
         }
+        debug_assert_eq!(
+            index.queued.contains(&i),
+            j.state == JState::Queued,
+            "queued index out of sync for job {}",
+            j.spec.id
+        );
+        debug_assert_eq!(
+            index.active.contains(&i),
+            j.active(),
+            "active index out of sync for job {}",
+            j.spec.id
+        );
     }
     flog.elapsed_s = t.min(cfg.horizon_s);
     flog.gpu_capacity_s = cluster_gpu_capacity as f64 * flog.elapsed_s;
@@ -583,22 +711,31 @@ pub fn simulate_with_faults_traced(
 fn dispatch(
     ev: SchedEvent,
     sjobs: &mut [SJob],
+    index: &mut EventIndex,
+    id_of: &HashMap<u64, usize>,
     cluster: &mut Cluster,
     service: &PlanService,
     policy: &mut dyn Policy,
     cfg: &SimConfig,
     t: f64,
-    acquired: &mut std::collections::HashSet<(String, usize, usize, usize)>,
+    acquired: &mut HashSet<(u32, usize, usize, usize)>,
     decisions: &mut Vec<f64>,
     obs: &Obs,
 ) {
     let actions = {
-        let queued: Vec<JobView> = sjobs
-            .iter()
-            .filter(|j| j.state == JState::Queued)
-            .map(job_view)
-            .collect();
-        let running: Vec<JobView> = sjobs.iter().filter(|j| j.active()).map(job_view).collect();
+        debug_assert!(
+            index
+                .queued
+                .iter()
+                .all(|&i| sjobs[i].state == JState::Queued),
+            "queued index holds a non-queued job"
+        );
+        debug_assert!(
+            index.active.iter().all(|&i| sjobs[i].active()),
+            "active index holds an inactive job"
+        );
+        let queued: Vec<JobView> = index.queued.iter().map(|&i| job_view(&sjobs[i])).collect();
+        let running: Vec<JobView> = index.active.iter().map(|&i| job_view(&sjobs[i])).collect();
         let pools = cluster.pool_stats();
         if obs.is_enabled() {
             obs.context(t, policy.name(), ev.label());
@@ -624,13 +761,13 @@ fn dispatch(
         actions
     };
     execute(
-        &actions, sjobs, cluster, service, policy, cfg, t, acquired, obs,
+        &actions, sjobs, index, id_of, cluster, service, policy, cfg, t, acquired, obs,
     );
 }
 
 fn job_view(j: &SJob) -> JobView {
     JobView {
-        spec: j.spec.clone(),
+        spec: Arc::clone(&j.spec),
         remaining_iters: j.remaining,
         #[allow(clippy::unnecessary_lazy_evaluations)]
         placement: j.active().then(|| PlacementView {
@@ -642,17 +779,23 @@ fn job_view(j: &SJob) -> JobView {
     }
 }
 
-fn raw_throughput(sjobs: &[SJob]) -> f64 {
-    sjobs
+/// Cluster samples/s: the running subset of the active set, summed in
+/// ascending job-index order — the same operands and order as a filtered
+/// scan of the full table.
+fn raw_throughput(sjobs: &[SJob], active: &BTreeSet<usize>) -> f64 {
+    active
         .iter()
+        .map(|&i| &sjobs[i])
         .filter(|j| j.state == JState::Running)
         .map(|j| j.sps)
         .sum()
 }
 
-fn normalized_throughput(sjobs: &[SJob], service: &PlanService) -> f64 {
-    sjobs
+/// Like [`raw_throughput`], each job normalised by its ideal rate.
+fn normalized_throughput(sjobs: &[SJob], active: &BTreeSet<usize>, service: &PlanService) -> f64 {
+    active
         .iter()
+        .map(|&i| &sjobs[i])
         .filter(|j| j.state == JState::Running)
         .map(|j| j.sps / service.ideal_sps(&j.spec))
         .sum()
@@ -662,20 +805,23 @@ fn normalized_throughput(sjobs: &[SJob], service: &PlanService) -> f64 {
 fn execute(
     actions: &[Action],
     sjobs: &mut [SJob],
+    index: &mut EventIndex,
+    id_of: &HashMap<u64, usize>,
     cluster: &mut Cluster,
     service: &PlanService,
     policy: &dyn Policy,
     cfg: &SimConfig,
     t: f64,
-    acquired: &mut std::collections::HashSet<(String, usize, usize, usize)>,
+    acquired: &mut HashSet<(u32, usize, usize, usize)>,
     obs: &Obs,
 ) {
     for action in actions {
         match *action {
             Action::Drop { job } => {
-                let Some(j) = sjobs.iter_mut().find(|j| j.spec.id == job) else {
+                let Some(&idx) = id_of.get(&job) else {
                     continue;
                 };
+                let j = &mut sjobs[idx];
                 if matches!(j.state, JState::Finished | JState::Dropped) {
                     continue;
                 }
@@ -687,11 +833,13 @@ fn execute(
                 }
                 j.state = JState::Dropped;
                 obs.job_event(t, job, JobEventKind::Drop);
+                index.retire(&mut sjobs[idx], idx);
             }
             Action::Evict { job } => {
-                let Some(j) = sjobs.iter_mut().find(|j| j.spec.id == job) else {
+                let Some(&idx) = id_of.get(&job) else {
                     continue;
                 };
+                let j = &mut sjobs[idx];
                 if j.active() {
                     j.flush_run(t);
                     j.flush_alloc(t);
@@ -710,6 +858,7 @@ fn execute(
                             lost_iters: 0.0,
                         },
                     );
+                    index.requeue(&mut sjobs[idx], idx);
                 }
             }
             Action::Place {
@@ -718,9 +867,10 @@ fn execute(
                 gpus,
                 opportunistic,
             } => {
-                let Some(j) = sjobs.iter_mut().find(|j| j.spec.id == job) else {
+                let Some(&idx) = id_of.get(&job) else {
                     continue;
                 };
+                let j = &mut sjobs[idx];
                 if matches!(j.state, JState::Finished | JState::Dropped) {
                     continue;
                 }
@@ -757,7 +907,7 @@ fn execute(
                         // per type suffices); the exploration/tuning wall
                         // is paid once per configuration (plan databases
                         // are cached) on top of the restart overhead.
-                        let key = (j.spec.model.name(), j.spec.model.global_batch, gpus, pool.0);
+                        let key = (j.model_key, j.spec.model.global_batch, gpus, pool.0);
                         let first = acquired.insert(key);
                         // Checkpoint save + optimizer-state restore scale
                         // with the model's training state (16 B/param).
@@ -786,6 +936,7 @@ fn execute(
                                 opportunistic,
                             },
                         );
+                        index.place(&mut sjobs[idx], idx, t + delay);
                     }
                     Err(_) => {
                         // Capacity race: job returns to the queue.
@@ -803,6 +954,7 @@ fn execute(
                         j.state = JState::Queued;
                         obs.incr("sim.place.capacity_race", 1);
                         obs.decision(Decision::requeue(job).why("capacity-race"));
+                        index.requeue(&mut sjobs[idx], idx);
                     }
                 }
             }

@@ -1,0 +1,219 @@
+//! Lazy-deletion binary min-heap of pending job events.
+//!
+//! The engine pushes one entry per *predicted* job event — a `Starting`
+//! deadline or a `Running` completion estimate — tagged with the job's
+//! generation counter at push time. Rather than removing entries when a
+//! prediction is invalidated (an eviction, a re-place, a refreshed
+//! completion estimate), the engine bumps the job's generation; stale
+//! entries are discarded when they surface at the top of the heap. This
+//! keeps every mutation O(log n) without a decrease-key primitive, and —
+//! because staleness is decided by a plain integer compare — the heap's
+//! behaviour is a pure function of the push/bump sequence, independent of
+//! timing or iteration order.
+//!
+//! Ordering is total and deterministic: time via [`f64::total_cmp`], ties
+//! broken by generation, then job index. NaN times therefore don't
+//! panic — `total_cmp` sorts them after infinity, where they can never
+//! win the next-event race against the finite horizon.
+
+/// One pending event: the predicted time, the owning job's generation at
+/// push time, and the job's index in the engine's job table.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    generation: u64,
+    job: usize,
+}
+
+impl Entry {
+    /// `self` sorts strictly before `other` in the min-heap.
+    fn before(&self, other: &Entry) -> bool {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.generation.cmp(&other.generation))
+            .then(self.job.cmp(&other.job))
+            .is_lt()
+    }
+}
+
+/// Min-heap of `(time, generation, job)` with lazy deletion.
+#[derive(Debug, Default)]
+pub(crate) struct EventHeap {
+    entries: Vec<Entry>,
+}
+
+impl EventHeap {
+    /// Records a predicted event for `job` at `time`, valid while the
+    /// job's generation still equals `generation`.
+    pub(crate) fn push(&mut self, time: f64, generation: u64, job: usize) {
+        self.entries.push(Entry {
+            time,
+            generation,
+            job,
+        });
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Time of the earliest still-valid event, or `+inf` when none is
+    /// pending. Stale entries (generation mismatch per `is_fresh`)
+    /// encountered at the top are popped and dropped; the fresh minimum
+    /// itself stays in the heap — it is invalidated by a generation bump
+    /// once the engine handles it.
+    pub(crate) fn next_fresh(&mut self, mut is_fresh: impl FnMut(usize, u64) -> bool) -> f64 {
+        while let Some(top) = self.entries.first() {
+            if is_fresh(top.job, top.generation) {
+                return top.time;
+            }
+            self.pop_top();
+        }
+        f64::INFINITY
+    }
+
+    /// Entries currently stored, fresh or stale.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every stale entry and re-heapifies. Purely a memory bound:
+    /// stale entries below the top cannot affect [`EventHeap::next_fresh`],
+    /// so compaction never changes engine behaviour.
+    pub(crate) fn compact(&mut self, mut is_fresh: impl FnMut(usize, u64) -> bool) {
+        self.entries.retain(|e| is_fresh(e.job, e.generation));
+        for i in (0..self.entries.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    fn pop_top(&mut self) {
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i].before(&self.entries[parent]) {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let mut smallest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n && self.entries[child].before(&self.entries[smallest]) {
+                    smallest = child;
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            self.entries.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// Naive model: the fresh minimum is a scan over every live entry.
+    fn model_min(entries: &[(f64, u64, usize)], gens: &HashMap<usize, u64>) -> f64 {
+        entries
+            .iter()
+            .filter(|&&(_, g, j)| gens.get(&j).copied().unwrap_or(0) == g)
+            .map(|&(t, _, _)| t)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn empty_heap_reports_infinity() {
+        let mut h = EventHeap::default();
+        assert_eq!(h.next_fresh(|_, _| true), f64::INFINITY);
+    }
+
+    #[test]
+    fn min_is_returned_and_retained() {
+        let mut h = EventHeap::default();
+        h.push(5.0, 0, 1);
+        h.push(2.0, 0, 2);
+        h.push(9.0, 0, 3);
+        assert_eq!(h.next_fresh(|_, _| true), 2.0);
+        // The fresh minimum stays until its generation is bumped.
+        assert_eq!(h.next_fresh(|_, _| true), 2.0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn stale_entries_are_skipped_and_dropped() {
+        let mut h = EventHeap::default();
+        h.push(1.0, 0, 7); // soon stale
+        h.push(3.0, 1, 7); // fresh replacement
+        let gen_of = |job: usize| if job == 7 { 1 } else { 0 };
+        assert_eq!(h.next_fresh(|j, g| g == gen_of(j)), 3.0);
+        assert_eq!(h.len(), 1, "the stale top entry is discarded");
+    }
+
+    #[test]
+    fn compact_drops_only_stale_entries() {
+        let mut h = EventHeap::default();
+        for i in 0..10_usize {
+            h.push(i as f64, 0, i);
+            h.push(i as f64 + 0.5, 1, i);
+        }
+        h.compact(|_, g| g == 1);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.next_fresh(|_, g| g == 1), 0.5);
+    }
+
+    proptest! {
+        /// Against a linear-scan model: any interleaving of pushes and
+        /// generation bumps yields the same fresh minimum.
+        #[test]
+        fn matches_linear_scan_model(ops in proptest::collection::vec(
+            (0_u8..3, 0_usize..8, 0_u32..1000), 1..200,
+        )) {
+            let mut heap = EventHeap::default();
+            let mut entries: Vec<(f64, u64, usize)> = Vec::new();
+            let mut gens: HashMap<usize, u64> = HashMap::new();
+            for (op, job, raw_time) in ops {
+                match op {
+                    0 | 1 => {
+                        let time = f64::from(raw_time) * 0.25;
+                        let g = gens.get(&job).copied().unwrap_or(0);
+                        heap.push(time, g, job);
+                        entries.push((time, g, job));
+                    }
+                    _ => {
+                        *gens.entry(job).or_insert(0) += 1;
+                    }
+                }
+                let expect = model_min(&entries, &gens);
+                let got = heap.next_fresh(|j, g| {
+                    gens.get(&j).copied().unwrap_or(0) == g
+                });
+                prop_assert_eq!(got, expect);
+                if heap.len() > 64 {
+                    heap.compact(|j, g| gens.get(&j).copied().unwrap_or(0) == g);
+                    let after = heap.next_fresh(|j, g| {
+                        gens.get(&j).copied().unwrap_or(0) == g
+                    });
+                    // Compaction must not change the fresh minimum.
+                    prop_assert_eq!(after, expect);
+                }
+            }
+        }
+    }
+}

@@ -19,7 +19,10 @@
 //!   and the policy's own decision latency (Fig. 21a).
 
 pub mod engine;
+mod heap;
 pub mod metrics;
+#[doc(hidden)]
+pub mod reference;
 
 pub use arena_obs::{
     Decision, DecisionKind, JobAccount, JobEventKind, JobState, Obs, StopCause, Timeline,

@@ -134,7 +134,7 @@ fn steady_rounds_hit_the_estimate_cache() {
         .into_iter()
         .map(|spec| JobView {
             remaining_iters: spec.iterations as f64,
-            spec,
+            spec: std::sync::Arc::new(spec),
             placement: None,
         })
         .collect();
