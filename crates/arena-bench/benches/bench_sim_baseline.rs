@@ -266,6 +266,110 @@ fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
     )
 }
 
+/// A class-diverse burst for the multi-pool sharded bench: families,
+/// sizes and GPU requests all vary, so the queue spans many distinct
+/// candidate classes, and arrivals compress into a burst so the queue
+/// stays deep while the estimator is still cold.
+fn multipool_burst(n: u64, num_pools: usize) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            // Decouple the class axes (family, size, batch, GPUs) so the
+            // burst spans hundreds of distinct candidate classes rather
+            // than a dozen correlated ones.
+            let fam =
+                [ModelFamily::Bert, ModelFamily::Moe, ModelFamily::WideResNet][(i % 3) as usize];
+            let size = match fam {
+                ModelFamily::Bert => [0.76, 1.3, 2.6][((i / 3) % 3) as usize],
+                ModelFamily::Moe => [0.69, 1.3, 2.4][((i / 3) % 3) as usize],
+                ModelFamily::WideResNet => [0.5, 1.0, 2.0][((i / 3) % 3) as usize],
+            };
+            JobSpec {
+                id: i,
+                name: format!("j{i}"),
+                submit_s: 0.1 * i as f64,
+                model: ModelConfig::new(fam, size, 128 << ((i / 9) % 3)),
+                iterations: 20_000 + 500 * (i % 4),
+                requested_gpus: [2, 4, 8][((i / 27) % 3) as usize],
+                requested_pool: i as usize % num_pools,
+                deadline_s: None,
+            }
+        })
+        .collect()
+}
+
+/// The loaded multi-pool pair: a deep, class-diverse Arena-scheduled
+/// burst over the 4-pool simulated cluster, cold (fresh `PlanService`
+/// per iteration, like the cold decision-round benches), run through the
+/// serial engine and through the sharded decision loop (one shard per
+/// pool, workers sized to the machine). The sharded loop's
+/// `prepare_shards` pre-pass batches each flush round's cold candidate
+/// estimation into one fan-out instead of the serial loop's job-by-job
+/// fills; with more than one hardware thread that fan-out is a real
+/// wall-clock win, and on a single-core host the pool sizes itself to
+/// one worker and the sharded loop must track the serial engine to
+/// within its bookkeeping overhead. Output is byte-identical either
+/// way. `BENCH_sim_unsharded.json` freezes the serial mean under the
+/// sharded entry's name so CI can gate the committed ratio with
+/// `bench-check`.
+fn bench_simulate_multipool(smoke: bool) -> Vec<BenchEntry> {
+    let cluster = arena::cluster::presets::table1_simulated();
+    let n = if smoke { 60 } else { 600 };
+    let jobs = multipool_burst(n, 4);
+    // A few loaded rounds: the burst keeps the queue deep for the whole
+    // horizon, so cold candidate estimation and per-round decision cost
+    // dominate the run.
+    let cfg = SimConfig::new(2.0 * 3600.0);
+    let workers = WorkerPool::from_env_or(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4),
+    );
+    let threads = workers.threads();
+    let plan = ShardPlan::per_pool(&cluster).with_workers(workers);
+    // Pin byte-identity on this fixture before timing anything, at a
+    // fixed worker count so the check exercises the concurrent path
+    // even on single-core hosts.
+    {
+        let service = PlanService::new(&cluster, CostParams::default(), 51);
+        let serial = simulate(&cluster, &jobs, &mut ArenaPolicy::new(), &service, &cfg);
+        let service = PlanService::new(&cluster, CostParams::default(), 51);
+        let check = ShardPlan::per_pool(&cluster).with_workers(WorkerPool::new(4));
+        let sharded = simulate_sharded(
+            &cluster,
+            &jobs,
+            &mut ArenaPolicy::new().with_worker_threads(4),
+            &service,
+            &cfg,
+            &check,
+        );
+        assert_eq!(
+            serial.timeline, sharded.timeline,
+            "sharded bench fixture diverged from the serial engine"
+        );
+    }
+    let iters = if smoke { 1 } else { 5 };
+    vec![
+        time_loop("sim/simulate_multipool_arena_serial", iters, || {
+            let service = PlanService::new(&cluster, CostParams::default(), 51);
+            let mut p = ArenaPolicy::new();
+            black_box(simulate(&cluster, black_box(&jobs), &mut p, &service, &cfg));
+        }),
+        time_loop("sim/simulate_multipool_arena_sharded", iters, || {
+            let service = PlanService::new(&cluster, CostParams::default(), 51);
+            let mut p = ArenaPolicy::new().with_worker_threads(threads);
+            black_box(simulate_sharded(
+                &cluster,
+                black_box(&jobs),
+                &mut p,
+                &service,
+                &cfg,
+                &plan,
+            ));
+        }),
+    ]
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let mut benches = Vec::new();
@@ -274,6 +378,7 @@ fn main() {
     benches.extend(bench_arena_500(smoke));
     benches.push(bench_simulate_500(smoke));
     benches.push(bench_simulate_loaded(smoke));
+    benches.extend(bench_simulate_multipool(smoke));
 
     if !smoke {
         let mean = |name: &str| {

@@ -23,6 +23,7 @@ pub mod cluster;
 pub mod gpu;
 pub mod link;
 pub mod node;
+pub mod partition;
 pub mod presets;
 
 pub use alloc::{Allocation, MeshShape};
@@ -30,3 +31,4 @@ pub use cluster::{Cluster, ClusterError, GpuTypeId, NodeHealth, PoolStats};
 pub use gpu::{GpuArch, GpuSpec};
 pub use link::LinkKind;
 pub use node::NodeSpec;
+pub use partition::{PartitionMap, ShardStats};

@@ -1,0 +1,247 @@
+//! Pool-to-partition maps for sharded scheduling.
+//!
+//! A [`PartitionMap`] assigns every GPU pool to a *partition* — the
+//! semantic unit of scheduler sharding. Partitions are a property of the
+//! cluster layout (the default is one partition per pool, the paper's
+//! per-pool decomposition), while the number of *executor shards* a
+//! sharded engine groups those partitions onto is purely an execution
+//! knob: partitions are stable identifiers that decision provenance may
+//! record, executor shard counts must stay invisible in every observable
+//! output (see `DESIGN.md` §12).
+//!
+//! The map is deliberately dumb data: a `pool → partition` vector plus a
+//! partition count. Empty partitions are legal (an executor shard with no
+//! pools simply never has work), as is mapping every pool to one
+//! partition (fully serial decisions under a sharded engine).
+
+use crate::cluster::{Cluster, GpuTypeId};
+
+/// Assignment of every pool to a scheduling partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// `partition_of[pool] = partition`.
+    partition_of: Vec<usize>,
+    /// Number of partitions; at least `max(partition_of) + 1`, but may be
+    /// larger, leaving trailing partitions empty.
+    partitions: usize,
+}
+
+impl PartitionMap {
+    /// One partition per pool — the canonical decomposition. Partition
+    /// ids equal pool ids, so provenance stamped from this map reads as
+    /// the job's home pool.
+    #[must_use]
+    pub fn per_pool(num_pools: usize) -> Self {
+        PartitionMap {
+            partition_of: (0..num_pools).collect(),
+            partitions: num_pools.max(1),
+        }
+    }
+
+    /// Every pool in partition 0 — sharding degenerates to the serial
+    /// decision loop.
+    #[must_use]
+    pub fn single(num_pools: usize) -> Self {
+        PartitionMap {
+            partition_of: vec![0; num_pools],
+            partitions: 1,
+        }
+    }
+
+    /// An explicit assignment; the partition count is inferred as
+    /// `max(assignment) + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty assignment.
+    #[must_use]
+    pub fn new(assignment: Vec<usize>) -> Self {
+        let partitions = assignment
+            .iter()
+            .max()
+            .map(|&m| m + 1)
+            .expect("partition map needs at least one pool");
+        PartitionMap {
+            partition_of: assignment,
+            partitions,
+        }
+    }
+
+    /// An explicit assignment with an explicit partition count, allowing
+    /// empty partitions (adversarial maps in tests, fixed shard grids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assigned partition is `>= partitions` or
+    /// `partitions == 0`.
+    #[must_use]
+    pub fn with_partitions(assignment: Vec<usize>, partitions: usize) -> Self {
+        assert!(partitions > 0, "at least one partition is required");
+        assert!(
+            assignment.iter().all(|&p| p < partitions),
+            "assignment references a partition >= {partitions}"
+        );
+        PartitionMap {
+            partition_of: assignment,
+            partitions,
+        }
+    }
+
+    /// The canonical map for a cluster: [`PartitionMap::per_pool`].
+    #[must_use]
+    pub fn for_cluster(cluster: &Cluster) -> Self {
+        Self::per_pool(cluster.pool_ids().count())
+    }
+
+    /// Partition owning `pool`. Pools beyond the map (a cluster larger
+    /// than the map was built for) fold into partition 0 rather than
+    /// panicking mid-simulation.
+    #[must_use]
+    pub fn partition_of(&self, pool: usize) -> usize {
+        self.partition_of.get(pool).copied().unwrap_or(0)
+    }
+
+    /// Number of partitions (empty ones included).
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Number of pools the map covers.
+    #[must_use]
+    pub fn num_pools(&self) -> usize {
+        self.partition_of.len()
+    }
+
+    /// Pools assigned to `partition`, in ascending pool order.
+    #[must_use]
+    pub fn pools_of(&self, partition: usize) -> Vec<usize> {
+        self.partition_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == partition)
+            .map(|(pool, _)| pool)
+            .collect()
+    }
+
+    /// Per-partition capacity index over `cluster`: each partition's
+    /// totals aggregate its pools' counts in ascending pool order.
+    /// Conservation holds by construction: summed over partitions, the
+    /// totals equal the cluster-wide books.
+    #[must_use]
+    pub fn shard_stats(&self, cluster: &Cluster) -> Vec<ShardStats> {
+        let mut out: Vec<ShardStats> = (0..self.partitions)
+            .map(|partition| ShardStats {
+                partition,
+                pools: 0,
+                total_gpus: 0,
+                free_gpus: 0,
+                used_gpus: 0,
+                failed_gpus: 0,
+            })
+            .collect();
+        for (pool, &partition) in self.partition_of.iter().enumerate() {
+            let id = GpuTypeId(pool);
+            let s = &mut out[partition];
+            s.pools += 1;
+            s.total_gpus += cluster.num_nodes(id) * cluster.spec(id).gpus_per_node;
+            s.free_gpus += cluster.free_gpus(id);
+            s.used_gpus += cluster.used_gpus(id);
+            s.failed_gpus += cluster.failed_gpus(id);
+        }
+        out
+    }
+}
+
+/// Capacity counts of one partition (see [`PartitionMap::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Partition id.
+    pub partition: usize,
+    /// Pools assigned to the partition.
+    pub pools: usize,
+    /// Total GPUs across the partition's pools.
+    pub total_gpus: usize,
+    /// Free GPUs across the partition's pools.
+    pub free_gpus: usize,
+    /// Allocated GPUs across the partition's pools.
+    pub used_gpus: usize,
+    /// Failed/draining GPUs across the partition's pools.
+    pub failed_gpus: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::gpu::GpuSpec;
+    use crate::node::NodeSpec;
+
+    fn two_pool() -> Cluster {
+        Cluster::new(&[
+            (NodeSpec::with_default_links(GpuSpec::A100, 4), 3),
+            (NodeSpec::with_default_links(GpuSpec::A10, 2), 4),
+        ])
+    }
+
+    #[test]
+    fn per_pool_is_identity() {
+        let m = PartitionMap::per_pool(3);
+        assert_eq!(m.partitions(), 3);
+        for p in 0..3 {
+            assert_eq!(m.partition_of(p), p);
+            assert_eq!(m.pools_of(p), vec![p]);
+        }
+    }
+
+    #[test]
+    fn single_folds_everything() {
+        let m = PartitionMap::single(4);
+        assert_eq!(m.partitions(), 1);
+        assert_eq!(m.pools_of(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_counts_allow_empty_partitions() {
+        let m = PartitionMap::with_partitions(vec![2, 2], 4);
+        assert_eq!(m.partitions(), 4);
+        assert!(m.pools_of(0).is_empty());
+        assert_eq!(m.pools_of(2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a partition")]
+    fn out_of_range_assignment_rejected() {
+        let _ = PartitionMap::with_partitions(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn shard_stats_conserve_capacity() {
+        let mut cluster = two_pool();
+        let a = cluster.allocate(GpuTypeId(0), 5).unwrap();
+        cluster.fail_node(GpuTypeId(1), 0).unwrap();
+        for map in [
+            PartitionMap::per_pool(2),
+            PartitionMap::single(2),
+            PartitionMap::with_partitions(vec![1, 1], 3),
+        ] {
+            let stats = map.shard_stats(&cluster);
+            assert_eq!(stats.len(), map.partitions());
+            let total: usize = stats.iter().map(|s| s.total_gpus).sum();
+            let free: usize = stats.iter().map(|s| s.free_gpus).sum();
+            let used: usize = stats.iter().map(|s| s.used_gpus).sum();
+            let failed: usize = stats.iter().map(|s| s.failed_gpus).sum();
+            assert_eq!(total, cluster.total_gpus());
+            assert_eq!(free + used + failed, total);
+            assert_eq!(used, 5);
+            assert_eq!(failed, 2);
+        }
+        cluster.release(&a).unwrap();
+    }
+
+    #[test]
+    fn unknown_pool_folds_to_partition_zero() {
+        let m = PartitionMap::per_pool(2);
+        assert_eq!(m.partition_of(9), 0);
+    }
+}

@@ -115,6 +115,12 @@ pub struct Decision {
     pub prev_gpus: Option<usize>,
     /// Why: a stable, policy-specific reason label.
     pub reason: &'static str,
+    /// Scheduler shard that owns the subject job: its home *partition*
+    /// under the engine's partition map (per-pool partitions by default,
+    /// so the id reads as the job's requested pool). A semantic
+    /// identifier — deliberately independent of the executor shard
+    /// count, which must stay invisible in observable output.
+    pub shard: Option<u32>,
 }
 
 impl Decision {
@@ -133,6 +139,7 @@ impl Decision {
             prev_pool: None,
             prev_gpus: None,
             reason: "",
+            shard: None,
         }
     }
 
@@ -194,6 +201,13 @@ impl Decision {
         self
     }
 
+    /// Attaches the owning scheduler shard (the job's home partition).
+    #[must_use]
+    pub fn on_shard(mut self, shard: u32) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Stable `kind/reason` key used for per-reason accounting.
     #[must_use]
     pub fn reason_key(&self) -> String {
@@ -233,6 +247,9 @@ impl Decision {
         if let (Some(p), Some(g)) = (self.prev_pool, self.prev_gpus) {
             let _ = write!(s, ",\"prev_pool\":{p},\"prev_gpus\":{g}");
         }
+        if let Some(shard) = self.shard {
+            let _ = write!(s, ",\"shard\":{shard}");
+        }
         let _ = write!(s, ",\"reason\":\"{}\"", json_escape(self.reason));
         s.push('}');
         s
@@ -257,6 +274,9 @@ impl Decision {
         }
         if self.opportunistic {
             s.push_str(" opp");
+        }
+        if let Some(shard) = self.shard {
+            let _ = write!(s, " shard={shard}");
         }
         let _ = write!(s, " reason={}", self.reason);
         s

@@ -1,6 +1,7 @@
 //! The Arena (Crius) Cell-based scheduler: Algorithm 1.
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use arena_cluster::{GpuTypeId, PoolStats};
@@ -9,7 +10,7 @@ use arena_runtime::WorkerPool;
 
 pub use crate::memo::CandidateMemoStats;
 use crate::memo::{CandidateMemo, JobClassKey};
-use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView};
+use crate::policy::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView, ShardQueue};
 
 /// Which Arena variant runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,35 +189,25 @@ impl ArenaPolicy {
                 return cached.to_vec();
             }
         }
-        let ideal = view.service.ideal_sps(&job.spec);
-        let grid: Vec<(GpuTypeId, usize)> = self
-            .pool_menu(view, job)
+        let grid = self.grid(view, job);
+        let out = estimate_and_rank(&grid, &job.spec, view.pools, view.service, &self.workers);
+        if self.use_memo {
+            self.memo.borrow_mut().put(key, Arc::new(out.clone()));
+        }
+        out
+    }
+
+    /// The estimation grid for a job: its pool menu crossed with its GPU
+    /// menu, in enumeration order.
+    fn grid(&self, view: &SchedView<'_>, job: &JobView) -> Vec<(GpuTypeId, usize)> {
+        self.pool_menu(view, job)
             .into_iter()
             .flat_map(|pool| {
                 self.gpu_menu(job.spec.requested_gpus)
                     .into_iter()
                     .map(move |gpus| (pool, gpus))
             })
-            .collect();
-        // Fan the estimation grid out over the worker pool; the result
-        // vector keeps grid order, so ranking sees the same input (and
-        // stable-sort tie order) at every pool size.
-        let service = view.service;
-        let model = &job.spec.model;
-        let estimated = self.workers.map(&grid, |_, &(pool, gpus)| {
-            service.cell_choice(model, gpus, pool).map(|c| Candidate {
-                pool,
-                gpus,
-                score: c.throughput_sps / ideal,
-                iter_time_s: c.iter_time_s,
-            })
-        });
-        let mut out: Vec<Candidate> = estimated.into_iter().flatten().collect();
-        rank_candidates(&mut out, view.pools);
-        if self.use_memo {
-            self.memo.borrow_mut().put(key, Arc::new(out.clone()));
-        }
-        out
+            .collect()
     }
 
     /// Whether a candidate finishes the job before its deadline.
@@ -257,6 +248,11 @@ const MOVE_PENALTY: f64 = 0.15;
 /// active while some capacity is actually down.
 const FAILED_POOL_PENALTY: f64 = 0.25;
 
+/// Minimum number of missing candidate classes before the shard
+/// prefetch fans estimation out to the worker pool; smaller batches are
+/// estimated inline, below the cost of spawning the workers.
+const PREFETCH_SPAWN_CUTOFF: usize = 8;
+
 /// Descending-sort key: NaN (an upstream estimation bug, not a valid
 /// score) ranks *below* every real score instead of panicking the
 /// comparator or floating to the top.
@@ -266,6 +262,34 @@ fn score_key(s: f64) -> f64 {
     } else {
         s
     }
+}
+
+/// Estimates and ranks one precomputed candidate grid — the shared core
+/// of the lazy lookup and the sharded prefetch. A pure function of the
+/// grid, the job's class, the pool state, and the estimation service, so
+/// both callers compute bitwise the same list. `workers` fans the
+/// estimation grid out; the result vector keeps grid order, so ranking
+/// sees the same input (and stable-sort tie order) at every pool size.
+fn estimate_and_rank(
+    grid: &[(GpuTypeId, usize)],
+    spec: &arena_trace::JobSpec,
+    pools: &[PoolStats],
+    service: &crate::service::PlanService,
+    workers: &WorkerPool,
+) -> Vec<Candidate> {
+    let ideal = service.ideal_sps(spec);
+    let model = &spec.model;
+    let estimated = workers.map(grid, |_, &(pool, gpus)| {
+        service.cell_choice(model, gpus, pool).map(|c| Candidate {
+            pool,
+            gpus,
+            score: c.throughput_sps / ideal,
+            iter_time_s: c.iter_time_s,
+        })
+    });
+    let mut out: Vec<Candidate> = estimated.into_iter().flatten().collect();
+    rank_candidates(&mut out, pools);
+    out
 }
 
 /// Ranks candidates best-score-first against the given pool state.
@@ -311,6 +335,9 @@ fn record(view: &SchedView<'_>, action: &Action, reason: &'static str, score: Op
     if !obs.is_enabled() {
         return;
     }
+    let job_id = match *action {
+        Action::Place { job, .. } | Action::Evict { job } | Action::Drop { job } => job,
+    };
     let mut d = match *action {
         Action::Place {
             job,
@@ -336,6 +363,15 @@ fn record(view: &SchedView<'_>, action: &Action, reason: &'static str, score: Op
         Action::Evict { job } => Decision::evict(job),
         Action::Drop { job } => Decision::drop(job),
     };
+    if let Some(home) = view
+        .queued
+        .iter()
+        .chain(view.running.iter())
+        .find(|j| j.id() == job_id)
+        .map(JobView::home_shard)
+    {
+        d = d.on_shard(home);
+    }
     d = d.why(reason);
     if let Some(s) = score {
         d = d.with_score(s);
@@ -678,16 +714,22 @@ impl Policy for ArenaPolicy {
             // deadline-hopeless jobs are dropped early (§8.5).
             let cands = self.candidates(view, job);
             if cands.is_empty() {
-                view.obs
-                    .decision(Decision::drop(job.id()).why("no-feasible-cell"));
+                view.obs.decision(
+                    Decision::drop(job.id())
+                        .on_shard(job.home_shard())
+                        .why("no-feasible-cell"),
+                );
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
             if self.variant == ArenaVariant::Deadline
                 && !cands.iter().any(|c| Self::meets_deadline(view, job, c))
             {
-                view.obs
-                    .decision(Decision::drop(job.id()).why("deadline-hopeless"));
+                view.obs.decision(
+                    Decision::drop(job.id())
+                        .on_shard(job.home_shard())
+                        .why("deadline-hopeless"),
+                );
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
@@ -724,6 +766,75 @@ impl Policy for ArenaPolicy {
         }
 
         actions
+    }
+
+    /// Per-shard candidate prefetch: warms the memo with every queued job
+    /// class missing from it, computing the lists concurrently across
+    /// classes on the worker pool. A candidate list is a pure function of
+    /// (job class, pool state, service), so the subsequent scheduling
+    /// pass reads bitwise the same lists it would have enumerated lazily —
+    /// only the hit/miss split of the memo stats moves, and those are not
+    /// part of any observable schedule output.
+    fn prepare_shards(&mut self, shards: &[ShardQueue<'_>], view: &SchedView<'_>) {
+        if !self.use_memo || self.workers.threads() <= 1 {
+            return;
+        }
+        // Same signature revalidation the scheduling pass will perform,
+        // so prefetched entries survive into it.
+        let flushed = self.memo.borrow_mut().begin_pass(view.pools);
+        if !flushed && !self.memo.borrow().is_empty() {
+            // Quiet round: the memo survived revalidation, so only
+            // classes that arrived since the last pass can be missing —
+            // a handful at most, cheaper to fill lazily in the
+            // scheduling pass than to rescan the whole queue here.
+            return;
+        }
+        // Grids are enumerated serially (cheap); only the estimation is
+        // fanned out. The task closure must not capture `self` — the
+        // memo's `RefCell` keeps the policy `!Sync`.
+        type MissingClass = (
+            JobClassKey,
+            Vec<(GpuTypeId, usize)>,
+            Arc<arena_trace::JobSpec>,
+        );
+        let mut missing: Vec<MissingClass> = Vec::new();
+        let mut seen: HashSet<JobClassKey> = HashSet::new();
+        {
+            let memo = self.memo.borrow();
+            for sq in shards {
+                for &job in &sq.queued {
+                    let key = JobClassKey::of(&job.spec);
+                    if memo.contains(&key) || !seen.insert(key) {
+                        continue;
+                    }
+                    missing.push((key, self.grid(view, job), job.spec.clone()));
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        // Parallelism is across classes here, so each class's grid is
+        // estimated inline rather than nesting a second fan-out. A
+        // handful of stragglers (quiet rounds where one new class
+        // arrived) is cheaper to estimate in place than to spawn for;
+        // either path fills the memo with bitwise the same lists.
+        let inline = WorkerPool::sequential();
+        let (pools, service) = (view.pools, view.service);
+        let computed = if missing.len() < PREFETCH_SPAWN_CUTOFF {
+            missing
+                .iter()
+                .map(|(_, grid, spec)| estimate_and_rank(grid, spec, pools, service, &inline))
+                .collect()
+        } else {
+            self.workers.map(&missing, |_, (_, grid, spec)| {
+                estimate_and_rank(grid, spec, pools, service, &inline)
+            })
+        };
+        let mut memo = self.memo.borrow_mut();
+        for ((key, ..), cands) in missing.into_iter().zip(computed) {
+            memo.put(key, Arc::new(cands));
+        }
     }
 }
 

@@ -183,8 +183,11 @@ impl Policy for ElasticFlowPolicy {
                                 None => true,
                             };
                             if hopeless {
-                                view.obs
-                                    .decision(Decision::drop(job.id()).why("deadline-hopeless"));
+                                view.obs.decision(
+                                    Decision::drop(job.id())
+                                        .on_shard(job.home_shard())
+                                        .why("deadline-hopeless"),
+                                );
                                 actions.push(Action::Drop { job: job.id() });
                             }
                         }
@@ -192,8 +195,11 @@ impl Policy for ElasticFlowPolicy {
                 }
                 None => {
                     // DP-infeasible at any share on its pool: rejected.
-                    view.obs
-                        .decision(Decision::drop(job.id()).why("dp-infeasible"));
+                    view.obs.decision(
+                        Decision::drop(job.id())
+                            .on_shard(job.home_shard())
+                            .why("dp-infeasible"),
+                    );
                     actions.push(Action::Drop { job: job.id() });
                 }
             }
@@ -247,7 +253,9 @@ impl Policy for ElasticFlowPolicy {
                 .is_some_and(|pl| pl.pool == pool && pl.gpus == k);
             if !unchanged {
                 if view.obs.is_enabled() {
-                    let mut d = Decision::place(id, pool.0, k).why("target-share");
+                    let mut d = Decision::place(id, pool.0, k)
+                        .on_shard(job.home_shard())
+                        .why("target-share");
                     if let Some(pl) = job.placement {
                         d = d.moving_from(pl.pool.0, pl.gpus);
                     }

@@ -40,15 +40,21 @@ impl Policy for FcfsPolicy {
                 .adaptive_run(&job.spec.model, need, pool)
                 .is_none()
             {
-                view.obs
-                    .decision(Decision::drop(job.id()).why("infeasible-requested-config"));
+                view.obs.decision(
+                    Decision::drop(job.id())
+                        .on_shard(job.home_shard())
+                        .why("infeasible-requested-config"),
+                );
                 actions.push(Action::Drop { job: job.id() });
                 continue;
             }
             if free[pool.0] >= need {
                 free[pool.0] -= need;
-                view.obs
-                    .decision(Decision::place(job.id(), pool.0, need).why("head-of-line"));
+                view.obs.decision(
+                    Decision::place(job.id(), pool.0, need)
+                        .on_shard(job.home_shard())
+                        .why("head-of-line"),
+                );
                 actions.push(Action::Place {
                     job: job.id(),
                     pool,

@@ -65,8 +65,11 @@ impl Policy for GandivaPolicy {
                     match alt {
                         Some(q) => {
                             free[q] -= need;
-                            view.obs
-                                .decision(Decision::place(job.id(), q, need).why("blind-retry"));
+                            view.obs.decision(
+                                Decision::place(job.id(), q, need)
+                                    .on_shard(job.home_shard())
+                                    .why("blind-retry"),
+                            );
                             actions.push(Action::Place {
                                 job: job.id(),
                                 pool: GpuTypeId(q),
@@ -82,7 +85,9 @@ impl Policy for GandivaPolicy {
                             });
                             if !feasible_somewhere {
                                 view.obs.decision(
-                                    Decision::drop(job.id()).why("infeasible-at-fixed-size"),
+                                    Decision::drop(job.id())
+                                        .on_shard(job.home_shard())
+                                        .why("infeasible-at-fixed-size"),
                                 );
                                 actions.push(Action::Drop { job: job.id() });
                             }
@@ -91,8 +96,11 @@ impl Policy for GandivaPolicy {
                     continue;
                 }
                 free[p] -= need;
-                view.obs
-                    .decision(Decision::place(job.id(), p, need).why("blind-pick"));
+                view.obs.decision(
+                    Decision::place(job.id(), p, need)
+                        .on_shard(job.home_shard())
+                        .why("blind-pick"),
+                );
                 actions.push(Action::Place {
                     job: job.id(),
                     pool,
@@ -135,6 +143,7 @@ impl Policy for GandivaPolicy {
                             view.obs.decision(
                                 Decision::place(running.id(), q, pl.gpus)
                                     .moving_from(pl.pool.0, pl.gpus)
+                                    .on_shard(running.home_shard())
                                     .why("introspective-migrate"),
                             );
                             actions.push(Action::Place {
@@ -145,6 +154,7 @@ impl Policy for GandivaPolicy {
                             });
                             view.obs.decision(
                                 Decision::place(stuck.id(), pl.pool.0, need)
+                                    .on_shard(stuck.home_shard())
                                     .why("admit-after-migration"),
                             );
                             actions.push(Action::Place {

@@ -67,6 +67,7 @@ impl Policy for GavelPolicy {
                 free[p] -= need;
                 view.obs.decision(
                     Decision::place(job.id(), p, need)
+                        .on_shard(job.home_shard())
                         .with_score(r)
                         .why("best-rate-pool"),
                 );
@@ -81,8 +82,11 @@ impl Policy for GavelPolicy {
                 // if none is DP-feasible at all, Gavel rejects the job.
                 let feasible_anywhere = (0..free.len()).any(|p| Self::rate(view, job, p).is_some());
                 if !feasible_anywhere {
-                    view.obs
-                        .decision(Decision::drop(job.id()).why("dp-infeasible-everywhere"));
+                    view.obs.decision(
+                        Decision::drop(job.id())
+                            .on_shard(job.home_shard())
+                            .why("dp-infeasible-everywhere"),
+                    );
                     actions.push(Action::Drop { job: job.id() });
                 }
             }
@@ -110,6 +114,7 @@ impl Policy for GavelPolicy {
                         view.obs.decision(
                             Decision::place(job.id(), p, pl.gpus)
                                 .moving_from(pl.pool.0, pl.gpus)
+                                .on_shard(job.home_shard())
                                 .with_score(r)
                                 .why("rate-migration"),
                         );

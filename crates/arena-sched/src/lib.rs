@@ -37,6 +37,8 @@ pub use elasticflow::ElasticFlowPolicy;
 pub use fcfs::FcfsPolicy;
 pub use gandiva::GandivaPolicy;
 pub use gavel::GavelPolicy;
-pub use policy::{Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView};
+pub use policy::{
+    Action, JobView, PlacementView, PlanMode, Policy, SchedEvent, SchedView, ShardQueue,
+};
 pub use service::{PlanService, RunPlan};
 pub use solver::ArenaSolverPolicy;

@@ -85,8 +85,10 @@ pub(crate) struct CandidateMemo {
 
 impl CandidateMemo {
     /// Revalidates the memo against the pool state a scheduling pass
-    /// sees, flushing every entry when the signature moved.
-    pub(crate) fn begin_pass(&mut self, pools: &[PoolStats]) {
+    /// sees, flushing every entry when the signature moved. Returns
+    /// whether the pass started cold (first pass or flush) — callers use
+    /// it to decide whether a prefetch sweep is worth the scan.
+    pub(crate) fn begin_pass(&mut self, pools: &[PoolStats]) -> bool {
         let sig = pool_signature(pools);
         if self.pool_sig != Some(sig) {
             if self.pool_sig.is_some() && !self.entries.is_empty() {
@@ -94,7 +96,14 @@ impl CandidateMemo {
             }
             self.entries.clear();
             self.pool_sig = Some(sig);
+            return true;
         }
+        false
+    }
+
+    /// Whether the memo holds no candidate lists.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     pub(crate) fn get(&mut self, key: &JobClassKey) -> Option<Arc<Vec<Candidate>>> {
@@ -108,6 +117,13 @@ impl CandidateMemo {
                 None
             }
         }
+    }
+
+    /// Whether `key` is cached, without touching the hit/miss counters —
+    /// for the prefetch pre-pass, which must leave the stats to the real
+    /// scheduling lookups.
+    pub(crate) fn contains(&self, key: &JobClassKey) -> bool {
+        self.entries.contains_key(key)
     }
 
     pub(crate) fn put(&mut self, key: JobClassKey, value: Arc<Vec<Candidate>>) {

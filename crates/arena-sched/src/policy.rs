@@ -53,6 +53,15 @@ impl JobView {
     pub fn id(&self) -> u64 {
         self.spec.id
     }
+
+    /// The scheduler shard that owns this job: its home partition under
+    /// the canonical per-pool partition map, i.e. the requested pool.
+    /// Decision provenance stamps this id — a semantic identifier that
+    /// is byte-identical at every executor shard count.
+    #[must_use]
+    pub fn home_shard(&self) -> u32 {
+        self.spec.requested_pool as u32
+    }
 }
 
 /// The cluster as a policy sees it at a scheduling point.
@@ -151,6 +160,19 @@ pub enum Action {
     },
 }
 
+/// One executor shard's slice of the queue, as handed to
+/// [`Policy::prepare_shards`] by the sharded simulation engine before a
+/// scheduling pass.
+#[derive(Debug)]
+pub struct ShardQueue<'a> {
+    /// Executor shard index.
+    pub shard: usize,
+    /// Queued jobs owned by this shard, in arrival order. References
+    /// into the engine's merged queue vector, so handing the queue out
+    /// shard-by-shard costs no view clones.
+    pub queued: Vec<&'a JobView>,
+}
+
 /// A cluster scheduling policy.
 ///
 /// `Send` is a supertrait so boxed policies can move onto worker threads
@@ -165,4 +187,14 @@ pub trait Policy: Send {
 
     /// Produces scheduling actions for an event.
     fn schedule(&mut self, event: SchedEvent, view: &SchedView<'_>) -> Vec<Action>;
+
+    /// Per-shard pre-pass hook of the sharded engine, called once before
+    /// [`Policy::schedule`] with the queue split by executor shard.
+    ///
+    /// Implementations may warm caches concurrently (candidate
+    /// prefetching), but MUST NOT change any observable scheduling
+    /// output: the subsequent `schedule` call has to return exactly what
+    /// it would have returned without the pre-pass. The default is a
+    /// no-op.
+    fn prepare_shards(&mut self, _shards: &[ShardQueue<'_>], _view: &SchedView<'_>) {}
 }

@@ -51,6 +51,8 @@ struct Choice {
 /// One job's row in the joint problem.
 struct Item {
     job: u64,
+    /// Home shard (partition) stamped on this row's decisions.
+    home: u32,
     current: Option<(GpuTypeId, usize)>,
     choices: Vec<Choice>,
 }
@@ -121,6 +123,7 @@ impl ArenaSolverPolicy {
             if remaining_s < PIN_REMAINING_S {
                 return Item {
                     job: job.id(),
+                    home: job.home_shard(),
                     current,
                     choices: vec![Choice {
                         placement: Some(cur),
@@ -159,6 +162,7 @@ impl ArenaSolverPolicy {
         choices.sort_by(|a, b| b.value.total_cmp(&a.value));
         Item {
             job: job.id(),
+            home: job.home_shard(),
             current,
             choices,
         }
@@ -220,8 +224,11 @@ impl Policy for ArenaSolverPolicy {
             let item = Self::item(view, job);
             if item.choices.len() == 1 && item.current.is_none() {
                 // Queued and infeasible everywhere: reject.
-                view.obs
-                    .decision(Decision::drop(item.job).why("infeasible-everywhere"));
+                view.obs.decision(
+                    Decision::drop(item.job)
+                        .on_shard(item.home)
+                        .why("infeasible-everywhere"),
+                );
                 actions.push(Action::Drop { job: item.job });
                 continue;
             }
@@ -241,6 +248,7 @@ impl Policy for ArenaSolverPolicy {
             match (item.current, choice.placement) {
                 (cur, Some((pool, gpus))) if cur != Some((pool, gpus)) => {
                     let mut d = Decision::place(item.job, pool.0, gpus)
+                        .on_shard(item.home)
                         .with_score(choice.value)
                         .why("joint-assignment");
                     if let Some((p, g)) = cur {
@@ -257,6 +265,7 @@ impl Policy for ArenaSolverPolicy {
                 (Some(_), None) => {
                     view.obs.decision(
                         Decision::evict(item.job)
+                            .on_shard(item.home)
                             .with_score(choice.value)
                             .why("solver-park"),
                     );

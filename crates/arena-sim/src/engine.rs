@@ -78,7 +78,7 @@ pub struct SimResult {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum JState {
+pub(crate) enum JState {
     Queued,
     /// Restarting/exploring until the given time; holds GPUs, no progress.
     Starting(f64),
@@ -87,53 +87,53 @@ enum JState {
     Dropped,
 }
 
-struct SJob {
-    spec: Arc<JobSpec>,
+pub(crate) struct SJob {
+    pub(crate) spec: Arc<JobSpec>,
     /// `spec.model.name()` interned once at arrival — the plan-database
     /// key component, so placements never hash a fresh `String`.
-    model_key: u32,
-    state: JState,
+    pub(crate) model_key: u32,
+    pub(crate) state: JState,
     /// Epoch for this job's event-heap entries: bumped on every
     /// transition that invalidates a predicted event, so stale heap
     /// entries identify themselves by generation mismatch.
-    generation: u64,
+    pub(crate) generation: u64,
     /// Simulation time this job's progress was last advanced to. Lags
     /// the clock only across zero-width event bursts, where an advance
     /// would be an exact no-op.
-    last_update_s: f64,
-    remaining: f64,
-    alloc: Option<Allocation>,
-    pool: usize,
-    gpus: usize,
-    opportunistic: bool,
-    sps: f64,
-    iter_time: f64,
-    start_s: Option<f64>,
-    finish_s: Option<f64>,
-    restarts: u32,
-    profiled: bool,
+    pub(crate) last_update_s: f64,
+    pub(crate) remaining: f64,
+    pub(crate) alloc: Option<Allocation>,
+    pub(crate) pool: usize,
+    pub(crate) gpus: usize,
+    pub(crate) opportunistic: bool,
+    pub(crate) sps: f64,
+    pub(crate) iter_time: f64,
+    pub(crate) start_s: Option<f64>,
+    pub(crate) finish_s: Option<f64>,
+    pub(crate) restarts: u32,
+    pub(crate) profiled: bool,
     /// Wall-clock spent running since the last checkpoint; on a node
     /// failure this much progress is lost.
-    since_ckpt_s: f64,
+    pub(crate) since_ckpt_s: f64,
     /// Set when a failure evicts the job; cleared (and recorded) when it
     /// runs again.
-    recovering_since: Option<f64>,
+    pub(crate) recovering_since: Option<f64>,
     /// Start of the current `Running` segment; flushed into the totals
     /// when the job stops, finishes, or the run ends.
-    run_since: Option<f64>,
+    pub(crate) run_since: Option<f64>,
     /// Start of the current GPU-holding segment (`Starting` or
     /// `Running`); flushed like `run_since`.
-    alloc_since: Option<f64>,
+    pub(crate) alloc_since: Option<f64>,
     /// Total wall-clock spent running.
-    run_s: f64,
+    pub(crate) run_s: f64,
     /// GPU-seconds spent making progress (`Running` only).
-    productive_gpu_s: f64,
+    pub(crate) productive_gpu_s: f64,
     /// GPU-seconds held, productive or not (`Starting` + `Running`).
-    allocated_gpu_s: f64,
+    pub(crate) allocated_gpu_s: f64,
 }
 
 impl SJob {
-    fn active(&self) -> bool {
+    pub(crate) fn active(&self) -> bool {
         matches!(self.state, JState::Starting(_) | JState::Running)
     }
 
@@ -141,7 +141,7 @@ impl SJob {
     /// one `(t - since) * gpus` product added per segment, in
     /// chronological order — mirrors [`arena_obs::Timeline::accounts`]
     /// exactly, so the two stay bitwise equal.
-    fn flush_run(&mut self, t: f64) {
+    pub(crate) fn flush_run(&mut self, t: f64) {
         if let Some(since) = self.run_since.take() {
             let dt = t - since;
             self.run_s += dt;
@@ -151,7 +151,7 @@ impl SJob {
 
     /// Closes the current GPU-holding segment at `t` (see
     /// [`SJob::flush_run`]).
-    fn flush_alloc(&mut self, t: f64) {
+    pub(crate) fn flush_alloc(&mut self, t: f64) {
         if let Some(since) = self.alloc_since.take() {
             self.allocated_gpu_s += (t - since) * self.gpus as f64;
         }
@@ -168,16 +168,16 @@ impl SJob {
 /// predicted event; everything else in the heap is stale and discarded
 /// lazily.
 #[derive(Default)]
-struct EventIndex {
-    queued: BTreeSet<usize>,
-    active: BTreeSet<usize>,
-    heap: EventHeap,
+pub(crate) struct EventIndex {
+    pub(crate) queued: BTreeSet<usize>,
+    pub(crate) active: BTreeSet<usize>,
+    pub(crate) heap: EventHeap,
 }
 
 impl EventIndex {
     /// Queued or active -> holding a fresh grant (`Starting`): schedules
     /// the start deadline and invalidates any previous prediction.
-    fn place(&mut self, j: &mut SJob, idx: usize, ready_at: f64) {
+    pub(crate) fn place(&mut self, j: &mut SJob, idx: usize, ready_at: f64) {
         self.queued.remove(&idx);
         self.active.insert(idx);
         j.generation += 1;
@@ -185,21 +185,21 @@ impl EventIndex {
     }
 
     /// Active (or already queued, after a capacity race) -> `Queued`.
-    fn requeue(&mut self, j: &mut SJob, idx: usize) {
+    pub(crate) fn requeue(&mut self, j: &mut SJob, idx: usize) {
         self.active.remove(&idx);
         self.queued.insert(idx);
         j.generation += 1;
     }
 
     /// Any state -> terminal (`Finished` / `Dropped`).
-    fn retire(&mut self, j: &mut SJob, idx: usize) {
+    pub(crate) fn retire(&mut self, j: &mut SJob, idx: usize) {
         self.queued.remove(&idx);
         self.active.remove(&idx);
         j.generation += 1;
     }
 }
 
-const EPS: f64 = 1e-6;
+pub(crate) const EPS: f64 = 1e-6;
 
 /// Runs `policy` over `jobs` on `cluster` and returns metrics.
 ///
@@ -527,7 +527,11 @@ pub fn simulate_with_faults_traced(
                         // knocked over again while restarting.
                         j.recovering_since.get_or_insert(t);
                         flog.failure_evictions += 1;
-                        obs.decision(Decision::requeue(j.spec.id).why("node-failure-evict"));
+                        obs.decision(
+                            Decision::requeue(j.spec.id)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("node-failure-evict"),
+                        );
                         index.requeue(&mut sjobs[i], i);
                     }
                     SchedEvent::NodeFailure {
@@ -765,7 +769,7 @@ fn dispatch(
     );
 }
 
-fn job_view(j: &SJob) -> JobView {
+pub(crate) fn job_view(j: &SJob) -> JobView {
     JobView {
         spec: Arc::clone(&j.spec),
         remaining_iters: j.remaining,
@@ -886,7 +890,11 @@ fn execute(
                     // Infeasible placement: ignored (the job stays where
                     // it was — queued or running).
                     obs.incr("sim.place.infeasible", 1);
-                    obs.decision(Decision::requeue(job).why("infeasible-placement"));
+                    obs.decision(
+                        Decision::requeue(job)
+                            .on_shard(j.spec.requested_pool as u32)
+                            .why("infeasible-placement"),
+                    );
                     continue;
                 };
                 let was_active = j.active();
@@ -953,7 +961,11 @@ fn execute(
                         }
                         j.state = JState::Queued;
                         obs.incr("sim.place.capacity_race", 1);
-                        obs.decision(Decision::requeue(job).why("capacity-race"));
+                        obs.decision(
+                            Decision::requeue(job)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("capacity-race"),
+                        );
                         index.requeue(&mut sjobs[idx], idx);
                     }
                 }

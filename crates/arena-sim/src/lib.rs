@@ -23,6 +23,7 @@ mod heap;
 pub mod metrics;
 #[doc(hidden)]
 pub mod reference;
+pub mod shard;
 
 pub use arena_obs::{
     Decision, DecisionKind, JobAccount, JobEventKind, JobState, Obs, StopCause, Timeline,
@@ -33,3 +34,7 @@ pub use engine::{
     SimResult,
 };
 pub use metrics::{FaultLog, JobRecord, Metrics};
+pub use shard::{
+    simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,
+    simulate_sharded_with_faults_traced, ShardPlan,
+};

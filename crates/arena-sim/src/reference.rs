@@ -267,7 +267,11 @@ pub fn simulate_with_faults_traced(
                         j.since_ckpt_s = 0.0;
                         j.recovering_since.get_or_insert(t);
                         flog.failure_evictions += 1;
-                        obs.decision(Decision::requeue(j.spec.id).why("node-failure-evict"));
+                        obs.decision(
+                            Decision::requeue(j.spec.id)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("node-failure-evict"),
+                        );
                     }
                     SchedEvent::NodeFailure {
                         pool,
@@ -578,7 +582,11 @@ fn execute(
                 };
                 let Some(run) = run else {
                     obs.incr("sim.place.infeasible", 1);
-                    obs.decision(Decision::requeue(job).why("infeasible-placement"));
+                    obs.decision(
+                        Decision::requeue(job)
+                            .on_shard(j.spec.requested_pool as u32)
+                            .why("infeasible-placement"),
+                    );
                     continue;
                 };
                 let was_active = j.active();
@@ -637,7 +645,11 @@ fn execute(
                         }
                         j.state = JState::Queued;
                         obs.incr("sim.place.capacity_race", 1);
-                        obs.decision(Decision::requeue(job).why("capacity-race"));
+                        obs.decision(
+                            Decision::requeue(job)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("capacity-race"),
+                        );
                     }
                 }
             }

@@ -54,7 +54,7 @@ pub mod report;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use arena_cluster::{Cluster, GpuSpec, GpuTypeId, LinkKind, NodeSpec};
+    pub use arena_cluster::{Cluster, GpuSpec, GpuTypeId, LinkKind, NodeSpec, PartitionMap};
     pub use arena_estimator::{Cell, CellEstimator, Favor};
     pub use arena_model::zoo::{ModelConfig, ModelFamily};
     pub use arena_model::ModelGraph;
@@ -66,8 +66,10 @@ pub mod prelude {
         GavelPolicy, PlanService, Policy, QueueOrder,
     };
     pub use arena_sim::{
-        simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, Decision,
-        DecisionKind, Obs, SimConfig, SimResult, TraceReport,
+        simulate, simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,
+        simulate_sharded_with_faults_traced, simulate_traced, simulate_with_faults,
+        simulate_with_faults_traced, Decision, DecisionKind, Obs, ShardPlan, SimConfig, SimResult,
+        TraceReport,
     };
     pub use arena_trace::{generate, JobSpec, TraceConfig, TraceKind};
 }

@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 use arena::cluster::{Allocation, Cluster, GpuSpec, GpuTypeId, NodeHealth, NodeSpec};
 use arena::prelude::*;
-use arena::sim::{simulate_with_faults, simulate_with_faults_traced};
+use arena::sim::{
+    simulate_sharded_with_faults_traced, simulate_with_faults, simulate_with_faults_traced,
+};
 use arena::trace::{generate_faults, FaultConfig, FaultEvent, FaultKind};
 
 fn two_pool_cluster() -> Cluster {
@@ -338,4 +340,92 @@ fn fault_evictions_carry_decision_provenance() {
         .iter()
         .filter(|d| d.policy == "engine")
         .all(|d| d.kind == DecisionKind::Requeue));
+}
+
+#[test]
+fn fault_provenance_identical_under_sharding() {
+    // The same mid-run outage, run through the sharded decision loop at
+    // several shard counts: node failures land mid-merge-round (victims
+    // are detected per shard, applied in merged submission order), yet
+    // every requeue decision — job, reason, trigger, shard stamp, and
+    // position in the decision stream — must match the serial engine's.
+    let cluster = arena::cluster::presets::physical_testbed();
+    let jobs = small_trace(6);
+    let mut cfg = SimConfig::new(24.0 * 3600.0);
+    cfg.checkpoint_interval_s = f64::INFINITY;
+    let mut faults: Vec<FaultEvent> = (0..16)
+        .map(|n| FaultEvent {
+            time_s: 1500.0,
+            pool: 0,
+            node: n,
+            kind: FaultKind::Failure,
+        })
+        .collect();
+    faults.extend((0..16).map(|n| FaultEvent {
+        time_s: 6000.0,
+        pool: 0,
+        node: n,
+        kind: FaultKind::Repair,
+    }));
+    let serial = {
+        let service = PlanService::new(&cluster, CostParams::default(), 2);
+        let obs = Obs::enabled();
+        simulate_with_faults_traced(
+            &cluster,
+            &jobs,
+            &mut GavelPolicy::new(),
+            &service,
+            &cfg,
+            &faults,
+            &obs,
+        )
+    };
+    assert!(
+        serial.metrics.failure_evictions > 0,
+        "fixture lost its bite"
+    );
+    for shards in [1_usize, 2, 4, 8] {
+        let service = PlanService::new(&cluster, CostParams::default(), 2);
+        let obs = Obs::enabled();
+        let plan = ShardPlan::per_pool(&cluster)
+            .with_shards(shards)
+            .with_workers(WorkerPool::new(2));
+        let sharded = simulate_sharded_with_faults_traced(
+            &cluster,
+            &jobs,
+            &mut GavelPolicy::new(),
+            &service,
+            &cfg,
+            &faults,
+            &obs,
+            &plan,
+        );
+        // The whole decision stream — not just the requeues — agrees
+        // line-for-line, so ordering around the fault is preserved too.
+        assert_eq!(
+            sharded.trace.decisions_jsonl(),
+            serial.trace.decisions_jsonl(),
+            "decision stream diverged at {shards} shards"
+        );
+        assert_eq!(
+            sharded.metrics.failure_evictions,
+            serial.metrics.failure_evictions
+        );
+        assert_eq!(sharded.trace.counters.get("sim.fault.failure"), Some(&16));
+        // Failure requeues keep their engine provenance and carry the
+        // victim's home-partition stamp.
+        let requeues: Vec<&Decision> = sharded
+            .trace
+            .decisions
+            .iter()
+            .filter(|d| d.kind == DecisionKind::Requeue && d.reason == "node-failure-evict")
+            .collect();
+        assert_eq!(requeues.len(), sharded.metrics.failure_evictions);
+        for d in &requeues {
+            assert_eq!(d.policy, "engine");
+            assert_eq!(d.trigger, "node-failure");
+            let spec = jobs.iter().find(|j| j.id == d.job).expect("known job");
+            assert_eq!(d.shard, Some(spec.requested_pool as u32));
+        }
+    }
 }

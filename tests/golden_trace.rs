@@ -3,9 +3,11 @@
 //! Three contracts, over a small deterministic testbed workload:
 //!
 //! 1. **Golden snapshots** — each policy's decision provenance
-//!    (counts per `kind/reason`, first/last decisions) matches the
-//!    committed snapshot under `tests/snapshots/`. Regenerate after an
-//!    intended behaviour change with `UPDATE_GOLDEN=1 cargo test`.
+//!    (counts per `kind/reason`, first/last decisions including their
+//!    home-shard stamps) matches the committed snapshot under
+//!    `tests/snapshots/`. Regenerate after an intended behaviour change
+//!    with `UPDATE_SNAPSHOTS=1 cargo test` (the older `UPDATE_GOLDEN=1`
+//!    spelling still works).
 //! 2. **Tracing neutrality** — enabling the tracer changes no simulator
 //!    output: timelines and metrics are bitwise identical to an untraced
 //!    run (only the wall-clock decision timer is exempt).
@@ -78,7 +80,8 @@ fn snapshot_path(policy: &str) -> PathBuf {
 
 #[test]
 fn golden_decision_traces_match_snapshots() {
-    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    let update =
+        std::env::var("UPDATE_SNAPSHOTS").is_ok() || std::env::var("UPDATE_GOLDEN").is_ok();
     for mut p in policy_set() {
         let obs = Obs::enabled();
         let r = run_traced(p.as_mut(), &obs);
@@ -87,7 +90,23 @@ fn golden_decision_traces_match_snapshots() {
             "{}: traced run recorded no decisions",
             r.policy
         );
+        // Placement provenance carries the job's home shard, and it
+        // survives into the snapshot's compact decision lines.
+        assert!(
+            r.trace
+                .decisions
+                .iter()
+                .filter(|d| d.kind == DecisionKind::Place)
+                .all(|d| d.shard.is_some()),
+            "{}: placement decision missing home-shard stamp",
+            r.policy
+        );
         let got = r.trace.golden_summary(5);
+        assert!(
+            got.contains("shard="),
+            "{}: snapshot lost shard provenance",
+            r.policy
+        );
         let path = snapshot_path(&r.policy);
         if update {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -95,12 +114,12 @@ fn golden_decision_traces_match_snapshots() {
             continue;
         }
         let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!("missing snapshot {path:?} ({e}); regenerate with UPDATE_GOLDEN=1")
+            panic!("missing snapshot {path:?} ({e}); regenerate with UPDATE_SNAPSHOTS=1")
         });
         assert_eq!(
             got, want,
             "{}: golden trace drifted; if the change is intended, \
-             regenerate with UPDATE_GOLDEN=1 cargo test",
+             regenerate with UPDATE_SNAPSHOTS=1 cargo test",
             r.policy
         );
     }

@@ -83,16 +83,21 @@ fn all_policies_conserve_jobs_and_capacity() {
     let jobs = small_trace(12);
     let cfg = SimConfig::new(24.0 * 3600.0);
 
-    let policies: Vec<Box<dyn Policy>> = vec![
-        Box::new(FcfsPolicy::new()),
-        Box::new(GandivaPolicy::new()),
-        Box::new(GavelPolicy::new()),
-        Box::new(ElasticFlowPolicy::loosened()),
-        Box::new(ArenaPolicy::new()),
-        Box::new(ArenaSolverPolicy::new()),
-        Box::new(ArenaPolicy::new().with_queue_order(QueueOrder::ShortestFirst)),
+    let policies: Vec<fn() -> Box<dyn Policy>> = vec![
+        || Box::new(FcfsPolicy::new()),
+        || Box::new(GandivaPolicy::new()),
+        || Box::new(GavelPolicy::new()),
+        || Box::new(ElasticFlowPolicy::loosened()),
+        || Box::new(ArenaPolicy::new()),
+        || Box::new(ArenaSolverPolicy::new()),
+        || Box::new(ArenaPolicy::new().with_queue_order(QueueOrder::ShortestFirst)),
     ];
-    for mut p in policies {
+    // Every policy runs through both decision loops: the serial
+    // event-indexed engine and the sharded loop under the env-driven
+    // plan (the CI matrix varies ARENA_SHARDS), which must agree.
+    let plan = ShardPlan::from_env(&cluster);
+    for make in policies {
+        let mut p = make();
         let r = simulate(&cluster, &jobs, p.as_mut(), &service, &cfg);
         let m = &r.metrics;
         assert_eq!(
@@ -111,6 +116,16 @@ fn all_policies_conserve_jobs_and_capacity() {
                 );
             }
         }
+        let mut again = make();
+        let service2 = PlanService::new(&cluster, CostParams::default(), 2);
+        let s = simulate_sharded(&cluster, &jobs, again.as_mut(), &service2, &cfg, &plan);
+        assert_eq!(s.metrics.finished, m.finished, "{} sharded drift", r.policy);
+        assert_eq!(s.metrics.dropped, m.dropped);
+        assert_eq!(
+            s.timeline, r.timeline,
+            "{} sharded timeline drift",
+            r.policy
+        );
     }
 }
 
@@ -198,4 +213,18 @@ fn simulation_results_are_reproducible_across_services() {
     assert_eq!(a.metrics.avg_jct_s, b.metrics.avg_jct_s);
     assert_eq!(a.metrics.finished, b.metrics.finished);
     assert_eq!(a.timeline, b.timeline);
+    // The sharded loop under the env-driven plan reproduces the same
+    // run, bit for bit.
+    let service = PlanService::new(&cluster, CostParams::default(), 77);
+    let plan = ShardPlan::from_env(&cluster);
+    let s = simulate_sharded(
+        &cluster,
+        &jobs,
+        &mut ArenaPolicy::new(),
+        &service,
+        &cfg,
+        &plan,
+    );
+    assert_eq!(s.metrics.avg_jct_s, a.metrics.avg_jct_s);
+    assert_eq!(s.timeline, a.timeline);
 }

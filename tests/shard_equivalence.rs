@@ -1,0 +1,262 @@
+//! The sharded decision loop against the serial event-indexed engine.
+//!
+//! `arena::sim::shard` partitions the cluster into per-pool scheduler
+//! shards — each with its own event heap and membership indexes —
+//! deciding concurrently on a worker pool, with a deterministic merge
+//! round folding per-shard streams back into submission order. The
+//! contract is that the shard count and worker pool are pure execution
+//! knobs: output must be *byte-identical* to the unsharded engine — every
+//! record, timeline sample, decision line (including `shard=` provenance)
+//! and traced job event — at any shard count. These tests pin that
+//! contract across:
+//!
+//! * every comparison policy (FCFS, Gandiva, Gavel, ElasticFlow, Arena),
+//! * shard counts 1 / 2 / 4 / 8, crossed with worker-pool sizes 1 and 4,
+//! * faulted and unfaulted schedules, and
+//! * adversarial partition maps (everything folded onto one shard,
+//!   shards than partitions, custom pool groupings).
+
+use arena::prelude::*;
+use arena::trace::FaultEvent;
+
+fn mixed_trace(n: u64, gap_s: f64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let fam =
+                [ModelFamily::Bert, ModelFamily::Moe, ModelFamily::WideResNet][(i % 3) as usize];
+            let size = match fam {
+                ModelFamily::Bert => [0.76, 1.3][(i % 2) as usize],
+                ModelFamily::Moe => [0.69, 1.3][(i % 2) as usize],
+                ModelFamily::WideResNet => [0.5, 1.0][(i % 2) as usize],
+            };
+            JobSpec {
+                id: i,
+                name: format!("j{i}"),
+                submit_s: gap_s * i as f64,
+                model: ModelConfig::new(fam, size, 256),
+                iterations: 300 + 150 * (i % 4),
+                requested_gpus: [2, 4, 8][(i % 3) as usize],
+                requested_pool: (i % 2) as usize,
+                deadline_s: None,
+            }
+        })
+        .collect()
+}
+
+/// Everything observable about a run except wall-clock decision timing.
+fn fingerprint(mut r: SimResult) -> String {
+    r.metrics.avg_decision_s = 0.0;
+    format!(
+        "policy={}\nmetrics={}\nrecords={:?}\ntimeline={:?}\nraw={:?}\ndecisions=\n{}\nevents={:?}\nnodes={:?}",
+        r.policy,
+        serde_json::to_string(&r.metrics).expect("metrics serialise"),
+        r.records,
+        r.timeline,
+        r.raw_timeline,
+        r.trace.decisions_jsonl(),
+        r.trace.timeline.events,
+        r.trace.timeline.nodes,
+    )
+}
+
+/// Serial-engine fingerprints for every comparison policy on a scenario.
+fn serial_fingerprints(jobs: &[JobSpec], faults: &[FaultEvent], cfg: &SimConfig) -> Vec<String> {
+    let cluster = arena::cluster::presets::physical_testbed();
+    arena::experiments::comparison_policies()
+        .into_iter()
+        .map(|mut policy| {
+            let service = PlanService::new(&cluster, CostParams::default(), 17);
+            let obs = Obs::enabled();
+            fingerprint(simulate_with_faults_traced(
+                &cluster,
+                jobs,
+                policy.as_mut(),
+                &service,
+                cfg,
+                faults,
+                &obs,
+            ))
+        })
+        .collect()
+}
+
+/// Sharded-engine fingerprints for every comparison policy under `plan`.
+fn sharded_fingerprints(
+    jobs: &[JobSpec],
+    faults: &[FaultEvent],
+    cfg: &SimConfig,
+    plan: &ShardPlan,
+) -> Vec<String> {
+    let cluster = arena::cluster::presets::physical_testbed();
+    arena::experiments::comparison_policies()
+        .into_iter()
+        .map(|mut policy| {
+            let service = PlanService::new(&cluster, CostParams::default(), 17);
+            let obs = Obs::enabled();
+            fingerprint(simulate_sharded_with_faults_traced(
+                &cluster,
+                jobs,
+                policy.as_mut(),
+                &service,
+                cfg,
+                faults,
+                &obs,
+                plan,
+            ))
+        })
+        .collect()
+}
+
+/// The tentpole assertion: for every policy, every shard count in
+/// {1, 2, 4, 8} crossed with worker pools {1, 4} reproduces the serial
+/// engine byte-for-byte.
+fn assert_shard_invariant(jobs: &[JobSpec], faults: &[FaultEvent], cfg: &SimConfig) {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let serial = serial_fingerprints(jobs, faults, cfg);
+    assert_eq!(serial.len(), 5, "comparison set drifted");
+    for shards in [1_usize, 2, 4, 8] {
+        for workers in [1_usize, 4] {
+            let plan = ShardPlan::per_pool(&cluster)
+                .with_shards(shards)
+                .with_workers(WorkerPool::new(workers));
+            let sharded = sharded_fingerprints(jobs, faults, cfg, &plan);
+            for (s, ser) in sharded.iter().zip(&serial) {
+                assert_eq!(
+                    s, ser,
+                    "sharded engine diverged at shards={shards} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_policies_all_shard_counts_unfaulted() {
+    let jobs = mixed_trace(12, 150.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    assert_shard_invariant(&jobs, &[], &cfg);
+}
+
+#[test]
+fn all_policies_all_shard_counts_faulted() {
+    let jobs = mixed_trace(12, 150.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let faults = arena::trace::generate_faults(
+        &arena::trace::FaultConfig::with_mtbf(9_000.0),
+        &[16, 16],
+        24.0 * 3600.0,
+    );
+    assert!(!faults.is_empty(), "fixture produced no faults");
+    assert_shard_invariant(&jobs, &faults, &cfg);
+}
+
+#[test]
+fn horizon_cutoff_matches_serial() {
+    // A horizon slicing through running jobs exercises the open-segment
+    // flush paths under sharding.
+    let jobs = mixed_trace(8, 60.0);
+    let cfg = SimConfig::new(2_500.0);
+    assert_shard_invariant(&jobs, &[], &cfg);
+}
+
+#[test]
+fn custom_partition_maps_are_invisible() {
+    // Grouping both pools into one partition, or scattering them, must
+    // not change decisions: the partition map steers execution only.
+    let cluster = arena::cluster::presets::physical_testbed();
+    let jobs = mixed_trace(10, 120.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let serial = serial_fingerprints(&jobs, &[], &cfg);
+    for map in [
+        PartitionMap::single(cluster.num_pools()),
+        PartitionMap::with_partitions(vec![1, 0], 2),
+        PartitionMap::with_partitions(vec![3, 5], 6),
+    ] {
+        for shards in [1, 3, 8] {
+            let plan = ShardPlan::per_pool(&cluster)
+                .with_partition(map.clone())
+                .with_shards(shards)
+                .with_workers(WorkerPool::new(2));
+            let sharded = sharded_fingerprints(&jobs, &[], &cfg, &plan);
+            for (s, ser) in sharded.iter().zip(&serial) {
+                assert_eq!(s, ser, "partition map leaked into output (shards={shards})");
+            }
+        }
+    }
+}
+
+#[test]
+fn decisions_carry_home_shard_provenance() {
+    // Every placement decision records the job's home partition — and the
+    // stamp is identical whether the run was sharded or serial.
+    let cluster = arena::cluster::presets::physical_testbed();
+    let jobs = mixed_trace(8, 100.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let service = PlanService::new(&cluster, CostParams::default(), 17);
+    let obs = Obs::enabled();
+    let plan = ShardPlan::per_pool(&cluster);
+    let r = simulate_sharded_with_faults_traced(
+        &cluster,
+        &jobs,
+        &mut FcfsPolicy::new(),
+        &service,
+        &cfg,
+        &[],
+        &obs,
+        &plan,
+    );
+    let jsonl = r.trace.decisions_jsonl();
+    assert!(!jsonl.is_empty(), "no decisions traced");
+    let stamped = jsonl
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"place\""))
+        .collect::<Vec<_>>();
+    assert!(!stamped.is_empty(), "no placement decisions traced");
+    for line in &stamped {
+        assert!(
+            line.contains("\"shard\":"),
+            "placement decision missing shard provenance: {line}"
+        );
+    }
+}
+
+#[test]
+fn env_plan_respects_arena_shards() {
+    // `ShardPlan::from_env` honours ARENA_SHARDS; the CI matrix drives
+    // the suite through this knob. Set the variable for this process and
+    // confirm the plan picks it up (the test runner may already have it
+    // set — in that case verify consistency instead of overriding).
+    let cluster = arena::cluster::presets::physical_testbed();
+    match std::env::var("ARENA_SHARDS") {
+        Ok(v) => {
+            let want: usize = v.parse().expect("ARENA_SHARDS parses");
+            assert_eq!(ShardPlan::from_env(&cluster).shards(), want.max(1));
+        }
+        Err(_) => {
+            assert_eq!(
+                ShardPlan::from_env(&cluster).shards(),
+                ShardPlan::per_pool(&cluster).partition().partitions()
+            );
+        }
+    }
+}
+
+#[test]
+fn env_shard_count_reproduces_serial() {
+    // Whatever ARENA_SHARDS the CI matrix sets, the env-derived plan
+    // must reproduce the serial engine byte-for-byte.
+    let cluster = arena::cluster::presets::physical_testbed();
+    let jobs = mixed_trace(10, 130.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let serial = serial_fingerprints(&jobs, &[], &cfg);
+    let plan = ShardPlan::from_env(&cluster);
+    let sharded = sharded_fingerprints(&jobs, &[], &cfg, &plan);
+    for (s, ser) in sharded.iter().zip(&serial) {
+        assert_eq!(
+            s,
+            ser,
+            "env-derived plan (shards={}) diverged",
+            plan.shards()
+        );
+    }
+}
