@@ -1,14 +1,21 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and hosts
+//! the resident scheduling daemon.
 //!
 //! ```text
 //! repro [--quick] <experiment>...
 //! repro all            # everything at full scale
 //! repro --quick all    # everything at reduced scale (CI-sized)
 //! repro fig14 fig12    # a subset
+//!
+//! repro serve --stdin                    # daemon over stdin/stdout
+//! repro serve --addr 127.0.0.1:7700      # daemon over TCP
 //! ```
 //!
 //! Each experiment prints its table(s) to stdout and writes the raw data
-//! as JSON under `results/`.
+//! as JSON under `results/`. `repro serve` speaks the newline-delimited
+//! JSON protocol documented in `arena_server::protocol`; see `--help`
+//! via `repro serve --stdin` + `{"cmd":"query","what":"status"}` for a
+//! smoke test, or `examples/server_session.rs` for a full session.
 
 use std::time::Instant;
 
@@ -16,6 +23,8 @@ use arena::experiments::summary_table;
 use arena::experiments::{
     ablations, clustersim, faults, generality, microbench, motivation, observability, tables,
 };
+use arena::server::{serve_lines, spawn_listener, Server, ServerConfig};
+use arena::sim::SimConfig;
 use arena_bench::{slug, write_json, write_text};
 
 const ALL: &[&str] = &[
@@ -47,6 +56,10 @@ const ALL: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
@@ -57,6 +70,85 @@ fn main() {
         run(name, quick);
         eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
+}
+
+/// `repro serve`: runs the resident daemon until a `shutdown` command
+/// arrives (or stdin reaches EOF in `--stdin` mode), then prints a
+/// one-line summary to stderr.
+///
+/// Flags: `--stdin` | `--addr H:P` (default `127.0.0.1:7700`),
+/// `--policy NAME` (default `arena`), `--cluster table1|testbed|tiny`,
+/// `--shards N`, `--workers N`, `--seed N`, `--horizon-s F`,
+/// `--event-log P`, `--decision-log P`, `--resume P`.
+fn serve(args: &[String]) {
+    let mut stdin_mode = false;
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut cfg_policy = "arena".to_string();
+    let mut cluster_name = "testbed".to_string();
+    let mut shards: Option<usize> = None;
+    let mut workers = 1usize;
+    let mut seed = 17u64;
+    let mut horizon_s = 2_592_000.0f64; // 30 days
+    let mut event_log = None;
+    let mut decision_log = None;
+    let mut resume = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {a} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--stdin" => stdin_mode = true,
+            "--addr" => addr = val(),
+            "--policy" => cfg_policy = val(),
+            "--cluster" => cluster_name = val(),
+            "--shards" => shards = Some(val().parse().expect("--shards N")),
+            "--workers" => workers = val().parse().expect("--workers N"),
+            "--seed" => seed = val().parse().expect("--seed N"),
+            "--horizon-s" => horizon_s = val().parse().expect("--horizon-s F"),
+            "--event-log" => event_log = Some(val().into()),
+            "--decision-log" => decision_log = Some(val().into()),
+            "--resume" => resume = Some(val().into()),
+            other => panic!("unknown serve flag '{other}'"),
+        }
+    }
+    let cluster = match cluster_name.as_str() {
+        "table1" => arena::cluster::presets::table1_simulated(),
+        "testbed" => arena::cluster::presets::physical_testbed(),
+        "tiny" => arena::cluster::presets::tiny_a100(2, 4),
+        other => panic!("unknown cluster preset '{other}'"),
+    };
+    let mut cfg = ServerConfig::new(&cfg_policy, cluster, SimConfig::new(horizon_s));
+    cfg.shards = shards;
+    cfg.worker_threads = workers;
+    cfg.seed = seed;
+    cfg.event_log = event_log;
+    cfg.decision_log = decision_log;
+    cfg.resume = resume;
+    let server = Server::start(cfg).expect("server start");
+    let handle = server.handle();
+    if stdin_mode {
+        let stdin = std::io::stdin();
+        serve_lines(&handle, stdin.lock(), std::io::stdout()).expect("serve stdin");
+    } else {
+        let (local, acceptor) = spawn_listener(&handle, &addr).expect("bind");
+        eprintln!("[arena-server listening on {local}]");
+        while !handle.is_shutdown() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let _ = acceptor.join();
+    }
+    let outcome = server.join();
+    eprintln!(
+        "[arena-server stopped: drained={} finished={} dropped={} decisions={} events={}]",
+        outcome.state.drained,
+        outcome.state.finished,
+        outcome.state.dropped,
+        outcome.decisions_jsonl.lines().count(),
+        outcome.event_log.len(),
+    );
 }
 
 #[allow(clippy::too_many_lines)]

@@ -61,6 +61,19 @@ pub enum NodeHealth {
     Draining,
 }
 
+/// One node-health transition applied online — pool/node coordinates
+/// plus the target state. Carried by serving-layer commands and routed
+/// through [`Cluster::apply_health_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthDelta {
+    /// Pool index.
+    pub pool: usize,
+    /// Node index within the pool.
+    pub node: usize,
+    /// Target health state.
+    pub to: NodeHealth,
+}
+
 /// One homogeneous pool: `num_nodes` identical servers of one [`NodeSpec`].
 #[derive(Debug, Clone, Serialize)]
 struct Pool {
@@ -312,6 +325,39 @@ impl Cluster {
     /// for out-of-range indices.
     pub fn drain_node(&mut self, id: GpuTypeId, node: usize) -> Result<(), ClusterError> {
         self.set_health(id, node, NodeHealth::Draining)
+    }
+
+    /// Applies one online health delta — the serving layer's uniform
+    /// entry point for capacity events arriving as commands rather than
+    /// as a pre-validated fault schedule. Idempotent like the individual
+    /// transitions it routes to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPool`] / [`ClusterError::UnknownNode`]
+    /// for out-of-range indices.
+    pub fn apply_health_delta(&mut self, delta: &HealthDelta) -> Result<(), ClusterError> {
+        self.set_health(GpuTypeId(delta.pool), delta.node, delta.to)
+    }
+
+    /// Per-pool node-health census `(healthy, draining, failed)`, in
+    /// pool order — the capacity view a status snapshot publishes.
+    #[must_use]
+    pub fn health_summary(&self) -> Vec<(usize, usize, usize)> {
+        self.pools
+            .iter()
+            .map(|p| {
+                let mut counts = (0, 0, 0);
+                for h in &p.health {
+                    match h {
+                        NodeHealth::Healthy => counts.0 += 1,
+                        NodeHealth::Draining => counts.1 += 1,
+                        NodeHealth::Failed => counts.2 += 1,
+                    }
+                }
+                counts
+            })
+            .collect()
     }
 
     /// Statistics for every pool (O(pools): served from the capacity

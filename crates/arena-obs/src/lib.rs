@@ -477,6 +477,34 @@ impl Obs {
         })
     }
 
+    /// A point-in-time clone of every counter. Cheap relative to
+    /// [`Obs::report`] (no decision/gauge/histogram copies), so a
+    /// serving layer can poll it per query.
+    #[must_use]
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        self.lock()
+            .map_or_else(BTreeMap::new, |g| g.counters.clone())
+    }
+
+    /// Renders the counters in Prometheus-style exposition format, one
+    /// `# TYPE` header + sample per counter, names sanitised to
+    /// `[a-z0-9_]` (dots and dashes become underscores). Deterministic:
+    /// counters render in sorted-name order.
+    #[must_use]
+    pub fn counters_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters_snapshot() {
+            let sanitised: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            out.push_str(&format!(
+                "# TYPE {sanitised} counter\n{sanitised} {value}\n"
+            ));
+        }
+        out
+    }
+
     /// Increments a counter.
     pub fn incr(&self, name: &str, by: u64) {
         if let Some(mut g) = self.lock() {

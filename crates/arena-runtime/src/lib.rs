@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod rcu;
+
+pub use rcu::RcuCell;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -1,0 +1,224 @@
+//! A wait-free single-cell RCU: readers load an `Arc` snapshot without
+//! ever taking a lock; a writer publishes a replacement and defers
+//! reclamation of the old snapshot until no reader can still be touching
+//! it.
+//!
+//! This is the publication primitive behind the arena-server snapshot
+//! hub (DESIGN.md §13): the decision thread `store`s a fresh immutable
+//! snapshot after every burst it processes, and query threads `load`
+//! whatever is current. Readers are wait-free — a `load` is one pin
+//! increment, one pointer read, one `Arc` clone and one pin decrement —
+//! and the writer never blocks on readers; it only *defers* freeing
+//! retired pointers until it observes a quiescent moment.
+//!
+//! # Reclamation argument
+//!
+//! The cell holds a heap pointer to an `Arc<T>` handle. A reader pins
+//! (increments a striped counter), reads the current pointer, clones the
+//! `Arc` behind it, and unpins. The writer swaps in a new pointer,
+//! pushes the old one onto a retire list, and frees the retirees only if
+//! every pin stripe reads zero *after* the swap. All pin and pointer
+//! operations are `SeqCst`, so they form one total order:
+//!
+//! * If the writer sees stripe `s` at zero, every reader pinned on `s`
+//!   at swap time has already unpinned — its `Arc` clone is complete and
+//!   owns its own strong reference, so freeing the retired handle (which
+//!   merely drops one strong reference) cannot invalidate it.
+//! * A reader that pins *after* the writer's zero-check necessarily
+//!   pins after the swap in the total order, so its pointer read sees
+//!   the new pointer (or an even newer one), never a freed retiree.
+//!
+//! If some stripe is non-zero the retiree simply stays on the list; a
+//! later `store` (or `Drop`) reclaims it. With a single writer thread —
+//! the arena-server daemon — the list is effectively bounded by the
+//! number of publishes that race an in-flight read, in practice a
+//! handful of entries.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pin-count stripes; more stripes = less reader contention on the
+/// shared counters. Eight covers typical query-thread counts.
+const PIN_STRIPES: usize = 8;
+
+/// Pads each stripe to its own cache line so pinning readers on
+/// different stripes never false-share.
+#[repr(align(64))]
+struct PadCounter(AtomicUsize);
+
+/// A lock-free snapshot cell: one current value, wait-free `load`,
+/// swap-and-retire `store`.
+pub struct RcuCell<T> {
+    current: AtomicPtr<Arc<T>>,
+    pins: [PadCounter; PIN_STRIPES],
+    /// Pointers removed from `current` but possibly still being read.
+    /// Touched only under the mutex, by writers and `Drop`.
+    retired: Mutex<Vec<*mut Arc<T>>>,
+}
+
+// The raw pointers all target `Box<Arc<T>>` allocations owned by the
+// cell; they are shared across threads only through the protocols above.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+impl<T> RcuCell<T> {
+    /// A cell initially holding `value`.
+    #[must_use]
+    pub fn new(value: Arc<T>) -> Self {
+        RcuCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            pins: std::array::from_fn(|_| PadCounter(AtomicUsize::new(0))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stripe for the calling thread: assigned once per thread from a
+    /// global round-robin counter, so steady reader threads keep
+    /// touching the same cache line.
+    fn stripe() -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % PIN_STRIPES;
+        }
+        STRIPE.with(|s| *s)
+    }
+
+    /// The current snapshot. Wait-free: never blocks, never spins.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        let stripe = &self.pins[Self::stripe()].0;
+        stripe.fetch_add(1, Ordering::SeqCst);
+        // Safety: `current` always points at a live `Box<Arc<T>>`; the
+        // writer cannot free it while our stripe is pinned (see module
+        // docs for the ordering argument).
+        let snapshot = unsafe { (*self.current.load(Ordering::SeqCst)).clone() };
+        stripe.fetch_sub(1, Ordering::SeqCst);
+        snapshot
+    }
+
+    /// Publishes `value` as the new current snapshot and reclaims any
+    /// retired snapshots no reader can still be touching.
+    pub fn store(&self, value: Arc<T>) {
+        let old = self
+            .current
+            .swap(Box::into_raw(Box::new(value)), Ordering::SeqCst);
+        let mut retired = self.retired.lock().expect("rcu retire list poisoned");
+        retired.push(old);
+        // Quiescence check *after* the swap: any reader still pinned may
+        // hold a retiree; any reader pinning later sees the new pointer.
+        if self.pins.iter().all(|p| p.0.load(Ordering::SeqCst) == 0) {
+            for ptr in retired.drain(..) {
+                // Safety: no reader can reach `ptr` any more (argument
+                // in the module docs), and it came from `Box::into_raw`.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+
+    /// Retired snapshots awaiting reclamation (diagnostics/tests).
+    #[must_use]
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().expect("rcu retire list poisoned").len()
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers remain.
+        for ptr in self
+            .retired
+            .get_mut()
+            .expect("rcu retire list poisoned")
+            .drain(..)
+        {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_sees_latest_store() {
+        let cell = RcuCell::new(Arc::new(1_u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        assert_eq!(*cell.load(), 3);
+    }
+
+    /// Counts drops so reclamation (no leak, no double free) is visible.
+    struct Tracked(u64, Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.1.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn quiescent_stores_reclaim_everything() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(Arc::new(Tracked(0, drops.clone())));
+        for i in 1..=100 {
+            cell.store(Arc::new(Tracked(i, drops.clone())));
+        }
+        // No reader held anything, so all but the current value are gone.
+        assert_eq!(drops.load(Ordering::SeqCst), 100);
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(cell.load().0, 100);
+        drop(cell);
+        assert_eq!(drops.load(Ordering::SeqCst), 101);
+    }
+
+    #[test]
+    fn held_snapshot_outlives_store() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(Arc::new(Tracked(0, drops.clone())));
+        let held = cell.load();
+        cell.store(Arc::new(Tracked(1, drops.clone())));
+        // The old snapshot handle was retired and freed (the reader
+        // finished its load), but `held` owns its own strong reference.
+        assert_eq!(held.0, 0);
+        assert_eq!(cell.load().0, 1);
+        drop(held);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_stress() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(RcuCell::new(Arc::new(Tracked(0, drops.clone()))));
+        const STORES: u64 = 2_000;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut last = 0_u64;
+                    let mut reads = 0_u64;
+                    while last < STORES {
+                        let snap = cell.load();
+                        assert!(snap.0 >= last, "snapshot went backwards");
+                        last = snap.0;
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for i in 1..=STORES {
+            cell.store(Arc::new(Tracked(i, drops.clone())));
+        }
+        for r in readers {
+            assert!(r.join().expect("reader panicked") > 0);
+        }
+        let cell = Arc::try_unwrap(cell).unwrap_or_else(|_| panic!("readers done"));
+        drop(cell);
+        // Every snapshot ever created was dropped exactly once.
+        assert_eq!(drops.load(Ordering::SeqCst) as u64, STORES + 1);
+    }
+}

@@ -42,3 +42,28 @@ pub use policy::{
 };
 pub use service::{PlanService, RunPlan};
 pub use solver::ArenaSolverPolicy;
+
+/// Names accepted by [`policy_by_name`], in the canonical comparison
+/// order (the order `repro` experiments and the service suite use).
+pub const POLICY_NAMES: [&str; 5] = ["fcfs", "gandiva", "gavel", "elasticflow", "arena"];
+
+/// Policy selection at startup: maps a lowercase policy name to a boxed
+/// instance, constructed exactly as the comparison experiments construct
+/// it (notably `ElasticFlowPolicy::loosened()` for `elasticflow`).
+/// Returns `None` for unknown names. `worker_threads` pins the Arena
+/// policy's internal worker pool — pass 1 for deterministic services and
+/// suites that must not read `ARENA_WORKER_THREADS` from the ambient
+/// environment.
+#[must_use]
+pub fn policy_by_name(name: &str, worker_threads: usize) -> Option<Box<dyn Policy>> {
+    match name {
+        "fcfs" => Some(Box::new(FcfsPolicy::new())),
+        "gandiva" => Some(Box::new(GandivaPolicy::new())),
+        "gavel" => Some(Box::new(GavelPolicy::new())),
+        "elasticflow" => Some(Box::new(ElasticFlowPolicy::loosened())),
+        "arena" => Some(Box::new(
+            ArenaPolicy::new().with_worker_threads(worker_threads),
+        )),
+        _ => None,
+    }
+}

@@ -1,0 +1,622 @@
+//! The resident daemon: single writer thread that owns the incremental
+//! engine and applies mutating commands, plus the handle other threads
+//! use to reach it.
+//!
+//! Ownership layout: the policy, plan service, observability handle and
+//! engine all live on the daemon thread's stack — [`daemon_main`] builds
+//! them in order and the engine borrows the policy and service for its
+//! whole life, so no self-referential struct is ever needed. Everything
+//! outside the daemon talks to it through a [`ServerHandle`]:
+//!
+//! * **Mutating commands** (`submit`/`fault`/`cancel`/`advance`/`drain`)
+//!   are forwarded over an mpsc channel and applied in arrival order.
+//!   Each accepted command is appended to the event log (replay-based
+//!   recovery) and followed by a fresh snapshot publication.
+//! * **Queries** never touch the channel: [`ServerHandle::handle_line`]
+//!   answers them from the latest [`ServerSnapshot`] via the RCU hub,
+//!   so reads stay wait-free while the decision loop is busy.
+//!
+//! Determinism: applying a `submit` first advances the engine to just
+//! *before* the command's timestamp (`advance_before` stops at the
+//! first burst `te >= s - EPS`, exactly the window in which the batch
+//! loop would consume an arrival at `s`); a `fault` is queued without
+//! advancing, because the batch engines never simulate past the last
+//! arrival's drain and a queued fault is consumed at the right burst by
+//! whichever later input moves the clock. An online run fed the same
+//! trace is therefore byte-identical to `simulate_sharded*` — the
+//! contract pinned by `tests/server_e2e.rs`.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use arena_cluster::Cluster;
+use arena_obs::{Decision, Obs};
+use arena_perf::CostParams;
+use arena_runtime::WorkerPool;
+use arena_sched::{policy_by_name, PlanService};
+use arena_sim::{Engine, EngineState, ShardPlan, SimConfig, SimResult};
+use serde::Value;
+
+use crate::protocol::{err_line, ok_line, parse_command, Command};
+use crate::snapshot::{answer_query, ServerSnapshot, SnapshotHub};
+
+/// How the daemon maps real time onto the engine clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// The clock only moves when a command moves it (`submit`, `fault`,
+    /// `advance`, `drain`). Fully deterministic — the mode every test
+    /// uses.
+    Virtual,
+    /// The clock tracks wall time scaled by `speedup` (engine seconds
+    /// per wall second); the daemon also advances on idle ticks.
+    Wall {
+        /// Engine seconds per elapsed wall second.
+        speedup: f64,
+    },
+}
+
+/// Daemon configuration. `new` picks the defaults used by the test
+/// suites; everything is overridable by struct update.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Policy name (see `arena_sched::POLICY_NAMES`).
+    pub policy: String,
+    /// The cluster to schedule onto.
+    pub cluster: Cluster,
+    /// Simulation constants (round interval, overheads, horizon).
+    pub sim: SimConfig,
+    /// Decision-loop shard count; `None` reads `ARENA_SHARDS` like the
+    /// batch path does.
+    pub shards: Option<usize>,
+    /// Worker threads for the parallel view/estimator paths.
+    pub worker_threads: usize,
+    /// Plan-service RNG seed.
+    pub seed: u64,
+    /// Clock mode.
+    pub clock: ClockMode,
+    /// Append every accepted mutating command line here (the replay
+    /// log). `None` keeps the log in memory only.
+    pub event_log: Option<PathBuf>,
+    /// Write the decision log as JSONL here at shutdown.
+    pub decision_log: Option<PathBuf>,
+    /// Replay this event log before accepting new commands (recovery
+    /// after a restart). A missing file is treated as empty.
+    pub resume: Option<PathBuf>,
+    /// Publish a snapshot every this many bursts while draining.
+    pub publish_every: usize,
+}
+
+impl ServerConfig {
+    /// A deterministic virtual-clock config with the workspace's
+    /// standard seed and no logs on disk.
+    #[must_use]
+    pub fn new(policy: &str, cluster: Cluster, sim: SimConfig) -> Self {
+        ServerConfig {
+            policy: policy.to_string(),
+            cluster,
+            sim,
+            shards: None,
+            worker_threads: 1,
+            seed: 17,
+            clock: ClockMode::Virtual,
+            event_log: None,
+            decision_log: None,
+            resume: None,
+            publish_every: 64,
+        }
+    }
+
+    /// Pins the decision-loop shard count (ignores `ARENA_SHARDS`).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+}
+
+/// What the daemon thread returns when it stops.
+pub struct ServerOutcome {
+    /// The full simulation result, present iff the run drained before
+    /// shutdown (`finish` requires a drained engine).
+    pub result: Option<SimResult>,
+    /// Final engine state at shutdown.
+    pub state: EngineState,
+    /// Every accepted mutating command line, replayed ones included —
+    /// feeding these to a fresh daemon reproduces the run.
+    pub event_log: Vec<String>,
+    /// The decision log as JSON Lines.
+    pub decisions_jsonl: String,
+}
+
+enum Request {
+    Apply {
+        cmd: Command,
+        line: String,
+        reply: Sender<String>,
+    },
+    Shutdown {
+        reply: Sender<String>,
+    },
+}
+
+/// Cloneable handle to a running daemon: forwards mutating commands,
+/// answers queries from the snapshot hub.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: Sender<Request>,
+    hub: Arc<SnapshotHub>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The snapshot hub, for readers that want raw snapshots instead of
+    /// protocol responses.
+    #[must_use]
+    pub fn hub(&self) -> &SnapshotHub {
+        &self.hub
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Processes one protocol line and returns the response line.
+    /// Reject-and-continue: any parse or validation failure produces an
+    /// `ok:false` response and changes nothing.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return err_line("empty line");
+        }
+        match parse_command(trimmed) {
+            Err(e) => err_line(&e),
+            Ok(Command::Query(q)) => answer_query(&q, &self.hub.load()),
+            Ok(Command::Shutdown) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let (reply, rx) = mpsc::channel();
+                match self.tx.send(Request::Shutdown { reply }) {
+                    Ok(()) => rx.recv().unwrap_or_else(|_| {
+                        ok_line(vec![("stopping".to_string(), Value::Bool(true))])
+                    }),
+                    Err(_) => ok_line(vec![("stopping".to_string(), Value::Bool(true))]),
+                }
+            }
+            Ok(cmd) => {
+                let (reply, rx) = mpsc::channel();
+                let sent = self.tx.send(Request::Apply {
+                    cmd,
+                    line: trimmed.to_string(),
+                    reply,
+                });
+                match sent {
+                    Ok(()) => rx
+                        .recv()
+                        .unwrap_or_else(|_| err_line("daemon stopped before replying")),
+                    Err(_) => err_line("daemon is not running"),
+                }
+            }
+        }
+    }
+}
+
+/// A running daemon plus its join handle.
+pub struct Server {
+    handle: ServerHandle,
+    daemon: Option<JoinHandle<ServerOutcome>>,
+}
+
+impl Server {
+    /// Validates the config and spawns the daemon thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the policy name is unknown or
+    /// `publish_every` is zero.
+    pub fn start(cfg: ServerConfig) -> Result<Server, String> {
+        if policy_by_name(&cfg.policy, cfg.worker_threads).is_none() {
+            return Err(format!(
+                "unknown policy `{}` (expected one of {:?})",
+                cfg.policy,
+                arena_sched::POLICY_NAMES
+            ));
+        }
+        if cfg.publish_every == 0 {
+            return Err("publish_every must be at least 1".to_string());
+        }
+        let (tx, rx) = mpsc::channel();
+        let hub = Arc::new(SnapshotHub::new(ServerSnapshot {
+            seq: 0,
+            policy: cfg.policy.clone(),
+            shards: 0,
+            state: empty_state(),
+            counters: BTreeMap::new(),
+            decisions: Vec::new(),
+        }));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = ServerHandle {
+            tx,
+            hub: Arc::clone(&hub),
+            shutdown: Arc::clone(&shutdown),
+        };
+        let daemon = std::thread::Builder::new()
+            .name("arena-daemon".to_string())
+            .spawn(move || daemon_main(cfg, rx, &hub, &shutdown))
+            .map_err(|e| format!("failed to spawn daemon thread: {e}"))?;
+        // Wait for the daemon's first publication (which happens after
+        // any resume-log replay) so a caller never observes the seq-0
+        // placeholder: `start` returning means the server is ready.
+        while handle.hub.load().seq == 0 {
+            if daemon.is_finished() {
+                return Err("daemon exited before publishing a snapshot".to_string());
+            }
+            std::thread::yield_now();
+        }
+        Ok(Server {
+            handle,
+            daemon: Some(daemon),
+        })
+    }
+
+    /// A cloneable handle to the daemon.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Requests shutdown (if not already requested) and waits for the
+    /// daemon to flush and stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked.
+    #[must_use]
+    pub fn join(mut self) -> ServerOutcome {
+        if !self.handle.is_shutdown() {
+            let _ = self.handle.handle_line("{\"cmd\":\"shutdown\"}");
+        }
+        self.daemon
+            .take()
+            .expect("daemon already joined")
+            .join()
+            .expect("daemon thread panicked")
+    }
+}
+
+fn empty_state() -> EngineState {
+    EngineState {
+        now_s: 0.0,
+        submitted: 0,
+        pending: 0,
+        queued: 0,
+        starting: 0,
+        running: 0,
+        finished: 0,
+        dropped: 0,
+        input_closed: false,
+        drained: false,
+        pools: Vec::new(),
+        jobs: Vec::new(),
+    }
+}
+
+/// Incremental mirror of the observability decision log as immutable
+/// chunks, so snapshot publication cost tracks *new* decisions only.
+struct DecisionMirror {
+    chunks: Vec<Arc<Vec<Decision>>>,
+    total: usize,
+}
+
+impl DecisionMirror {
+    fn new() -> Self {
+        DecisionMirror {
+            chunks: Vec::new(),
+            total: 0,
+        }
+    }
+
+    fn refresh(&mut self, obs: &Obs) {
+        let fresh = obs.decisions_after(self.total);
+        if !fresh.is_empty() {
+            self.total += fresh.len();
+            self.chunks.push(Arc::new(fresh));
+        }
+    }
+}
+
+struct EventLog {
+    lines: Vec<String>,
+    file: Option<std::fs::File>,
+}
+
+impl EventLog {
+    fn open(path: Option<&PathBuf>) -> Result<Self, String> {
+        let file = match path {
+            Some(p) => Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .map_err(|e| format!("cannot open event log {}: {e}", p.display()))?,
+            ),
+            None => None,
+        };
+        Ok(EventLog {
+            lines: Vec::new(),
+            file,
+        })
+    }
+
+    /// Records a replayed line in memory without re-appending it to the
+    /// on-disk log (it is already there).
+    fn record_replayed(&mut self, line: &str) {
+        self.lines.push(line.to_string());
+    }
+
+    fn append(&mut self, line: &str) {
+        self.lines.push(line.to_string());
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+}
+
+fn daemon_main(
+    cfg: ServerConfig,
+    rx: Receiver<Request>,
+    hub: &SnapshotHub,
+    shutdown: &AtomicBool,
+) -> ServerOutcome {
+    let mut policy =
+        policy_by_name(&cfg.policy, cfg.worker_threads).expect("policy validated in Server::start");
+    let service = PlanService::new(&cfg.cluster, CostParams::default(), cfg.seed);
+    let obs = Obs::enabled();
+    let plan = match cfg.shards {
+        Some(n) => ShardPlan::per_pool(&cfg.cluster)
+            .with_shards(n)
+            .with_workers(WorkerPool::new(cfg.worker_threads)),
+        None => ShardPlan::from_env(&cfg.cluster),
+    };
+    let shards = plan.shards();
+    let mut engine = Engine::new(
+        &cfg.cluster,
+        policy.as_mut(),
+        &service,
+        &cfg.sim,
+        &obs,
+        &plan,
+    );
+
+    let mut mirror = DecisionMirror::new();
+    let mut log = EventLog::open(cfg.event_log.as_ref()).unwrap_or_else(|e| {
+        // Reported through the first snapshot's state being empty is
+        // useless; fail loudly instead — a daemon that silently drops
+        // its replay log is worse than one that refuses to start.
+        panic!("{e}");
+    });
+    let mut seq: u64 = 0;
+
+    // Recovery: replay the prior run's accepted command stream.
+    if let Some(path) = &cfg.resume {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                // Tolerate a truncated trailing line or stray garbage:
+                // skip anything unparseable and keep replaying.
+                let Ok(cmd) = parse_command(trimmed) else {
+                    continue;
+                };
+                if !cmd.is_mutating() {
+                    continue;
+                }
+                if apply(
+                    &mut engine,
+                    &cfg,
+                    &cmd,
+                    hub,
+                    &mut mirror,
+                    &obs,
+                    &mut seq,
+                    shards,
+                )
+                .is_ok()
+                {
+                    log.record_replayed(trimmed);
+                }
+            }
+        }
+    }
+
+    seq += 1;
+    publish(hub, &engine, &obs, &mut mirror, seq, &cfg.policy, shards);
+
+    let origin = Instant::now();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Request::Apply { cmd, line, reply }) => {
+                if let ClockMode::Wall { speedup } = cfg.clock {
+                    engine.advance_before(origin.elapsed().as_secs_f64() * speedup);
+                }
+                match apply(
+                    &mut engine,
+                    &cfg,
+                    &cmd,
+                    hub,
+                    &mut mirror,
+                    &obs,
+                    &mut seq,
+                    shards,
+                ) {
+                    Ok(extra) => {
+                        log.append(&line);
+                        seq += 1;
+                        publish(hub, &engine, &obs, &mut mirror, seq, &cfg.policy, shards);
+                        let _ = reply.send(ok_line(extra));
+                    }
+                    Err(e) => {
+                        let _ = reply.send(err_line(&e));
+                    }
+                }
+            }
+            Ok(Request::Shutdown { reply }) => {
+                let _ = reply.send(ok_line(vec![("stopping".to_string(), Value::Bool(true))]));
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let ClockMode::Wall { speedup } = cfg.clock {
+                    engine.advance_before(origin.elapsed().as_secs_f64() * speedup);
+                    seq += 1;
+                    publish(hub, &engine, &obs, &mut mirror, seq, &cfg.policy, shards);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shutdown.store(true, Ordering::SeqCst);
+
+    // Final snapshot so late readers observe the terminal state.
+    seq += 1;
+    publish(hub, &engine, &obs, &mut mirror, seq, &cfg.policy, shards);
+
+    let state = engine.state();
+    let drained = engine.drained();
+    let result = drained.then(|| engine.finish());
+    let decisions_jsonl = result.as_ref().map_or_else(
+        || obs.report().decisions_jsonl(),
+        |r| r.trace.decisions_jsonl(),
+    );
+    if let Some(path) = &cfg.decision_log {
+        let _ = std::fs::write(path, &decisions_jsonl);
+    }
+    ServerOutcome {
+        result,
+        state,
+        event_log: log.lines,
+        decisions_jsonl,
+    }
+}
+
+/// Applies one mutating command. On `Err` the engine is untouched
+/// (validation happens before any state change).
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    engine: &mut Engine<'_>,
+    cfg: &ServerConfig,
+    cmd: &Command,
+    hub: &SnapshotHub,
+    mirror: &mut DecisionMirror,
+    obs: &Obs,
+    seq: &mut u64,
+    shards: usize,
+) -> Result<Vec<(String, Value)>, String> {
+    match cmd {
+        Command::Submit(spec) => {
+            if spec.submit_s.is_finite() {
+                engine.advance_before(spec.submit_s);
+            }
+            engine
+                .submit(spec.clone())
+                .map_err(|e| e.to_string())
+                .map(|()| {
+                    vec![
+                        ("job".to_string(), Value::U64(spec.id)),
+                        ("now_s".to_string(), Value::F64(engine.now())),
+                    ]
+                })
+        }
+        Command::Fault(fault) => {
+            // Queue without advancing. The batch engines stop at the
+            // first idle point after the arrival stream is exhausted and
+            // never simulate trailing faults; advancing here would burst
+            // through round ticks the batch run does not have. A queued
+            // fault is a next-event candidate, so whichever later input
+            // (submit, advance, drain) moves the clock past `time_s`
+            // consumes it in exactly the burst the batch run would.
+            engine
+                .inject_fault(fault.clone())
+                .map_err(|e| e.to_string())
+                .map(|()| vec![("now_s".to_string(), Value::F64(engine.now()))])
+        }
+        Command::Cancel { time_s, job } => {
+            if !time_s.is_finite() {
+                return Err(format!("non-finite cancel time {time_s}"));
+            }
+            engine.advance_before(*time_s);
+            engine.drop_job(*job).map_err(|e| e.to_string()).map(|()| {
+                vec![
+                    ("job".to_string(), Value::U64(*job)),
+                    ("now_s".to_string(), Value::F64(engine.now())),
+                ]
+            })
+        }
+        Command::Advance { to_s } => {
+            if !to_s.is_finite() {
+                return Err(format!("non-finite advance target {to_s}"));
+            }
+            engine.advance_before(*to_s);
+            Ok(vec![("now_s".to_string(), Value::F64(engine.now()))])
+        }
+        Command::Drain => {
+            engine.close_input();
+            // Run to completion, republishing periodically so query
+            // threads watch the drain progress.
+            loop {
+                let mut progressed = false;
+                for _ in 0..cfg.publish_every {
+                    if !engine.step() {
+                        break;
+                    }
+                    progressed = true;
+                }
+                *seq += 1;
+                publish(hub, engine, obs, mirror, *seq, &cfg.policy, shards);
+                if !progressed || engine.drained() {
+                    break;
+                }
+            }
+            Ok(vec![
+                ("drained".to_string(), Value::Bool(engine.drained())),
+                ("now_s".to_string(), Value::F64(engine.now())),
+            ])
+        }
+        Command::Query(_) | Command::Shutdown => {
+            Err("internal: non-mutating command routed to daemon".to_string())
+        }
+    }
+}
+
+fn publish(
+    hub: &SnapshotHub,
+    engine: &Engine<'_>,
+    obs: &Obs,
+    mirror: &mut DecisionMirror,
+    seq: u64,
+    policy: &str,
+    shards: usize,
+) {
+    mirror.refresh(obs);
+    hub.publish(ServerSnapshot {
+        seq,
+        policy: policy.to_string(),
+        shards,
+        state: engine.state(),
+        counters: obs.counters_snapshot(),
+        decisions: mirror.chunks.clone(),
+    });
+}

@@ -1,0 +1,45 @@
+//! Resident scheduling daemon for the Arena reproduction.
+//!
+//! Where the batch entry points (`simulate_sharded*`) consume a whole
+//! trace and return a [`arena_sim::SimResult`], this crate keeps the
+//! incremental engine *resident*: a single daemon thread owns the
+//! decision loop and applies newline-delimited JSON commands — job
+//! submissions, node-health events, cancellations, clock advances —
+//! as they arrive over TCP or stdin. Reads never wait on the writer:
+//! after every applied command the daemon publishes an immutable
+//! [`ServerSnapshot`] through an RCU cell
+//! ([`arena_runtime::RcuCell`]), and query threads answer
+//! status/queue/job/cluster/decision-log/metrics requests from the
+//! latest snapshot wait-free.
+//!
+//! The load-bearing property is **online/batch equivalence**: feeding
+//! a trace to the daemon one command at a time, in any interleaving
+//! with queries, then draining, produces byte-identical output
+//! (records, timelines, decision JSONL, metrics) to handing the whole
+//! trace to `simulate_sharded_with_faults_traced`. `tests/server_e2e.rs`
+//! pins this for every policy, with and without fault injection, and
+//! the restart suite pins that replaying the daemon's event log
+//! reproduces the same bytes after a mid-trace shutdown.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — command/query grammar, parsing, response builders.
+//! * [`snapshot`] — [`ServerSnapshot`], the [`SnapshotHub`] RCU
+//!   publication point, and query answering.
+//! * [`daemon`] — the writer thread, event-log recovery, lifecycle.
+//! * [`net`] — TCP listener and stdin line loop.
+//! * [`client`] — a small blocking client for tests and examples.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod net;
+pub mod protocol;
+pub mod snapshot;
+
+pub use client::Client;
+pub use daemon::{ClockMode, Server, ServerConfig, ServerHandle, ServerOutcome};
+pub use net::{serve_lines, spawn_listener};
+pub use protocol::{parse_command, Command, Query};
+pub use snapshot::{answer_query, ServerSnapshot, SnapshotHub};

@@ -1,0 +1,94 @@
+//! Transport layer: the TCP listener and the `--stdin` line loop.
+//!
+//! Both transports are thin: read a line, hand it to
+//! [`ServerHandle::handle_line`], write the response line back. Queries
+//! are answered inside `handle_line` from the snapshot hub without ever
+//! reaching the daemon thread, so a slow drain never stalls a reader.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::daemon::ServerHandle;
+
+/// Serves the protocol over a `BufRead`/`Write` pair — the `repro serve
+/// --stdin` mode and the in-process harness the fuzz suite drives.
+/// Returns after EOF or once shutdown has been requested.
+///
+/// # Errors
+///
+/// Propagates write errors on `output`; read errors end the loop
+/// silently (a closed pipe is a normal way for a session to end).
+pub fn serve_lines<R: BufRead, W: Write>(
+    handle: &ServerHandle,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        let response = handle.handle_line(&line);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if handle.is_shutdown() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Binds a TCP listener on `addr` (use port 0 for an ephemeral port)
+/// and returns the bound address plus the acceptor thread's handle.
+/// The acceptor polls the shutdown flag between accepts and exits on
+/// its own once shutdown is requested; each connection gets a thread
+/// running the same line loop as [`serve_lines`].
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn spawn_listener(
+    handle: &ServerHandle,
+    addr: &str,
+) -> std::io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = handle.clone();
+    let acceptor = std::thread::Builder::new()
+        .name("arena-acceptor".to_string())
+        .spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if handle.is_shutdown() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let h = handle.clone();
+                        if let Ok(t) = std::thread::Builder::new()
+                            .name("arena-conn".to_string())
+                            .spawn(move || serve_conn(&h, stream))
+                        {
+                            conns.push(t);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for t in conns {
+                let _ = t.join();
+            }
+        })?;
+    Ok((local, acceptor))
+}
+
+fn serve_conn(handle: &ServerHandle, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    let _ = serve_lines(handle, reader, write_half);
+}

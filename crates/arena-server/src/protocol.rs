@@ -1,0 +1,299 @@
+//! The newline-delimited JSON command protocol.
+//!
+//! One command per line, one response line per command. Every command is
+//! an object with a `cmd` discriminator:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `{"cmd":"submit","job":{…JobSpec…}}` | queue a job submission (timestamp = `job.submit_s`) |
+//! | `{"cmd":"fault","time_s":T,"pool":P,"node":N,"kind":"failure"\|"repair"}` | node-health event |
+//! | `{"cmd":"cancel","time_s":T,"job":ID}` | operator-initiated completion of a job |
+//! | `{"cmd":"advance","to_s":T}` | advance the virtual clock: run every burst strictly before `T` |
+//! | `{"cmd":"drain"}` | close the input stream and run the decision loop to completion |
+//! | `{"cmd":"query","what":…}` | read-only query served from the latest snapshot |
+//! | `{"cmd":"shutdown"}` | flush logs and stop the daemon |
+//!
+//! Query `what` values: `"status"`, `"jobs"`, `"queue"`, `"cluster"`,
+//! `"metrics"`, `"job"` (with `"id":ID`), `"decisions"` (with optional
+//! `"from":N`).
+//!
+//! Responses are JSON objects with an `ok` boolean; failures carry an
+//! `error` string. Parsing is **reject-and-continue**: a malformed line
+//! produces an error response and leaves the daemon state untouched.
+
+use arena_trace::{FaultEvent, FaultKind, JobSpec};
+use serde::{Deserialize, Value};
+
+/// A read-only query, answered from the current snapshot without
+/// touching the decision thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Scalar run status: clock, counts, drain state.
+    Status,
+    /// Every job's status record.
+    Jobs,
+    /// One job's status record.
+    Job(u64),
+    /// Queued jobs only (ascending submission order).
+    Queue,
+    /// Per-pool capacity books.
+    Cluster,
+    /// Decision log entries from sequence `from` on, as JSONL.
+    Decisions {
+        /// First decision sequence number to include.
+        from: usize,
+    },
+    /// Counters in Prometheus-style exposition text.
+    Metrics,
+}
+
+/// One parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Queue a job submission.
+    Submit(JobSpec),
+    /// Queue a node-health event.
+    Fault(FaultEvent),
+    /// Cancel a job at a point in virtual time.
+    Cancel {
+        /// When the cancellation takes effect.
+        time_s: f64,
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Advance the virtual clock.
+    Advance {
+        /// Run every burst strictly earlier than this instant.
+        to_s: f64,
+    },
+    /// Close the input stream and drain the run to completion.
+    Drain,
+    /// A read-only snapshot query.
+    Query(Query),
+    /// Stop the daemon.
+    Shutdown,
+}
+
+impl Command {
+    /// Whether the command mutates engine state — exactly the commands
+    /// the daemon appends to its event log for replay-based recovery.
+    #[must_use]
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Command::Submit(_)
+                | Command::Fault(_)
+                | Command::Cancel { .. }
+                | Command::Advance { .. }
+                | Command::Drain
+        )
+    }
+}
+
+fn get_f64(v: &Value, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .ok_or_else(|| format!("missing field `{name}`"))
+        .and_then(|f| f64::from_value(f).map_err(|e| e.to_string()))
+}
+
+fn get_u64(v: &Value, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .ok_or_else(|| format!("missing field `{name}`"))
+        .and_then(|f| u64::from_value(f).map_err(|e| e.to_string()))
+}
+
+fn get_str<'a>(v: &'a Value, name: &str) -> Result<&'a str, String> {
+    match v.get(name) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field `{name}` is not a string")),
+        None => Err(format!("missing field `{name}`")),
+    }
+}
+
+/// Parses one command line. Unknown `cmd`/`what`/`kind` discriminators,
+/// missing fields and malformed JSON are all `Err` — the caller responds
+/// with the message and continues.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("command must be a JSON object".to_string());
+    }
+    let cmd = get_str(&v, "cmd")?;
+    match cmd {
+        "submit" => {
+            let job = v.get("job").ok_or("missing field `job`")?;
+            let spec = JobSpec::from_value(job).map_err(|e| format!("bad job spec: {e}"))?;
+            Ok(Command::Submit(spec))
+        }
+        "fault" => {
+            let kind = match get_str(&v, "kind")? {
+                "failure" | "Failure" => FaultKind::Failure,
+                "repair" | "Repair" => FaultKind::Repair,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            Ok(Command::Fault(FaultEvent {
+                time_s: get_f64(&v, "time_s")?,
+                pool: usize::try_from(get_u64(&v, "pool")?)
+                    .map_err(|_| "pool out of range".to_string())?,
+                node: usize::try_from(get_u64(&v, "node")?)
+                    .map_err(|_| "node out of range".to_string())?,
+                kind,
+            }))
+        }
+        "cancel" => Ok(Command::Cancel {
+            time_s: get_f64(&v, "time_s")?,
+            job: get_u64(&v, "job")?,
+        }),
+        "advance" => Ok(Command::Advance {
+            to_s: get_f64(&v, "to_s")?,
+        }),
+        "drain" => Ok(Command::Drain),
+        "query" => {
+            let what = get_str(&v, "what")?;
+            let q = match what {
+                "status" => Query::Status,
+                "jobs" => Query::Jobs,
+                "queue" => Query::Queue,
+                "cluster" => Query::Cluster,
+                "metrics" => Query::Metrics,
+                "job" => Query::Job(get_u64(&v, "id")?),
+                "decisions" => Query::Decisions {
+                    from: v.get("from").map_or(Ok(0), |f| {
+                        u64::from_value(f).map_err(|e| e.to_string()).and_then(|n| {
+                            usize::try_from(n).map_err(|_| "from out of range".to_string())
+                        })
+                    })?,
+                },
+                other => return Err(format!("unknown query `{other}`")),
+            };
+            Ok(Command::Query(q))
+        }
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Renders a job-submission command line for `spec` — the inverse of
+/// [`parse_command`] for the `submit` shape (client/test helper).
+#[must_use]
+pub fn submit_line(spec: &JobSpec) -> String {
+    let job = serde_json::to_string(spec).expect("job spec serialises");
+    format!("{{\"cmd\":\"submit\",\"job\":{job}}}")
+}
+
+/// Renders a fault command line (client/test helper).
+#[must_use]
+pub fn fault_line(fault: &FaultEvent) -> String {
+    let kind = match fault.kind {
+        FaultKind::Failure => "failure",
+        FaultKind::Repair => "repair",
+    };
+    format!(
+        "{{\"cmd\":\"fault\",\"time_s\":{},\"pool\":{},\"node\":{},\"kind\":\"{kind}\"}}",
+        serde_json::to_string(&fault.time_s).expect("f64 serialises"),
+        fault.pool,
+        fault.node
+    )
+}
+
+/// A successful response line with extra fields.
+#[must_use]
+pub fn ok_line(extra: Vec<(String, Value)>) -> String {
+    let mut fields = vec![("ok".to_string(), Value::Bool(true))];
+    fields.extend(extra);
+    serde_json::to_string(&Value::Object(fields)).expect("response serialises")
+}
+
+/// An error response line. The daemon state is unchanged whenever a
+/// client sees one of these.
+#[must_use]
+pub fn err_line(msg: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(msg.to_string())),
+    ]))
+    .expect("response serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arena_model::{ModelConfig, ModelFamily};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 7,
+            name: "j7".to_string(),
+            submit_s: 120.0,
+            model: ModelConfig::new(ModelFamily::Bert, 0.76, 256),
+            iterations: 300,
+            requested_gpus: 4,
+            requested_pool: 1,
+            deadline_s: None,
+        }
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let line = submit_line(&spec());
+        match parse_command(&line) {
+            Ok(Command::Submit(s)) => {
+                assert_eq!(s.id, 7);
+                assert_eq!(s.requested_gpus, 4);
+                assert_eq!(s.submit_s, 120.0);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_round_trips() {
+        let f = FaultEvent {
+            time_s: 9_000.0,
+            pool: 1,
+            node: 3,
+            kind: FaultKind::Failure,
+        };
+        assert_eq!(parse_command(&fault_line(&f)), Ok(Command::Fault(f)));
+    }
+
+    #[test]
+    fn malformed_lines_reject_with_messages() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"cmd\":\"warp\"}",
+            "{\"cmd\":\"submit\"}",
+            "{\"cmd\":\"fault\",\"time_s\":1.0,\"pool\":0,\"node\":0,\"kind\":\"melt\"}",
+            "{\"cmd\":\"query\",\"what\":\"vibes\"}",
+            "{\"cmd\":\"advance\"}",
+        ] {
+            assert!(parse_command(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn queries_parse() {
+        assert_eq!(
+            parse_command("{\"cmd\":\"query\",\"what\":\"status\"}"),
+            Ok(Command::Query(Query::Status))
+        );
+        assert_eq!(
+            parse_command("{\"cmd\":\"query\",\"what\":\"job\",\"id\":3}"),
+            Ok(Command::Query(Query::Job(3)))
+        );
+        assert_eq!(
+            parse_command("{\"cmd\":\"query\",\"what\":\"decisions\"}"),
+            Ok(Command::Query(Query::Decisions { from: 0 }))
+        );
+        assert_eq!(
+            parse_command("{\"cmd\":\"query\",\"what\":\"decisions\",\"from\":12}"),
+            Ok(Command::Query(Query::Decisions { from: 12 }))
+        );
+    }
+}

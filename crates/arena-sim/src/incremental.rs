@@ -1,0 +1,1320 @@
+//! The incremental engine: the sharded decision loop of
+//! [`crate::shard`], refactored from a run-to-completion function into a
+//! stepwise API that a resident daemon can drive.
+//!
+//! [`Engine`] owns the whole simulation state — job table, per-shard
+//! event heaps and membership indexes, cluster books, fault log,
+//! timelines — and exposes the event loop one *burst* at a time. Inputs
+//! (job submissions, fault events) arrive through [`Engine::submit`] /
+//! [`Engine::inject_fault`] at any point; [`Engine::advance_before`]
+//! processes every burst strictly earlier than a given instant so a
+//! caller replaying a timestamped command stream can interleave
+//! injection and advancement; [`Engine::close_input`] +
+//! [`Engine::run_to_end`] drain the remainder exactly like the batch
+//! loop; [`Engine::finish`] folds the tail (conformance asserts, fault
+//! log close-out, metric aggregation) into a [`SimResult`].
+//!
+//! **Equivalence contract.** Feeding a sorted trace through
+//! `submit`/`inject_fault` in any interleaving consistent with
+//! `advance_before(event time)` — including all-up-front, which is
+//! literally what [`crate::simulate_sharded_with_faults_traced`] now
+//! does — produces byte-identical output to the historical batch loop.
+//! The argument is the burst-window lemma: a batch burst at time `te`
+//! consumes an arrival at `s` iff `s <= te + EPS`, i.e. `te >= s - EPS`;
+//! `advance_before(s)` stops at exactly the first burst with
+//! `te >= s - EPS`, so every burst it runs could not have seen the
+//! arrival, and the first burst that could runs after injection.
+//! `tests/server_e2e.rs` pins this across the batch/online boundary for
+//! all five policies, with and without faults.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use arena_cluster::{Cluster, GpuTypeId};
+use arena_estimator::Interner;
+use arena_obs::{Decision, JobEventKind, Obs, StopCause};
+use arena_runtime::merge_by_index;
+use arena_sched::PlanService;
+use arena_sched::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView, ShardQueue};
+use arena_trace::{FaultEvent, FaultKind, JobSpec};
+
+use crate::engine::{job_view, EventIndex, JState, SJob, SimConfig, SimResult, EPS};
+use crate::metrics::{aggregate, FaultLog, JobRecord};
+use crate::shard::ShardPlan;
+use serde::Serialize;
+
+/// Below this many live jobs, per-shard view fragments are built inline:
+/// a view build is an `Arc` bump plus a few scalar copies, so spawning
+/// scoped workers (~tens of µs) only pays off for very deep queues. Both
+/// paths produce identical fragments, so the cutoff is invisible in
+/// output.
+const PARALLEL_VIEW_CUTOFF: usize = 4096;
+
+/// Why the engine refused an input. Rejection happens *before* the input
+/// touches any engine state, so a caller can drop the bad input and keep
+/// going — the server's reject-and-continue contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputError {
+    /// Input stream already closed via [`Engine::close_input`].
+    InputClosed,
+    /// The timestamp is NaN or infinite.
+    NonFiniteTime(f64),
+    /// Submissions must be non-decreasing in `submit_s`.
+    UnsortedSubmission {
+        /// Watermark of the latest accepted submission.
+        last_s: f64,
+        /// The offending submission time.
+        got_s: f64,
+    },
+    /// Fault events must be non-decreasing in `time_s`.
+    UnsortedFault {
+        /// Watermark of the latest accepted fault.
+        last_s: f64,
+        /// The offending fault time.
+        got_s: f64,
+    },
+    /// The input is timestamped earlier than the engine clock: the
+    /// burst that would consume it has already run.
+    TimeRegression {
+        /// Current engine clock.
+        now_s: f64,
+        /// The offending timestamp.
+        got_s: f64,
+    },
+    /// A job with this id was already accepted.
+    DuplicateJobId(u64),
+    /// The fault names a pool/node the cluster does not have.
+    NoSuchNode {
+        /// Pool index from the fault event.
+        pool: usize,
+        /// Node index from the fault event.
+        node: usize,
+    },
+    /// [`Engine::drop_job`] named a job the engine has never seen.
+    UnknownJob(u64),
+}
+
+impl std::fmt::Display for InputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputError::InputClosed => write!(f, "input stream is closed"),
+            InputError::NonFiniteTime(t) => write!(f, "non-finite timestamp {t}"),
+            InputError::UnsortedSubmission { last_s, got_s } => {
+                write!(f, "submission at {got_s}s after watermark {last_s}s")
+            }
+            InputError::UnsortedFault { last_s, got_s } => {
+                write!(f, "fault at {got_s}s after watermark {last_s}s")
+            }
+            InputError::TimeRegression { now_s, got_s } => {
+                write!(f, "input at {got_s}s but engine clock is {now_s}s")
+            }
+            InputError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+            InputError::NoSuchNode { pool, node } => {
+                write!(f, "no node {node} in pool {pool}")
+            }
+            InputError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// A job's lifecycle phase as exposed in [`EngineState`] snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobPhase {
+    /// Accepted but not yet due (submit time in the engine's future).
+    Pending,
+    /// Waiting in the scheduler queue.
+    Queued,
+    /// Holds GPUs, paying restart/profile overhead before running.
+    Starting,
+    /// Making progress.
+    Running,
+    /// Completed all iterations.
+    Finished,
+    /// Rejected or cancelled.
+    Dropped,
+}
+
+impl JobPhase {
+    /// Stable lowercase label (used by the server's JSON encoding).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Pending => "pending",
+            JobPhase::Queued => "queued",
+            JobPhase::Starting => "starting",
+            JobPhase::Running => "running",
+            JobPhase::Finished => "finished",
+            JobPhase::Dropped => "dropped",
+        }
+    }
+}
+
+/// One job's externally-visible status inside an [`EngineState`].
+#[derive(Debug, Clone, Serialize)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Pool holding the job's GPUs (meaningful while Starting/Running).
+    pub pool: usize,
+    /// GPUs currently held (0 unless Starting/Running).
+    pub gpus: usize,
+    /// Restart count so far.
+    pub restarts: u32,
+    /// Submission time, seconds.
+    pub submit_s: f64,
+    /// First progress time, if any.
+    pub start_s: Option<f64>,
+    /// Completion time, if any.
+    pub finish_s: Option<f64>,
+    /// Iterations still to run.
+    pub remaining_iters: f64,
+}
+
+/// Per-pool capacity books inside an [`EngineState`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PoolSnapshot {
+    /// Pool index.
+    pub pool: usize,
+    /// Nameplate GPUs.
+    pub total_gpus: usize,
+    /// GPUs free on healthy nodes.
+    pub free_gpus: usize,
+    /// GPUs allocated to jobs.
+    pub used_gpus: usize,
+    /// GPUs on failed nodes.
+    pub failed_gpus: usize,
+}
+
+/// An immutable, internally-consistent view of the engine between two
+/// bursts — what the server publishes through its snapshot hub. Built by
+/// the single writer thread, so every count is taken from the same
+/// instant; the conservation invariants (`submitted` equals the sum of
+/// the six phase counts, per-pool `free + used + failed == total`, and
+/// `used == Σ gpus` over jobs holding GPUs) hold by construction and
+/// are pinned by the concurrent-reader suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineState {
+    /// Engine clock, seconds.
+    pub now_s: f64,
+    /// Jobs accepted (arrived or still pending).
+    pub submitted: usize,
+    /// Jobs accepted but not yet due.
+    pub pending: usize,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs holding GPUs but not yet running.
+    pub starting: usize,
+    /// Jobs making progress.
+    pub running: usize,
+    /// Jobs completed.
+    pub finished: usize,
+    /// Jobs dropped or cancelled.
+    pub dropped: usize,
+    /// Whether the input stream is closed.
+    pub input_closed: bool,
+    /// Whether the run has fully drained (no further bursts possible).
+    pub drained: bool,
+    /// Per-pool capacity books.
+    pub pools: Vec<PoolSnapshot>,
+    /// Per-job statuses, ascending submission order (arrived jobs
+    /// first, then pending ones).
+    pub jobs: Vec<JobStatus>,
+}
+
+/// The incremental sharded engine. See the module docs for the API
+/// shape and the equivalence contract with the batch loop.
+pub struct Engine<'a> {
+    cluster: Cluster,
+    cfg: SimConfig,
+    plan: ShardPlan,
+    obs: Obs,
+    policy: &'a mut dyn Policy,
+    service: &'a PlanService,
+    sjobs: Vec<SJob>,
+    id_of: HashMap<u64, usize>,
+    seen_ids: HashSet<u64>,
+    // One event heap + membership index per executor shard; a job lives
+    // in the index of its home shard for its whole lifetime.
+    indexes: Vec<EventIndex>,
+    home_of: Vec<usize>,
+    due: Vec<usize>,
+    interner: Interner,
+    acquired: HashSet<(u32, usize, usize, usize)>,
+    t: f64,
+    flog: FaultLog,
+    next_round: f64,
+    timeline: Vec<(f64, f64)>,
+    raw_timeline: Vec<(f64, f64)>,
+    decisions: Vec<f64>,
+    pending_jobs: VecDeque<JobSpec>,
+    pending_faults: VecDeque<FaultEvent>,
+    last_submit_s: f64,
+    last_fault_s: f64,
+    input_open: bool,
+    stopped: bool,
+    cluster_gpu_capacity: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// A fresh engine over a cluster, ready to accept inputs at `t = 0`.
+    #[must_use]
+    pub fn new(
+        cluster: &Cluster,
+        policy: &'a mut dyn Policy,
+        service: &'a PlanService,
+        cfg: &SimConfig,
+        obs: &Obs,
+        plan: &ShardPlan,
+    ) -> Self {
+        if obs.is_enabled() {
+            let nodes: Vec<(usize, usize, usize)> = cluster
+                .pool_ids()
+                .flat_map(|pool| {
+                    let cap = cluster.spec(pool).gpus_per_node;
+                    (0..cluster.num_nodes(pool)).map(move |node| (pool.0, node, cap))
+                })
+                .collect();
+            obs.timeline_nodes(&nodes);
+        }
+        Engine {
+            cluster: cluster.clone(),
+            cfg: cfg.clone(),
+            plan: plan.clone(),
+            obs: obs.clone(),
+            policy,
+            service,
+            sjobs: Vec::new(),
+            id_of: HashMap::new(),
+            seen_ids: HashSet::new(),
+            indexes: (0..plan.shards()).map(|_| EventIndex::default()).collect(),
+            home_of: Vec::new(),
+            due: Vec::new(),
+            interner: Interner::new(),
+            acquired: HashSet::new(),
+            t: 0.0,
+            flog: FaultLog::default(),
+            next_round: cfg.round_interval_s,
+            timeline: Vec::new(),
+            raw_timeline: Vec::new(),
+            decisions: Vec::new(),
+            pending_jobs: VecDeque::new(),
+            pending_faults: VecDeque::new(),
+            last_submit_s: f64::NEG_INFINITY,
+            last_fault_s: f64::NEG_INFINITY,
+            input_open: true,
+            stopped: false,
+            cluster_gpu_capacity: cluster.total_gpus(),
+        }
+    }
+
+    /// Engine clock, seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Whether the run has fully drained: no further burst can fire.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.stopped
+    }
+
+    /// Whether the input stream is still open.
+    #[must_use]
+    pub fn input_open(&self) -> bool {
+        self.input_open
+    }
+
+    /// Queues a job submission. Validation happens before any state is
+    /// touched; on `Err` the engine is exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// Rejects closed input, non-finite/unsorted/past timestamps and
+    /// duplicate job ids.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), InputError> {
+        if !self.input_open {
+            return Err(InputError::InputClosed);
+        }
+        if !spec.submit_s.is_finite() {
+            return Err(InputError::NonFiniteTime(spec.submit_s));
+        }
+        if spec.submit_s < self.last_submit_s {
+            return Err(InputError::UnsortedSubmission {
+                last_s: self.last_submit_s,
+                got_s: spec.submit_s,
+            });
+        }
+        if spec.submit_s < self.t - EPS {
+            return Err(InputError::TimeRegression {
+                now_s: self.t,
+                got_s: spec.submit_s,
+            });
+        }
+        if self.seen_ids.contains(&spec.id) {
+            return Err(InputError::DuplicateJobId(spec.id));
+        }
+        self.push_job_unchecked(spec);
+        Ok(())
+    }
+
+    /// Queues a fault event.
+    ///
+    /// # Errors
+    ///
+    /// Rejects closed input, non-finite/unsorted/past timestamps and
+    /// pool/node coordinates the cluster does not have.
+    pub fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), InputError> {
+        if !self.input_open {
+            return Err(InputError::InputClosed);
+        }
+        if !fault.time_s.is_finite() {
+            return Err(InputError::NonFiniteTime(fault.time_s));
+        }
+        if fault.time_s < self.last_fault_s {
+            return Err(InputError::UnsortedFault {
+                last_s: self.last_fault_s,
+                got_s: fault.time_s,
+            });
+        }
+        if fault.time_s < self.t - EPS {
+            return Err(InputError::TimeRegression {
+                now_s: self.t,
+                got_s: fault.time_s,
+            });
+        }
+        if fault.pool >= self.cluster.num_pools()
+            || fault.node >= self.cluster.num_nodes(GpuTypeId(fault.pool))
+        {
+            return Err(InputError::NoSuchNode {
+                pool: fault.pool,
+                node: fault.node,
+            });
+        }
+        self.push_fault_unchecked(fault);
+        Ok(())
+    }
+
+    /// Enqueues a job bypassing validation — the batch wrappers feed
+    /// pre-asserted traces through this to preserve their historical
+    /// semantics (including tolerated duplicate ids) bit-for-bit.
+    pub(crate) fn push_job_unchecked(&mut self, spec: JobSpec) {
+        self.last_submit_s = self.last_submit_s.max(spec.submit_s);
+        self.seen_ids.insert(spec.id);
+        self.pending_jobs.push_back(spec);
+    }
+
+    /// Enqueues a fault bypassing validation (batch wrappers).
+    pub(crate) fn push_fault_unchecked(&mut self, fault: FaultEvent) {
+        self.last_fault_s = self.last_fault_s.max(fault.time_s);
+        self.pending_faults.push_back(fault);
+    }
+
+    /// Declares the input stream complete: the drain loop may now
+    /// terminate once the queues empty. Idempotent.
+    pub fn close_input(&mut self) {
+        self.input_open = false;
+    }
+
+    /// Cancels a job online: releases its GPUs, marks it dropped and
+    /// lets the policy react to the departure. This is the engine-level
+    /// mirror of [`arena_sched::Action::Drop`] for operator-initiated
+    /// completions; it has no batch counterpart and therefore no place
+    /// in the equivalence fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ids the engine has never accepted.
+    pub fn drop_job(&mut self, id: u64) -> Result<(), InputError> {
+        if !self.seen_ids.contains(&id) {
+            return Err(InputError::UnknownJob(id));
+        }
+        if let Some(&idx) = self.id_of.get(&id) {
+            let t = self.t;
+            let j = &mut self.sjobs[idx];
+            if matches!(j.state, JState::Finished | JState::Dropped) {
+                return Ok(());
+            }
+            j.flush_run(t);
+            j.flush_alloc(t);
+            if let Some(alloc) = j.alloc.take() {
+                self.cluster.release(&alloc).expect("release cancelled job");
+                self.obs
+                    .alloc_event(t, id, alloc.pool.0, &alloc.node_gpus, false);
+            }
+            j.state = JState::Dropped;
+            self.obs.job_event(t, id, JobEventKind::Drop);
+            self.indexes[self.home_of[idx]].retire(&mut self.sjobs[idx], idx);
+            self.dispatch(SchedEvent::Departure(id));
+        } else {
+            // Accepted but not yet arrived: cancel it in the input queue.
+            self.pending_jobs.retain(|s| s.id != id);
+        }
+        Ok(())
+    }
+
+    /// Runs bursts while the next burst time is strictly earlier than
+    /// `s - EPS` — i.e. while the burst could not consume an input
+    /// timestamped at `s` (see the module docs for the lemma). A caller
+    /// replaying a timestamped command stream calls
+    /// `advance_before(cmd.time)` then injects the command.
+    pub fn advance_before(&mut self, s: f64) {
+        while !self.stopped {
+            let te = self.peek_te();
+            if !te.is_finite() {
+                self.stopped = true;
+                break;
+            }
+            if te >= s - EPS {
+                break;
+            }
+            self.burst(te);
+        }
+    }
+
+    /// Runs one burst. Returns `false` once the run has drained.
+    pub fn step(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let te = self.peek_te();
+        if !te.is_finite() {
+            self.stopped = true;
+            return false;
+        }
+        self.burst(te);
+        !self.stopped
+    }
+
+    /// Drains every remaining burst (the batch loop's `loop`).
+    pub fn run_to_end(&mut self) {
+        while self.step() {}
+    }
+
+    /// Builds an immutable status snapshot of the current state.
+    #[must_use]
+    pub fn state(&self) -> EngineState {
+        let mut jobs: Vec<JobStatus> =
+            Vec::with_capacity(self.sjobs.len() + self.pending_jobs.len());
+        let (mut queued, mut starting, mut running, mut finished, mut dropped) = (0, 0, 0, 0, 0);
+        for j in &self.sjobs {
+            let phase = match j.state {
+                JState::Queued => {
+                    queued += 1;
+                    JobPhase::Queued
+                }
+                JState::Starting(_) => {
+                    starting += 1;
+                    JobPhase::Starting
+                }
+                JState::Running => {
+                    running += 1;
+                    JobPhase::Running
+                }
+                JState::Finished => {
+                    finished += 1;
+                    JobPhase::Finished
+                }
+                JState::Dropped => {
+                    dropped += 1;
+                    JobPhase::Dropped
+                }
+            };
+            let holds = j.active();
+            jobs.push(JobStatus {
+                id: j.spec.id,
+                name: j.spec.name.clone(),
+                phase,
+                pool: if holds { j.pool } else { 0 },
+                gpus: if holds { j.gpus } else { 0 },
+                restarts: j.restarts,
+                submit_s: j.spec.submit_s,
+                start_s: j.start_s,
+                finish_s: j.finish_s,
+                remaining_iters: j.remaining,
+            });
+        }
+        for spec in &self.pending_jobs {
+            jobs.push(JobStatus {
+                id: spec.id,
+                name: spec.name.clone(),
+                phase: JobPhase::Pending,
+                pool: 0,
+                gpus: 0,
+                restarts: 0,
+                submit_s: spec.submit_s,
+                start_s: None,
+                finish_s: None,
+                remaining_iters: spec.iterations as f64,
+            });
+        }
+        let pools = self
+            .cluster
+            .pool_stats()
+            .iter()
+            .map(|p| PoolSnapshot {
+                pool: p.id.0,
+                total_gpus: p.total_gpus,
+                free_gpus: p.free_gpus,
+                used_gpus: p.total_gpus - p.free_gpus - p.failed_gpus,
+                failed_gpus: p.failed_gpus,
+            })
+            .collect();
+        EngineState {
+            now_s: self.t,
+            submitted: self.sjobs.len() + self.pending_jobs.len(),
+            pending: self.pending_jobs.len(),
+            queued,
+            starting,
+            running,
+            finished,
+            dropped,
+            input_closed: !self.input_open,
+            drained: self.stopped,
+            pools,
+            jobs,
+        }
+    }
+
+    /// Folds the drained run into a [`SimResult`] — the batch loop's
+    /// tail: conformance asserts, fault-log close-out, open-segment
+    /// flushes, metric aggregation, estimator counter export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a terminal job still holds GPUs (engine invariant).
+    #[must_use]
+    pub fn finish(mut self) -> SimResult {
+        // Conformance: terminal jobs hold no GPUs, and each home shard's
+        // membership indexes agree with the job table.
+        for (i, j) in self.sjobs.iter().enumerate() {
+            if matches!(j.state, JState::Finished | JState::Dropped) {
+                assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
+            }
+            debug_assert_eq!(
+                self.indexes[self.home_of[i]].queued.contains(&i),
+                j.state == JState::Queued,
+                "queued index out of sync for job {}",
+                j.spec.id
+            );
+            debug_assert_eq!(
+                self.indexes[self.home_of[i]].active.contains(&i),
+                j.active(),
+                "active index out of sync for job {}",
+                j.spec.id
+            );
+        }
+        self.flog.elapsed_s = self.t.min(self.cfg.horizon_s);
+        self.flog.gpu_capacity_s = self.cluster_gpu_capacity as f64 * self.flog.elapsed_s;
+        let t_end = self.flog.elapsed_s;
+        for j in &mut self.sjobs {
+            j.flush_run(t_end);
+            j.flush_alloc(t_end);
+        }
+        self.obs.timeline_close(t_end);
+
+        let records: Vec<JobRecord> = self
+            .sjobs
+            .iter()
+            .map(|j| JobRecord {
+                id: j.spec.id,
+                name: j.spec.name.clone(),
+                submit_s: j.spec.submit_s,
+                start_s: j.start_s,
+                finish_s: j.finish_s,
+                dropped: j.state == JState::Dropped,
+                restarts: j.restarts,
+                run_s: j.run_s,
+                productive_gpu_s: j.productive_gpu_s,
+                allocated_gpu_s: j.allocated_gpu_s,
+                deadline_met: j
+                    .spec
+                    .deadline_s
+                    .map(|d| j.finish_s.is_some_and(|f| f <= d)),
+            })
+            .collect();
+        let metrics = aggregate(
+            &records,
+            &self.timeline,
+            &self.raw_timeline,
+            &self.decisions,
+            &self.flog,
+        );
+        if self.obs.is_enabled() {
+            let est = self.service.estimator_stats();
+            self.obs.incr("estimator.estimate.hits", est.estimate_hits);
+            self.obs
+                .incr("estimator.estimate.misses", est.estimate_misses);
+            self.obs.incr("estimator.profile.hits", est.profile_hits);
+            self.obs
+                .incr("estimator.profile.misses", est.profile_misses);
+            self.obs.incr("estimator.table.hits", est.table_hits);
+            self.obs.incr("estimator.table.misses", est.table_misses);
+        }
+        SimResult {
+            policy: self.policy.name().to_string(),
+            records,
+            timeline: self.timeline,
+            raw_timeline: self.raw_timeline,
+            metrics,
+            trace: self.obs.report(),
+        }
+    }
+
+    /// Heap maintenance plus the next-event computation. The per-shard
+    /// heaps partition the serial engine's single heap, and `f64::min`
+    /// ignores NaN consistently, so the fold over per-shard fresh minima
+    /// is bitwise the global fresh minimum. Maintenance (lazy-deletion
+    /// compaction) is purely a memory cap: running it more often than
+    /// the batch loop did is invisible in output.
+    fn peek_te(&mut self) -> f64 {
+        let sjobs = &self.sjobs;
+        for index in &mut self.indexes {
+            if index.heap.len() > 1024 && index.heap.len() > 8 * (index.active.len() + 1) {
+                let EventIndex { heap, .. } = index;
+                heap.compact(|job, generation| sjobs[job].generation == generation);
+            }
+        }
+        let next_arrival = self.pending_jobs.front().map(|j| j.submit_s);
+        let next_fault = self
+            .pending_faults
+            .front()
+            .map_or(f64::INFINITY, |f| f.time_s);
+        let next_job_event = self
+            .indexes
+            .iter_mut()
+            .map(|ix| {
+                ix.heap
+                    .next_fresh(|job, generation| sjobs[job].generation == generation)
+            })
+            .fold(f64::INFINITY, f64::min);
+        [
+            next_arrival.unwrap_or(f64::INFINITY),
+            next_fault,
+            self.next_round,
+            next_job_event,
+            self.cfg.horizon_s,
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+    }
+
+    /// One burst at `te`: the body of the batch loop, verbatim.
+    #[allow(clippy::too_many_lines)]
+    fn burst(&mut self, te: f64) {
+        // Advance running jobs to `te`. Merge round: the per-shard active
+        // sets are walked merged back into ascending global index, so
+        // `flog.samples_processed` accumulates with the same operands in
+        // the same order as the serial engine's single-set walk.
+        let dt = (te - self.t).max(0.0);
+        if dt > 0.0 {
+            for (i, ()) in merged_indices(&self.indexes, |ix| ix.active.iter().copied()) {
+                let j = &mut self.sjobs[i];
+                if j.state == JState::Running && j.iter_time > 0.0 {
+                    j.remaining = (j.remaining - dt / j.iter_time).max(0.0);
+                    self.flog.samples_processed += dt * j.sps;
+                    j.since_ckpt_s += dt;
+                    if self.cfg.checkpoint_interval_s > 0.0
+                        && self.cfg.checkpoint_interval_s.is_finite()
+                    {
+                        j.since_ckpt_s %= self.cfg.checkpoint_interval_s;
+                    }
+                    debug_assert!(j.last_update_s <= te, "job advanced backwards");
+                    j.last_update_s = te;
+                    j.generation += 1;
+                    let (generation, wake) = (j.generation, te + j.remaining * j.iter_time);
+                    self.indexes[self.home_of[i]].heap.push(wake, generation, i);
+                }
+            }
+        }
+        self.t = te;
+        let t = te;
+        if t >= self.cfg.horizon_s - EPS {
+            self.stopped = true;
+            return;
+        }
+
+        // 1. Starting -> Running transitions due now, in merged global
+        // order (recovery-time pushes and RunStart events keep the serial
+        // order).
+        for (i, ()) in merged_indices(&self.indexes, |ix| ix.active.iter().copied()) {
+            let j = &mut self.sjobs[i];
+            if let JState::Starting(r) = j.state {
+                if r <= t + EPS {
+                    j.state = JState::Running;
+                    j.start_s.get_or_insert(t);
+                    j.since_ckpt_s = 0.0;
+                    j.flush_alloc(t);
+                    j.alloc_since = Some(t);
+                    j.run_since = Some(t);
+                    j.last_update_s = t;
+                    if let Some(since) = j.recovering_since.take() {
+                        self.flog.recovery_times_s.push(t - since);
+                    }
+                    self.obs.job_event(t, j.spec.id, JobEventKind::RunStart);
+                    j.generation += 1;
+                    let (generation, wake) = (j.generation, t + j.remaining * j.iter_time);
+                    self.indexes[self.home_of[i]].heap.push(wake, generation, i);
+                }
+            }
+        }
+
+        // 2. Completions due now (free resources before anything else),
+        // merged so cluster releases and Finish events apply in global
+        // order.
+        let mut event: Option<SchedEvent> = None;
+        self.due.clear();
+        self.due.extend(
+            merged_indices(&self.indexes, |ix| ix.active.iter().copied())
+                .into_iter()
+                .map(|(i, ())| i)
+                .filter(|&i| {
+                    let j = &self.sjobs[i];
+                    j.state == JState::Running && j.remaining <= EPS
+                }),
+        );
+        let due = std::mem::take(&mut self.due);
+        for &i in &due {
+            let j = &mut self.sjobs[i];
+            j.state = JState::Finished;
+            j.finish_s = Some(t);
+            j.flush_run(t);
+            j.flush_alloc(t);
+            if let Some(alloc) = j.alloc.take() {
+                self.cluster.release(&alloc).expect("release finished job");
+                self.obs
+                    .alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
+            }
+            self.obs.job_event(t, j.spec.id, JobEventKind::Finish);
+            event = Some(SchedEvent::Departure(j.spec.id));
+            self.indexes[self.home_of[i]].retire(&mut self.sjobs[i], i);
+        }
+        self.due = due;
+
+        // 2b. Fault events due now. Victims landing mid-merge-round are
+        // detected per shard and applied in merged global order, so
+        // requeue provenance is identical to the serial engine's.
+        while self
+            .pending_faults
+            .front()
+            .is_some_and(|f| f.time_s <= t + EPS)
+        {
+            let fault = self.pending_faults.pop_front().expect("front checked");
+            let pool = GpuTypeId(fault.pool);
+            let ev = match fault.kind {
+                FaultKind::Failure => {
+                    self.cluster
+                        .fail_node(pool, fault.node)
+                        .expect("fault schedule names a node the cluster has");
+                    self.obs.context(t, "engine", "node-failure");
+                    self.obs.incr("sim.fault.failure", 1);
+                    self.due.clear();
+                    self.due.extend(
+                        merged_indices(&self.indexes, |ix| ix.active.iter().copied())
+                            .into_iter()
+                            .map(|(i, ())| i)
+                            .filter(|&i| {
+                                self.sjobs[i]
+                                    .alloc
+                                    .as_ref()
+                                    .is_some_and(|a| a.uses_node(pool, fault.node))
+                            }),
+                    );
+                    let due = std::mem::take(&mut self.due);
+                    for &i in &due {
+                        let j = &mut self.sjobs[i];
+                        let alloc = j.alloc.take().expect("active job holds an allocation");
+                        self.cluster.release(&alloc).expect("release crashed job");
+                        j.flush_run(t);
+                        j.flush_alloc(t);
+                        self.obs
+                            .alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
+                        let mut rollback = 0.0;
+                        if j.state == JState::Running && j.iter_time > 0.0 {
+                            let lost_iters = (j.since_ckpt_s / j.iter_time)
+                                .min(j.spec.iterations as f64 - j.remaining);
+                            j.remaining += lost_iters;
+                            self.flog.samples_lost += lost_iters * j.iter_time * j.sps;
+                            rollback = lost_iters;
+                        }
+                        self.obs.job_event(
+                            t,
+                            j.spec.id,
+                            JobEventKind::Stop {
+                                cause: StopCause::NodeFailure,
+                                lost_iters: rollback,
+                            },
+                        );
+                        j.state = JState::Queued;
+                        j.restarts += 1;
+                        j.opportunistic = false;
+                        j.since_ckpt_s = 0.0;
+                        j.recovering_since.get_or_insert(t);
+                        self.flog.failure_evictions += 1;
+                        self.obs.decision(
+                            Decision::requeue(j.spec.id)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("node-failure-evict"),
+                        );
+                        self.indexes[self.home_of[i]].requeue(&mut self.sjobs[i], i);
+                    }
+                    self.due = due;
+                    SchedEvent::NodeFailure {
+                        pool,
+                        node: fault.node,
+                    }
+                }
+                FaultKind::Repair => {
+                    self.cluster
+                        .repair_node(pool, fault.node)
+                        .expect("fault schedule names a node the cluster has");
+                    self.obs.incr("sim.fault.repair", 1);
+                    SchedEvent::NodeRepair {
+                        pool,
+                        node: fault.node,
+                    }
+                }
+            };
+            self.dispatch(ev);
+        }
+
+        // 3. Arrivals due now, homed onto their shard.
+        while self
+            .pending_jobs
+            .front()
+            .is_some_and(|s| s.submit_s <= t + EPS)
+        {
+            let spec = Arc::new(self.pending_jobs.pop_front().expect("front checked"));
+            let iters = spec.iterations as f64;
+            let id = spec.id;
+            let home = self.plan.shard_of_pool(spec.requested_pool);
+            let model_key = self.interner.intern(&spec.model.name());
+            let idx = self.sjobs.len();
+            self.sjobs.push(SJob {
+                spec,
+                model_key,
+                state: JState::Queued,
+                generation: 0,
+                last_update_s: t,
+                remaining: iters,
+                alloc: None,
+                pool: 0,
+                gpus: 0,
+                opportunistic: false,
+                sps: 0.0,
+                iter_time: 0.0,
+                start_s: None,
+                finish_s: None,
+                restarts: 0,
+                profiled: false,
+                since_ckpt_s: 0.0,
+                recovering_since: None,
+                run_since: None,
+                alloc_since: None,
+                run_s: 0.0,
+                productive_gpu_s: 0.0,
+                allocated_gpu_s: 0.0,
+            });
+            self.home_of.push(home);
+            self.id_of.entry(id).or_insert(idx);
+            self.indexes[home].queued.insert(idx);
+            self.obs.job_event(t, id, JobEventKind::Submit);
+            event = Some(SchedEvent::Arrival(id));
+        }
+
+        // 4. Round tick.
+        if self.next_round <= t + EPS {
+            self.next_round += self.cfg.round_interval_s;
+            event.get_or_insert(SchedEvent::Round);
+        }
+
+        // 5. Let the policy react.
+        if let Some(ev) = event {
+            self.dispatch(ev);
+        }
+
+        // 6. Sample the throughput timeline at round boundaries: both
+        // sums fold the merged (ascending global index) running stream,
+        // reproducing the serial accumulation order bitwise.
+        if matches!(event, Some(SchedEvent::Round)) {
+            let running: Vec<usize> = merged_indices(&self.indexes, |ix| ix.active.iter().copied())
+                .into_iter()
+                .map(|(i, ())| i)
+                .filter(|&i| self.sjobs[i].state == JState::Running)
+                .collect();
+            let norm: f64 = running
+                .iter()
+                .map(|&i| self.sjobs[i].sps / self.service.ideal_sps(&self.sjobs[i].spec))
+                .sum();
+            let raw: f64 = running.iter().map(|&i| self.sjobs[i].sps).sum();
+            self.timeline.push((t, norm));
+            self.raw_timeline.push((t, raw));
+        }
+
+        // Termination: input closed, no arrivals left, nothing queued or
+        // active.
+        if !self.input_open
+            && self.pending_jobs.is_empty()
+            && self
+                .indexes
+                .iter()
+                .all(|ix| ix.queued.is_empty() && ix.active.is_empty())
+        {
+            self.stopped = true;
+        }
+    }
+
+    /// Builds the policy's view shard-by-shard, merges the fragments,
+    /// runs the policy's per-shard pre-pass and scheduling pass, and
+    /// executes the actions.
+    fn dispatch(&mut self, ev: SchedEvent) {
+        let t = self.t;
+        let service = self.service;
+        let actions = {
+            debug_assert!(
+                self.indexes
+                    .iter()
+                    .flat_map(|ix| ix.queued.iter())
+                    .all(|&i| self.sjobs[i].state == JState::Queued),
+                "queued index holds a non-queued job"
+            );
+            debug_assert!(
+                self.indexes
+                    .iter()
+                    .flat_map(|ix| ix.active.iter())
+                    .all(|&i| self.sjobs[i].active()),
+                "active index holds an inactive job"
+            );
+            // Merge round: per-shard index streams fold back into ascending
+            // global (submission) order, so the policy sees exactly the
+            // serial engine's queue and running vectors. Each job's view is
+            // constructed exactly once on either path: the parallel path
+            // builds per-shard fragments on the worker pool and *moves*
+            // their views through the merge; the serial path skips the
+            // fragments and builds the merged vectors directly from one walk
+            // of the merged streams. `queued_homes` remembers each merged
+            // queue slot's home shard so the per-shard queues below can lend
+            // references instead of cloning.
+            let live: usize = self
+                .indexes
+                .iter()
+                .map(|ix| ix.queued.len() + ix.active.len())
+                .sum();
+            let parallel = self.plan.workers().threads() > 1
+                && self.indexes.len() > 1
+                && live >= PARALLEL_VIEW_CUTOFF;
+            let (queued_homes, queued, running): (Vec<usize>, Vec<JobView>, Vec<JobView>) =
+                if parallel {
+                    let mut frags: Vec<ViewFragment> = {
+                        let sjobs: &[SJob] = &self.sjobs;
+                        self.plan.workers().run_all(
+                            self.indexes
+                                .iter()
+                                .map(|ix| move || build_fragment(ix, sjobs))
+                                .collect(),
+                        )
+                    };
+                    let _span = self.obs.span("sim.shard.merge");
+                    let queued_pairs = merge_by_index(
+                        frags
+                            .iter_mut()
+                            .map(|f| {
+                                f.queued_idx
+                                    .iter()
+                                    .copied()
+                                    .zip(f.queued.drain(..))
+                                    .collect()
+                            })
+                            .collect(),
+                    );
+                    let running = merge_by_index(
+                        frags
+                            .iter_mut()
+                            .map(|f| {
+                                f.active_idx
+                                    .iter()
+                                    .copied()
+                                    .zip(f.active.drain(..))
+                                    .collect()
+                            })
+                            .collect(),
+                    )
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                    let mut homes = Vec::with_capacity(queued_pairs.len());
+                    let mut queued = Vec::with_capacity(queued_pairs.len());
+                    for (i, v) in queued_pairs {
+                        homes.push(self.home_of[i]);
+                        queued.push(v);
+                    }
+                    (homes, queued, running)
+                } else {
+                    let _span = self.obs.span("sim.shard.merge");
+                    let merged_q = merged_indices(&self.indexes, |ix| ix.queued.iter().copied());
+                    let homes = merged_q.iter().map(|&(i, _)| self.home_of[i]).collect();
+                    let queued = merged_q
+                        .iter()
+                        .map(|&(i, _)| job_view(&self.sjobs[i]))
+                        .collect();
+                    let running = merged_indices(&self.indexes, |ix| ix.active.iter().copied())
+                        .into_iter()
+                        .map(|(i, _)| job_view(&self.sjobs[i]))
+                        .collect();
+                    (homes, queued, running)
+                };
+            let pools = self.cluster.pool_stats();
+            if self.obs.is_enabled() {
+                self.obs.context(t, self.policy.name(), ev.label());
+                self.obs.incr(&format!("sim.event.{}", ev.label()), 1);
+                self.obs.gauge("sim.queue_depth", t, queued.len() as f64);
+                self.obs.gauge("sim.running_jobs", t, running.len() as f64);
+            }
+            let view = SchedView {
+                now_s: t,
+                queued: &queued,
+                running: &running,
+                pools: &pools,
+                service,
+                obs: self.obs.clone(),
+            };
+            // Per-shard pre-pass: policies may warm caches concurrently but
+            // must not change what `schedule` returns. The per-shard queues
+            // lend references into the merged vector, routed by home shard;
+            // merged order is ascending within each shard, so every shard
+            // sees its jobs in arrival order.
+            {
+                let _span = self.obs.span("sim.shard.prepare");
+                let mut split: Vec<Vec<&JobView>> =
+                    (0..self.indexes.len()).map(|_| Vec::new()).collect();
+                for (&home, v) in queued_homes.iter().zip(queued.iter()) {
+                    split[home].push(v);
+                }
+                let shard_queues: Vec<ShardQueue<'_>> = split
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, queued)| ShardQueue { shard, queued })
+                    .collect();
+                self.policy.prepare_shards(&shard_queues, &view);
+            }
+            let started = std::time::Instant::now();
+            let actions = {
+                let _span = self.obs.span("sim.schedule");
+                self.policy.schedule(ev, &view)
+            };
+            self.decisions.push(started.elapsed().as_secs_f64());
+            self.obs
+                .observe("sim.actions_per_pass", actions.len() as f64);
+            actions
+        };
+        self.execute(&actions);
+    }
+
+    /// Executes scheduling actions — the serial engine's executor with
+    /// index membership routed to each job's home shard. Actions apply
+    /// in the policy's emission order, exactly as in the serial engine.
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, actions: &[Action]) {
+        let t = self.t;
+        for action in actions {
+            match *action {
+                Action::Drop { job } => {
+                    let Some(&idx) = self.id_of.get(&job) else {
+                        continue;
+                    };
+                    let j = &mut self.sjobs[idx];
+                    if matches!(j.state, JState::Finished | JState::Dropped) {
+                        continue;
+                    }
+                    j.flush_run(t);
+                    j.flush_alloc(t);
+                    if let Some(alloc) = j.alloc.take() {
+                        self.cluster.release(&alloc).expect("release dropped job");
+                        self.obs
+                            .alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
+                    }
+                    j.state = JState::Dropped;
+                    self.obs.job_event(t, job, JobEventKind::Drop);
+                    self.indexes[self.home_of[idx]].retire(&mut self.sjobs[idx], idx);
+                }
+                Action::Evict { job } => {
+                    let Some(&idx) = self.id_of.get(&job) else {
+                        continue;
+                    };
+                    let j = &mut self.sjobs[idx];
+                    if j.active() {
+                        j.flush_run(t);
+                        j.flush_alloc(t);
+                        if let Some(alloc) = j.alloc.take() {
+                            self.cluster.release(&alloc).expect("release evicted job");
+                            self.obs
+                                .alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
+                        }
+                        j.state = JState::Queued;
+                        j.restarts += 1;
+                        j.opportunistic = false;
+                        self.obs.job_event(
+                            t,
+                            job,
+                            JobEventKind::Stop {
+                                cause: StopCause::Preemption,
+                                lost_iters: 0.0,
+                            },
+                        );
+                        self.indexes[self.home_of[idx]].requeue(&mut self.sjobs[idx], idx);
+                    }
+                }
+                Action::Place {
+                    job,
+                    pool,
+                    gpus,
+                    opportunistic,
+                } => {
+                    let Some(&idx) = self.id_of.get(&job) else {
+                        continue;
+                    };
+                    let j = &mut self.sjobs[idx];
+                    if matches!(j.state, JState::Finished | JState::Dropped) {
+                        continue;
+                    }
+                    // No-op placement: already running exactly like this.
+                    if j.active() && j.pool == pool.0 && j.gpus == gpus {
+                        continue;
+                    }
+                    let run = match self.policy.plan_mode() {
+                        PlanMode::Adaptive => self.service.adaptive_run(&j.spec.model, gpus, pool),
+                        PlanMode::Cell => self.service.arena_run(&j.spec.model, gpus, pool),
+                    };
+                    let Some(run) = run else {
+                        self.obs.incr("sim.place.infeasible", 1);
+                        self.obs.decision(
+                            Decision::requeue(job)
+                                .on_shard(j.spec.requested_pool as u32)
+                                .why("infeasible-placement"),
+                        );
+                        continue;
+                    };
+                    let was_active = j.active();
+                    let prev_grant = was_active.then_some((j.pool, j.gpus));
+                    j.flush_run(t);
+                    j.flush_alloc(t);
+                    if let Some(alloc) = j.alloc.take() {
+                        self.cluster.release(&alloc).expect("release re-placed job");
+                        self.obs
+                            .alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
+                    }
+                    match self.cluster.allocate(pool, gpus) {
+                        Ok(alloc) => {
+                            if was_active {
+                                j.restarts += 1;
+                            }
+                            self.obs.alloc_event(t, job, pool.0, &alloc.node_gpus, true);
+                            let key = (j.model_key, j.spec.model.global_batch, gpus, pool.0);
+                            let first = self.acquired.insert(key);
+                            let state_bytes =
+                                8.0 * self.service.graph(&j.spec.model).total_param_bytes();
+                            let ckpt = 2.0 * state_bytes / self.cfg.checkpoint_bw_bps;
+                            let delay = self.cfg.restart_overhead_s
+                                + ckpt
+                                + if first { run.acquire_wall_s } else { 0.0 };
+                            j.profiled = true;
+                            j.alloc = Some(alloc);
+                            j.pool = pool.0;
+                            j.gpus = gpus;
+                            j.opportunistic = opportunistic;
+                            j.sps = run.throughput_sps;
+                            j.iter_time = run.iter_time_s;
+                            j.state = JState::Starting(t + delay);
+                            j.alloc_since = Some(t);
+                            self.obs.incr("sim.place.ok", 1);
+                            self.obs.job_event(
+                                t,
+                                job,
+                                JobEventKind::Place {
+                                    pool: pool.0,
+                                    gpus,
+                                    prev: prev_grant,
+                                    opportunistic,
+                                },
+                            );
+                            self.indexes[self.home_of[idx]].place(
+                                &mut self.sjobs[idx],
+                                idx,
+                                t + delay,
+                            );
+                        }
+                        Err(_) => {
+                            // Capacity race: job returns to the queue.
+                            if was_active {
+                                j.restarts += 1;
+                                self.obs.job_event(
+                                    t,
+                                    job,
+                                    JobEventKind::Stop {
+                                        cause: StopCause::CapacityRace,
+                                        lost_iters: 0.0,
+                                    },
+                                );
+                            }
+                            j.state = JState::Queued;
+                            self.obs.incr("sim.place.capacity_race", 1);
+                            self.obs.decision(
+                                Decision::requeue(job)
+                                    .on_shard(j.spec.requested_pool as u32)
+                                    .why("capacity-race"),
+                            );
+                            self.indexes[self.home_of[idx]].requeue(&mut self.sjobs[idx], idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// K-way merges one per-shard index stream back into ascending global
+/// (submission) order — the engine-side merge round. The per-shard sets
+/// hold disjoint global indices, each iterated ascending, so the merge is
+/// exactly the order a single global set would iterate in.
+fn merged_indices<'a, I>(
+    indexes: &'a [EventIndex],
+    stream: impl Fn(&'a EventIndex) -> I,
+) -> Vec<(usize, ())>
+where
+    I: Iterator<Item = usize> + 'a,
+{
+    if indexes.len() == 1 {
+        return stream(&indexes[0]).map(|i| (i, ())).collect();
+    }
+    merge_by_index(
+        indexes
+            .iter()
+            .map(|ix| stream(ix).map(|i| (i, ())).collect())
+            .collect(),
+    )
+}
+
+/// Per-shard queued/running view fragments: global indices (ascending)
+/// alongside the matching views, kept as parallel vectors so the merge
+/// round can move the views into the merged vectors without cloning.
+struct ViewFragment {
+    queued_idx: Vec<usize>,
+    queued: Vec<JobView>,
+    active_idx: Vec<usize>,
+    active: Vec<JobView>,
+}
+
+fn build_fragment(ix: &EventIndex, sjobs: &[SJob]) -> ViewFragment {
+    ViewFragment {
+        queued_idx: ix.queued.iter().copied().collect(),
+        queued: ix.queued.iter().map(|&i| job_view(&sjobs[i])).collect(),
+        active_idx: ix.active.iter().copied().collect(),
+        active: ix.active.iter().map(|&i| job_view(&sjobs[i])).collect(),
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod engine;
 mod heap;
+pub mod incremental;
 pub mod metrics;
 #[doc(hidden)]
 pub mod reference;
@@ -33,6 +34,7 @@ pub use engine::{
     simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,
     SimResult,
 };
+pub use incremental::{Engine, EngineState, InputError, JobPhase, JobStatus, PoolSnapshot};
 pub use metrics::{FaultLog, JobRecord, Metrics};
 pub use shard::{
     simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,

@@ -24,26 +24,14 @@
 //! only; `tests/shard_equivalence.rs` pins the byte-identity at shard
 //! counts 1/2/4/8, and `DESIGN.md` §12 spells out the argument.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use arena_cluster::{Cluster, PartitionMap};
+use arena_obs::Obs;
+use arena_runtime::{shards_from_env_or, WorkerPool};
+use arena_sched::{PlanService, Policy};
+use arena_trace::{FaultEvent, JobSpec};
 
-use arena_cluster::{Cluster, GpuTypeId, PartitionMap};
-use arena_estimator::Interner;
-use arena_obs::{Decision, JobEventKind, Obs, StopCause};
-use arena_runtime::{merge_by_index, shards_from_env_or, WorkerPool};
-use arena_sched::PlanService;
-use arena_sched::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView, ShardQueue};
-use arena_trace::{FaultEvent, FaultKind, JobSpec};
-
-use crate::engine::{job_view, EventIndex, JState, SJob, SimConfig, SimResult, EPS};
-use crate::metrics::{aggregate, FaultLog, JobRecord};
-
-/// Below this many live jobs, per-shard view fragments are built inline:
-/// a view build is an `Arc` bump plus a few scalar copies, so spawning
-/// scoped workers (~tens of µs) only pays off for very deep queues. Both
-/// paths produce identical fragments, so the cutoff is invisible in
-/// output.
-const PARALLEL_VIEW_CUTOFF: usize = 4096;
+use crate::engine::{SimConfig, SimResult};
+use crate::incremental::Engine;
 
 /// How a sharded run partitions the cluster and executes the shards.
 ///
@@ -111,6 +99,12 @@ impl ShardPlan {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The worker pool running per-shard work.
+    #[must_use]
+    pub fn workers(&self) -> &WorkerPool {
+        &self.workers
     }
 
     /// The pool-to-partition map.
@@ -187,14 +181,18 @@ pub fn simulate_sharded_with_faults(
 }
 
 /// [`crate::simulate_with_faults_traced`] on the sharded decision loop —
-/// the full engine; every other `simulate_sharded*` entry delegates here.
+/// now a thin batch driver over the incremental [`crate::Engine`]: load
+/// every input up front, close the input stream, drain to completion.
+/// Every other `simulate_sharded*` entry delegates here, and the server
+/// drives the *same* engine one command at a time — so the batch/online
+/// equivalence is held by construction plus `tests/server_e2e.rs`.
 ///
 /// # Panics
 ///
 /// Panics under the same conditions as
 /// [`crate::simulate_with_faults_traced`].
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_sharded_with_faults_traced(
     cluster: &Cluster,
     jobs: &[JobSpec],
@@ -213,772 +211,19 @@ pub fn simulate_sharded_with_faults_traced(
         faults.windows(2).all(|w| w[0].time_s <= w[1].time_s),
         "fault schedule must be sorted by time"
     );
-    let shards = plan.shards;
-    let cluster_gpu_capacity = cluster.total_gpus();
-    if obs.is_enabled() {
-        let nodes: Vec<(usize, usize, usize)> = cluster
-            .pool_ids()
-            .flat_map(|pool| {
-                let cap = cluster.spec(pool).gpus_per_node;
-                (0..cluster.num_nodes(pool)).map(move |node| (pool.0, node, cap))
-            })
-            .collect();
-        obs.timeline_nodes(&nodes);
+    let mut engine = Engine::new(cluster, policy, service, cfg, obs, plan);
+    // The asserts above are the historical batch validation; feed the
+    // pre-asserted stream past the incremental checks so batch semantics
+    // (e.g. tolerated duplicate ids) are preserved bit-for-bit.
+    for job in jobs {
+        engine.push_job_unchecked(job.clone());
     }
-    let mut cluster = cluster.clone();
-    let mut sjobs: Vec<SJob> = Vec::with_capacity(jobs.len());
-    let mut id_of: HashMap<u64, usize> = HashMap::with_capacity(jobs.len());
-    // One event heap + membership index per executor shard; a job lives
-    // in the index of its home shard for its whole lifetime.
-    let mut indexes: Vec<EventIndex> = (0..shards).map(|_| EventIndex::default()).collect();
-    let mut home_of: Vec<usize> = Vec::with_capacity(jobs.len());
-    let mut due: Vec<usize> = Vec::new();
-    let interner = Interner::new();
-    let mut acquired: HashSet<(u32, usize, usize, usize)> = HashSet::new();
-    let mut t = 0.0_f64;
-    let mut arrival_idx = 0;
-    let mut fault_idx = 0;
-    let mut flog = FaultLog::default();
-    let mut next_round = cfg.round_interval_s;
-    let mut timeline: Vec<(f64, f64)> = Vec::new();
-    let mut raw_timeline: Vec<(f64, f64)> = Vec::new();
-    let mut decisions: Vec<f64> = Vec::new();
-
-    loop {
-        // Bound heap growth per shard (purely a memory cap, invisible).
-        for index in &mut indexes {
-            if index.heap.len() > 1024 && index.heap.len() > 8 * (index.active.len() + 1) {
-                let EventIndex { heap, .. } = index;
-                heap.compact(|job, generation| sjobs[job].generation == generation);
-            }
-        }
-
-        // Next event candidates. The per-shard heaps partition the serial
-        // engine's single heap, and `f64::min` ignores NaN consistently,
-        // so the fold over per-shard fresh minima is bitwise the global
-        // fresh minimum.
-        let next_arrival = jobs.get(arrival_idx).map(|j| j.submit_s);
-        let next_fault = faults.get(fault_idx).map_or(f64::INFINITY, |f| f.time_s);
-        let next_job_event = indexes
-            .iter_mut()
-            .map(|ix| {
-                ix.heap
-                    .next_fresh(|job, generation| sjobs[job].generation == generation)
-            })
-            .fold(f64::INFINITY, f64::min);
-        let te = [
-            next_arrival.unwrap_or(f64::INFINITY),
-            next_fault,
-            next_round,
-            next_job_event,
-            cfg.horizon_s,
-        ]
-        .into_iter()
-        .fold(f64::INFINITY, f64::min);
-
-        if !te.is_finite() {
-            break;
-        }
-
-        // Advance running jobs to `te`. Merge round: the per-shard active
-        // sets are walked merged back into ascending global index, so
-        // `flog.samples_processed` accumulates with the same operands in
-        // the same order as the serial engine's single-set walk.
-        let dt = (te - t).max(0.0);
-        if dt > 0.0 {
-            for (i, ()) in merged_indices(&indexes, |ix| ix.active.iter().copied()) {
-                let j = &mut sjobs[i];
-                if j.state == JState::Running && j.iter_time > 0.0 {
-                    j.remaining = (j.remaining - dt / j.iter_time).max(0.0);
-                    flog.samples_processed += dt * j.sps;
-                    j.since_ckpt_s += dt;
-                    if cfg.checkpoint_interval_s > 0.0 && cfg.checkpoint_interval_s.is_finite() {
-                        j.since_ckpt_s %= cfg.checkpoint_interval_s;
-                    }
-                    debug_assert!(j.last_update_s <= te, "job advanced backwards");
-                    j.last_update_s = te;
-                    j.generation += 1;
-                    let (generation, wake) = (j.generation, te + j.remaining * j.iter_time);
-                    indexes[home_of[i]].heap.push(wake, generation, i);
-                }
-            }
-        }
-        t = te;
-        if t >= cfg.horizon_s - EPS {
-            break;
-        }
-
-        // 1. Starting -> Running transitions due now, in merged global
-        // order (recovery-time pushes and RunStart events keep the serial
-        // order).
-        for (i, ()) in merged_indices(&indexes, |ix| ix.active.iter().copied()) {
-            let j = &mut sjobs[i];
-            if let JState::Starting(r) = j.state {
-                if r <= t + EPS {
-                    j.state = JState::Running;
-                    j.start_s.get_or_insert(t);
-                    j.since_ckpt_s = 0.0;
-                    j.flush_alloc(t);
-                    j.alloc_since = Some(t);
-                    j.run_since = Some(t);
-                    j.last_update_s = t;
-                    if let Some(since) = j.recovering_since.take() {
-                        flog.recovery_times_s.push(t - since);
-                    }
-                    obs.job_event(t, j.spec.id, JobEventKind::RunStart);
-                    j.generation += 1;
-                    let (generation, wake) = (j.generation, t + j.remaining * j.iter_time);
-                    indexes[home_of[i]].heap.push(wake, generation, i);
-                }
-            }
-        }
-
-        // 2. Completions due now (free resources before anything else),
-        // merged so cluster releases and Finish events apply in global
-        // order.
-        let mut event: Option<SchedEvent> = None;
-        due.clear();
-        due.extend(
-            merged_indices(&indexes, |ix| ix.active.iter().copied())
-                .into_iter()
-                .map(|(i, ())| i)
-                .filter(|&i| {
-                    let j = &sjobs[i];
-                    j.state == JState::Running && j.remaining <= EPS
-                }),
-        );
-        for &i in &due {
-            let j = &mut sjobs[i];
-            j.state = JState::Finished;
-            j.finish_s = Some(t);
-            j.flush_run(t);
-            j.flush_alloc(t);
-            if let Some(alloc) = j.alloc.take() {
-                cluster.release(&alloc).expect("release finished job");
-                obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
-            }
-            obs.job_event(t, j.spec.id, JobEventKind::Finish);
-            event = Some(SchedEvent::Departure(j.spec.id));
-            indexes[home_of[i]].retire(&mut sjobs[i], i);
-        }
-
-        // 2b. Fault events due now. Victims landing mid-merge-round are
-        // detected per shard and applied in merged global order, so
-        // requeue provenance is identical to the serial engine's.
-        while fault_idx < faults.len() && faults[fault_idx].time_s <= t + EPS {
-            let fault = &faults[fault_idx];
-            fault_idx += 1;
-            let pool = GpuTypeId(fault.pool);
-            let ev = match fault.kind {
-                FaultKind::Failure => {
-                    cluster
-                        .fail_node(pool, fault.node)
-                        .expect("fault schedule names a node the cluster has");
-                    obs.context(t, "engine", "node-failure");
-                    obs.incr("sim.fault.failure", 1);
-                    due.clear();
-                    due.extend(
-                        merged_indices(&indexes, |ix| ix.active.iter().copied())
-                            .into_iter()
-                            .map(|(i, ())| i)
-                            .filter(|&i| {
-                                sjobs[i]
-                                    .alloc
-                                    .as_ref()
-                                    .is_some_and(|a| a.uses_node(pool, fault.node))
-                            }),
-                    );
-                    for &i in &due {
-                        let j = &mut sjobs[i];
-                        let alloc = j.alloc.take().expect("active job holds an allocation");
-                        cluster.release(&alloc).expect("release crashed job");
-                        j.flush_run(t);
-                        j.flush_alloc(t);
-                        obs.alloc_event(t, j.spec.id, alloc.pool.0, &alloc.node_gpus, false);
-                        let mut rollback = 0.0;
-                        if j.state == JState::Running && j.iter_time > 0.0 {
-                            let lost_iters = (j.since_ckpt_s / j.iter_time)
-                                .min(j.spec.iterations as f64 - j.remaining);
-                            j.remaining += lost_iters;
-                            flog.samples_lost += lost_iters * j.iter_time * j.sps;
-                            rollback = lost_iters;
-                        }
-                        obs.job_event(
-                            t,
-                            j.spec.id,
-                            JobEventKind::Stop {
-                                cause: StopCause::NodeFailure,
-                                lost_iters: rollback,
-                            },
-                        );
-                        j.state = JState::Queued;
-                        j.restarts += 1;
-                        j.opportunistic = false;
-                        j.since_ckpt_s = 0.0;
-                        j.recovering_since.get_or_insert(t);
-                        flog.failure_evictions += 1;
-                        obs.decision(
-                            Decision::requeue(j.spec.id)
-                                .on_shard(j.spec.requested_pool as u32)
-                                .why("node-failure-evict"),
-                        );
-                        indexes[home_of[i]].requeue(&mut sjobs[i], i);
-                    }
-                    SchedEvent::NodeFailure {
-                        pool,
-                        node: fault.node,
-                    }
-                }
-                FaultKind::Repair => {
-                    cluster
-                        .repair_node(pool, fault.node)
-                        .expect("fault schedule names a node the cluster has");
-                    obs.incr("sim.fault.repair", 1);
-                    SchedEvent::NodeRepair {
-                        pool,
-                        node: fault.node,
-                    }
-                }
-            };
-            dispatch(
-                ev,
-                &mut sjobs,
-                &mut indexes,
-                &home_of,
-                &id_of,
-                &mut cluster,
-                service,
-                policy,
-                cfg,
-                t,
-                &mut acquired,
-                &mut decisions,
-                obs,
-                plan,
-            );
-        }
-
-        // 3. Arrivals due now, homed onto their shard.
-        while arrival_idx < jobs.len() && jobs[arrival_idx].submit_s <= t + EPS {
-            let spec = Arc::new(jobs[arrival_idx].clone());
-            arrival_idx += 1;
-            let iters = spec.iterations as f64;
-            let id = spec.id;
-            let home = plan.shard_of_pool(spec.requested_pool);
-            let model_key = interner.intern(&spec.model.name());
-            let idx = sjobs.len();
-            sjobs.push(SJob {
-                spec,
-                model_key,
-                state: JState::Queued,
-                generation: 0,
-                last_update_s: t,
-                remaining: iters,
-                alloc: None,
-                pool: 0,
-                gpus: 0,
-                opportunistic: false,
-                sps: 0.0,
-                iter_time: 0.0,
-                start_s: None,
-                finish_s: None,
-                restarts: 0,
-                profiled: false,
-                since_ckpt_s: 0.0,
-                recovering_since: None,
-                run_since: None,
-                alloc_since: None,
-                run_s: 0.0,
-                productive_gpu_s: 0.0,
-                allocated_gpu_s: 0.0,
-            });
-            home_of.push(home);
-            id_of.entry(id).or_insert(idx);
-            indexes[home].queued.insert(idx);
-            obs.job_event(t, id, JobEventKind::Submit);
-            event = Some(SchedEvent::Arrival(id));
-        }
-
-        // 4. Round tick.
-        if next_round <= t + EPS {
-            next_round += cfg.round_interval_s;
-            event.get_or_insert(SchedEvent::Round);
-        }
-
-        // 5. Let the policy react.
-        if let Some(ev) = event {
-            dispatch(
-                ev,
-                &mut sjobs,
-                &mut indexes,
-                &home_of,
-                &id_of,
-                &mut cluster,
-                service,
-                policy,
-                cfg,
-                t,
-                &mut acquired,
-                &mut decisions,
-                obs,
-                plan,
-            );
-        }
-
-        // 6. Sample the throughput timeline at round boundaries: both
-        // sums fold the merged (ascending global index) running stream,
-        // reproducing the serial accumulation order bitwise.
-        if matches!(event, Some(SchedEvent::Round)) {
-            let running: Vec<usize> = merged_indices(&indexes, |ix| ix.active.iter().copied())
-                .into_iter()
-                .map(|(i, ())| i)
-                .filter(|&i| sjobs[i].state == JState::Running)
-                .collect();
-            let norm: f64 = running
-                .iter()
-                .map(|&i| sjobs[i].sps / service.ideal_sps(&sjobs[i].spec))
-                .sum();
-            let raw: f64 = running.iter().map(|&i| sjobs[i].sps).sum();
-            timeline.push((t, norm));
-            raw_timeline.push((t, raw));
-        }
-
-        // Termination: no arrivals left, nothing queued or active.
-        if arrival_idx >= jobs.len()
-            && indexes
-                .iter()
-                .all(|ix| ix.queued.is_empty() && ix.active.is_empty())
-        {
-            break;
-        }
+    for fault in faults {
+        engine.push_fault_unchecked(fault.clone());
     }
-
-    // Conformance: terminal jobs hold no GPUs, and each home shard's
-    // membership indexes agree with the job table.
-    for (i, j) in sjobs.iter().enumerate() {
-        if matches!(j.state, JState::Finished | JState::Dropped) {
-            assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
-        }
-        debug_assert_eq!(
-            indexes[home_of[i]].queued.contains(&i),
-            j.state == JState::Queued,
-            "queued index out of sync for job {}",
-            j.spec.id
-        );
-        debug_assert_eq!(
-            indexes[home_of[i]].active.contains(&i),
-            j.active(),
-            "active index out of sync for job {}",
-            j.spec.id
-        );
-    }
-    flog.elapsed_s = t.min(cfg.horizon_s);
-    flog.gpu_capacity_s = cluster_gpu_capacity as f64 * flog.elapsed_s;
-    let t_end = flog.elapsed_s;
-    for j in &mut sjobs {
-        j.flush_run(t_end);
-        j.flush_alloc(t_end);
-    }
-    obs.timeline_close(t_end);
-
-    let records: Vec<JobRecord> = sjobs
-        .iter()
-        .map(|j| JobRecord {
-            id: j.spec.id,
-            name: j.spec.name.clone(),
-            submit_s: j.spec.submit_s,
-            start_s: j.start_s,
-            finish_s: j.finish_s,
-            dropped: j.state == JState::Dropped,
-            restarts: j.restarts,
-            run_s: j.run_s,
-            productive_gpu_s: j.productive_gpu_s,
-            allocated_gpu_s: j.allocated_gpu_s,
-            deadline_met: j
-                .spec
-                .deadline_s
-                .map(|d| j.finish_s.is_some_and(|f| f <= d)),
-        })
-        .collect();
-    let metrics = aggregate(&records, &timeline, &raw_timeline, &decisions, &flog);
-    if obs.is_enabled() {
-        let est = service.estimator_stats();
-        obs.incr("estimator.estimate.hits", est.estimate_hits);
-        obs.incr("estimator.estimate.misses", est.estimate_misses);
-        obs.incr("estimator.profile.hits", est.profile_hits);
-        obs.incr("estimator.profile.misses", est.profile_misses);
-        obs.incr("estimator.table.hits", est.table_hits);
-        obs.incr("estimator.table.misses", est.table_misses);
-    }
-    SimResult {
-        policy: policy.name().to_string(),
-        records,
-        timeline,
-        raw_timeline,
-        metrics,
-        trace: obs.report(),
-    }
-}
-
-/// K-way merges one per-shard index stream back into ascending global
-/// (submission) order — the engine-side merge round. The per-shard sets
-/// hold disjoint global indices, each iterated ascending, so the merge is
-/// exactly the order a single global set would iterate in.
-fn merged_indices<'a, I>(
-    indexes: &'a [EventIndex],
-    stream: impl Fn(&'a EventIndex) -> I,
-) -> Vec<(usize, ())>
-where
-    I: Iterator<Item = usize> + 'a,
-{
-    if indexes.len() == 1 {
-        return stream(&indexes[0]).map(|i| (i, ())).collect();
-    }
-    merge_by_index(
-        indexes
-            .iter()
-            .map(|ix| stream(ix).map(|i| (i, ())).collect())
-            .collect(),
-    )
-}
-
-/// Per-shard queued/running view fragments: global indices (ascending)
-/// alongside the matching views, kept as parallel vectors so the merge
-/// round can move the views into the merged vectors without cloning.
-struct ViewFragment {
-    queued_idx: Vec<usize>,
-    queued: Vec<JobView>,
-    active_idx: Vec<usize>,
-    active: Vec<JobView>,
-}
-
-fn build_fragment(ix: &EventIndex, sjobs: &[SJob]) -> ViewFragment {
-    ViewFragment {
-        queued_idx: ix.queued.iter().copied().collect(),
-        queued: ix.queued.iter().map(|&i| job_view(&sjobs[i])).collect(),
-        active_idx: ix.active.iter().copied().collect(),
-        active: ix.active.iter().map(|&i| job_view(&sjobs[i])).collect(),
-    }
-}
-
-/// Builds the policy's view shard-by-shard, merges the fragments, runs
-/// the policy's per-shard pre-pass and scheduling pass, and executes the
-/// actions.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    ev: SchedEvent,
-    sjobs: &mut [SJob],
-    indexes: &mut [EventIndex],
-    home_of: &[usize],
-    id_of: &HashMap<u64, usize>,
-    cluster: &mut Cluster,
-    service: &PlanService,
-    policy: &mut dyn Policy,
-    cfg: &SimConfig,
-    t: f64,
-    acquired: &mut HashSet<(u32, usize, usize, usize)>,
-    decisions: &mut Vec<f64>,
-    obs: &Obs,
-    plan: &ShardPlan,
-) {
-    let actions = {
-        debug_assert!(
-            indexes
-                .iter()
-                .flat_map(|ix| ix.queued.iter())
-                .all(|&i| sjobs[i].state == JState::Queued),
-            "queued index holds a non-queued job"
-        );
-        debug_assert!(
-            indexes
-                .iter()
-                .flat_map(|ix| ix.active.iter())
-                .all(|&i| sjobs[i].active()),
-            "active index holds an inactive job"
-        );
-        // Merge round: per-shard index streams fold back into ascending
-        // global (submission) order, so the policy sees exactly the
-        // serial engine's queue and running vectors. Each job's view is
-        // constructed exactly once on either path: the parallel path
-        // builds per-shard fragments on the worker pool and *moves*
-        // their views through the merge; the serial path skips the
-        // fragments and builds the merged vectors directly from one walk
-        // of the merged streams. `queued_homes` remembers each merged
-        // queue slot's home shard so the per-shard queues below can lend
-        // references instead of cloning.
-        let live: usize = indexes
-            .iter()
-            .map(|ix| ix.queued.len() + ix.active.len())
-            .sum();
-        let parallel =
-            plan.workers.threads() > 1 && indexes.len() > 1 && live >= PARALLEL_VIEW_CUTOFF;
-        let (queued_homes, queued, running): (Vec<usize>, Vec<JobView>, Vec<JobView>) = if parallel
-        {
-            let mut frags: Vec<ViewFragment> = {
-                let sjobs: &[SJob] = sjobs;
-                plan.workers.run_all(
-                    indexes
-                        .iter()
-                        .map(|ix| move || build_fragment(ix, sjobs))
-                        .collect(),
-                )
-            };
-            let _span = obs.span("sim.shard.merge");
-            let queued_pairs = merge_by_index(
-                frags
-                    .iter_mut()
-                    .map(|f| {
-                        f.queued_idx
-                            .iter()
-                            .copied()
-                            .zip(f.queued.drain(..))
-                            .collect()
-                    })
-                    .collect(),
-            );
-            let running = merge_by_index(
-                frags
-                    .iter_mut()
-                    .map(|f| {
-                        f.active_idx
-                            .iter()
-                            .copied()
-                            .zip(f.active.drain(..))
-                            .collect()
-                    })
-                    .collect(),
-            )
-            .into_iter()
-            .map(|(_, v)| v)
-            .collect();
-            let mut homes = Vec::with_capacity(queued_pairs.len());
-            let mut queued = Vec::with_capacity(queued_pairs.len());
-            for (i, v) in queued_pairs {
-                homes.push(home_of[i]);
-                queued.push(v);
-            }
-            (homes, queued, running)
-        } else {
-            let _span = obs.span("sim.shard.merge");
-            let merged_q = merged_indices(indexes, |ix| ix.queued.iter().copied());
-            let homes = merged_q.iter().map(|&(i, _)| home_of[i]).collect();
-            let queued = merged_q.iter().map(|&(i, _)| job_view(&sjobs[i])).collect();
-            let running = merged_indices(indexes, |ix| ix.active.iter().copied())
-                .into_iter()
-                .map(|(i, _)| job_view(&sjobs[i]))
-                .collect();
-            (homes, queued, running)
-        };
-        let pools = cluster.pool_stats();
-        if obs.is_enabled() {
-            obs.context(t, policy.name(), ev.label());
-            obs.incr(&format!("sim.event.{}", ev.label()), 1);
-            obs.gauge("sim.queue_depth", t, queued.len() as f64);
-            obs.gauge("sim.running_jobs", t, running.len() as f64);
-        }
-        let view = SchedView {
-            now_s: t,
-            queued: &queued,
-            running: &running,
-            pools: &pools,
-            service,
-            obs: obs.clone(),
-        };
-        // Per-shard pre-pass: policies may warm caches concurrently but
-        // must not change what `schedule` returns. The per-shard queues
-        // lend references into the merged vector, routed by home shard;
-        // merged order is ascending within each shard, so every shard
-        // sees its jobs in arrival order.
-        {
-            let _span = obs.span("sim.shard.prepare");
-            let mut split: Vec<Vec<&JobView>> = (0..indexes.len()).map(|_| Vec::new()).collect();
-            for (&home, v) in queued_homes.iter().zip(queued.iter()) {
-                split[home].push(v);
-            }
-            let shard_queues: Vec<ShardQueue<'_>> = split
-                .into_iter()
-                .enumerate()
-                .map(|(shard, queued)| ShardQueue { shard, queued })
-                .collect();
-            policy.prepare_shards(&shard_queues, &view);
-        }
-        let started = std::time::Instant::now();
-        let actions = {
-            let _span = obs.span("sim.schedule");
-            policy.schedule(ev, &view)
-        };
-        decisions.push(started.elapsed().as_secs_f64());
-        obs.observe("sim.actions_per_pass", actions.len() as f64);
-        actions
-    };
-    execute(
-        &actions, sjobs, indexes, home_of, id_of, cluster, service, policy, cfg, t, acquired, obs,
-    );
-}
-
-/// Executes scheduling actions — the serial engine's executor with index
-/// membership routed to each job's home shard. Actions apply in the
-/// policy's emission order, exactly as in the serial engine.
-#[allow(clippy::too_many_arguments)]
-fn execute(
-    actions: &[Action],
-    sjobs: &mut [SJob],
-    indexes: &mut [EventIndex],
-    home_of: &[usize],
-    id_of: &HashMap<u64, usize>,
-    cluster: &mut Cluster,
-    service: &PlanService,
-    policy: &dyn Policy,
-    cfg: &SimConfig,
-    t: f64,
-    acquired: &mut HashSet<(u32, usize, usize, usize)>,
-    obs: &Obs,
-) {
-    for action in actions {
-        match *action {
-            Action::Drop { job } => {
-                let Some(&idx) = id_of.get(&job) else {
-                    continue;
-                };
-                let j = &mut sjobs[idx];
-                if matches!(j.state, JState::Finished | JState::Dropped) {
-                    continue;
-                }
-                j.flush_run(t);
-                j.flush_alloc(t);
-                if let Some(alloc) = j.alloc.take() {
-                    cluster.release(&alloc).expect("release dropped job");
-                    obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
-                }
-                j.state = JState::Dropped;
-                obs.job_event(t, job, JobEventKind::Drop);
-                indexes[home_of[idx]].retire(&mut sjobs[idx], idx);
-            }
-            Action::Evict { job } => {
-                let Some(&idx) = id_of.get(&job) else {
-                    continue;
-                };
-                let j = &mut sjobs[idx];
-                if j.active() {
-                    j.flush_run(t);
-                    j.flush_alloc(t);
-                    if let Some(alloc) = j.alloc.take() {
-                        cluster.release(&alloc).expect("release evicted job");
-                        obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
-                    }
-                    j.state = JState::Queued;
-                    j.restarts += 1;
-                    j.opportunistic = false;
-                    obs.job_event(
-                        t,
-                        job,
-                        JobEventKind::Stop {
-                            cause: StopCause::Preemption,
-                            lost_iters: 0.0,
-                        },
-                    );
-                    indexes[home_of[idx]].requeue(&mut sjobs[idx], idx);
-                }
-            }
-            Action::Place {
-                job,
-                pool,
-                gpus,
-                opportunistic,
-            } => {
-                let Some(&idx) = id_of.get(&job) else {
-                    continue;
-                };
-                let j = &mut sjobs[idx];
-                if matches!(j.state, JState::Finished | JState::Dropped) {
-                    continue;
-                }
-                // No-op placement: already running exactly like this.
-                if j.active() && j.pool == pool.0 && j.gpus == gpus {
-                    continue;
-                }
-                let run = match policy.plan_mode() {
-                    PlanMode::Adaptive => service.adaptive_run(&j.spec.model, gpus, pool),
-                    PlanMode::Cell => service.arena_run(&j.spec.model, gpus, pool),
-                };
-                let Some(run) = run else {
-                    obs.incr("sim.place.infeasible", 1);
-                    obs.decision(
-                        Decision::requeue(job)
-                            .on_shard(j.spec.requested_pool as u32)
-                            .why("infeasible-placement"),
-                    );
-                    continue;
-                };
-                let was_active = j.active();
-                let prev_grant = was_active.then_some((j.pool, j.gpus));
-                j.flush_run(t);
-                j.flush_alloc(t);
-                if let Some(alloc) = j.alloc.take() {
-                    cluster.release(&alloc).expect("release re-placed job");
-                    obs.alloc_event(t, job, alloc.pool.0, &alloc.node_gpus, false);
-                }
-                match cluster.allocate(pool, gpus) {
-                    Ok(alloc) => {
-                        if was_active {
-                            j.restarts += 1;
-                        }
-                        obs.alloc_event(t, job, pool.0, &alloc.node_gpus, true);
-                        let key = (j.model_key, j.spec.model.global_batch, gpus, pool.0);
-                        let first = acquired.insert(key);
-                        let state_bytes = 8.0 * service.graph(&j.spec.model).total_param_bytes();
-                        let ckpt = 2.0 * state_bytes / cfg.checkpoint_bw_bps;
-                        let delay = cfg.restart_overhead_s
-                            + ckpt
-                            + if first { run.acquire_wall_s } else { 0.0 };
-                        j.profiled = true;
-                        j.alloc = Some(alloc);
-                        j.pool = pool.0;
-                        j.gpus = gpus;
-                        j.opportunistic = opportunistic;
-                        j.sps = run.throughput_sps;
-                        j.iter_time = run.iter_time_s;
-                        j.state = JState::Starting(t + delay);
-                        j.alloc_since = Some(t);
-                        obs.incr("sim.place.ok", 1);
-                        obs.job_event(
-                            t,
-                            job,
-                            JobEventKind::Place {
-                                pool: pool.0,
-                                gpus,
-                                prev: prev_grant,
-                                opportunistic,
-                            },
-                        );
-                        indexes[home_of[idx]].place(&mut sjobs[idx], idx, t + delay);
-                    }
-                    Err(_) => {
-                        // Capacity race: job returns to the queue.
-                        if was_active {
-                            j.restarts += 1;
-                            obs.job_event(
-                                t,
-                                job,
-                                JobEventKind::Stop {
-                                    cause: StopCause::CapacityRace,
-                                    lost_iters: 0.0,
-                                },
-                            );
-                        }
-                        j.state = JState::Queued;
-                        obs.incr("sim.place.capacity_race", 1);
-                        obs.decision(
-                            Decision::requeue(job)
-                                .on_shard(j.spec.requested_pool as u32)
-                                .why("capacity-race"),
-                        );
-                        indexes[home_of[idx]].requeue(&mut sjobs[idx], idx);
-                    }
-                }
-            }
-        }
-    }
+    engine.close_input();
+    engine.run_to_end();
+    engine.finish()
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use arena_model::ModelConfig;
 
 /// One training job as submitted to the cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Unique job id (dense, trace order).
     pub id: u64,

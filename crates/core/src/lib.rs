@@ -19,6 +19,7 @@
 //! | [`runtime`] | `arena-runtime` | deterministic worker pool for parallel fan-out |
 //! | [`trace`] | `arena-trace` | synthetic Philly/Helios/PAI workloads |
 //! | [`sim`] | `arena-sim` | discrete-event cluster simulator |
+//! | [`server`] | `arena-server` | resident scheduling daemon + JSONL protocol |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use arena_parallelism as parallelism;
 pub use arena_perf as perf;
 pub use arena_runtime as runtime;
 pub use arena_sched as sched;
+pub use arena_server as server;
 pub use arena_sim as sim;
 pub use arena_trace as trace;
 pub use arena_tuner as tuner;

@@ -102,17 +102,30 @@ pub trait Deserialize: Sized {
 
 /// Extracts and deserializes a struct field (derive-macro helper).
 ///
+/// A missing field deserializes as if it were `null`, so `Option`
+/// fields may be omitted entirely — mirroring serde's implicit
+/// `#[serde(default)]` for `Option`. Types that reject `null` report
+/// the friendlier "missing field" error.
+///
 /// # Errors
 ///
-/// Returns [`DeError`] when the field is missing or has the wrong shape.
+/// Returns [`DeError`] when the field is missing (and the type rejects
+/// `null`) or has the wrong shape.
 pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
     match obj.get(name) {
         Some(v) => T::from_value(v),
-        None => Err(DeError::custom(format!("missing field `{name}`"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::custom(format!("missing field `{name}`"))),
     }
 }
 
 // ---- Serialize impls for primitives and std containers ----
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
 
 macro_rules! ser_unsigned {
     ($($t:ty),*) => {$(
@@ -431,5 +444,15 @@ mod tests {
         assert!(u64::from_value(&Value::Str("x".into())).is_err());
         assert!(bool::from_value(&Value::U64(1)).is_err());
         assert!(<(usize, usize)>::from_value(&Value::Array(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn missing_optional_fields_default_to_none() {
+        let obj = Value::Object(vec![("present".to_string(), Value::F64(2.0))]);
+        assert_eq!(field::<Option<f64>>(&obj, "absent").unwrap(), None);
+        assert_eq!(field::<Option<f64>>(&obj, "present").unwrap(), Some(2.0));
+        // Non-optional types still report the missing field by name.
+        let err = field::<u64>(&obj, "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"));
     }
 }

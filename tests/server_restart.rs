@@ -1,0 +1,305 @@
+//! Graceful shutdown and replay-based recovery.
+//!
+//! The daemon appends every accepted mutating command to its event log.
+//! Closing the server mid-trace must drain in-flight decisions (the
+//! current burst completes; state is published) and flush the decision
+//! JSONL; a second server resuming from the flushed event log, fed the
+//! rest of the trace, must reproduce the batch fingerprint byte for
+//! byte — the online run survives a restart without observable drift.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use arena::prelude::*;
+use arena::sched::policy_by_name;
+use arena::sim::simulate_sharded_with_faults_traced;
+use arena::trace::FaultEvent;
+use arena_server::protocol::{fault_line, submit_line};
+use arena_server::{Server, ServerConfig};
+
+fn mixed_trace(n: u64, gap_s: f64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let fam =
+                [ModelFamily::Bert, ModelFamily::Moe, ModelFamily::WideResNet][(i % 3) as usize];
+            let size = match fam {
+                ModelFamily::Bert => [0.76, 1.3][(i % 2) as usize],
+                ModelFamily::Moe => [0.69, 1.3][(i % 2) as usize],
+                ModelFamily::WideResNet => [0.5, 1.0][(i % 2) as usize],
+            };
+            JobSpec {
+                id: i,
+                name: format!("j{i}"),
+                submit_s: gap_s * i as f64,
+                model: ModelConfig::new(fam, size, 256),
+                iterations: 300 + 150 * (i % 4),
+                requested_gpus: [2, 4, 8][(i % 3) as usize],
+                requested_pool: (i % 2) as usize,
+                deadline_s: None,
+            }
+        })
+        .collect()
+}
+
+fn fingerprint(mut r: SimResult) -> String {
+    r.metrics.avg_decision_s = 0.0;
+    format!(
+        "policy={}\nmetrics={}\nrecords={:?}\ntimeline={:?}\nraw={:?}\ndecisions=\n{}\nevents={:?}\nnodes={:?}",
+        r.policy,
+        serde_json::to_string(&r.metrics).expect("metrics serialise"),
+        r.records,
+        r.timeline,
+        r.raw_timeline,
+        r.trace.decisions_jsonl(),
+        r.trace.timeline.events,
+        r.trace.timeline.nodes,
+    )
+}
+
+fn batch_fingerprint(
+    policy: &str,
+    jobs: &[JobSpec],
+    faults: &[FaultEvent],
+    cfg: &SimConfig,
+    shards: usize,
+) -> String {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let mut p = policy_by_name(policy, 1).expect("known policy");
+    let service = PlanService::new(&cluster, CostParams::default(), 17);
+    let obs = Obs::enabled();
+    let plan = ShardPlan::per_pool(&cluster)
+        .with_shards(shards)
+        .with_workers(WorkerPool::new(1));
+    fingerprint(simulate_sharded_with_faults_traced(
+        &cluster,
+        jobs,
+        p.as_mut(),
+        &service,
+        cfg,
+        faults,
+        &obs,
+        &plan,
+    ))
+}
+
+fn command_stream(jobs: &[JobSpec], faults: &[FaultEvent]) -> Vec<String> {
+    let mut lines = Vec::with_capacity(jobs.len() + faults.len());
+    let (mut ji, mut fi) = (0, 0);
+    while ji < jobs.len() || fi < faults.len() {
+        let take_job =
+            fi >= faults.len() || (ji < jobs.len() && jobs[ji].submit_s <= faults[fi].time_s);
+        if take_job {
+            lines.push(submit_line(&jobs[ji]));
+            ji += 1;
+        } else {
+            lines.push(fault_line(&faults[fi]));
+            fi += 1;
+        }
+    }
+    lines
+}
+
+/// A unique scratch path per call (the test binary may run these tests
+/// concurrently).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "arena-server-test-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn config(policy: &str, cfg: &SimConfig) -> ServerConfig {
+    ServerConfig::new(
+        policy,
+        arena::cluster::presets::physical_testbed(),
+        cfg.clone(),
+    )
+    .with_shards(2)
+}
+
+#[test]
+fn restart_from_event_log_reproduces_batch_fingerprint() {
+    let jobs = mixed_trace(12, 150.0);
+    let faults = arena::trace::generate_faults(
+        &arena::trace::FaultConfig::with_mtbf(9_000.0),
+        &[16, 16],
+        24.0 * 3600.0,
+    );
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let batch = batch_fingerprint("arena", &jobs, &faults, &cfg, 2);
+    let stream = command_stream(&jobs, &faults);
+    let split = stream.len() / 2;
+    let log_path = scratch("restart");
+
+    // First server: feed half the trace, then shut down mid-run.
+    {
+        let mut sc = config("arena", &cfg);
+        sc.event_log = Some(log_path.clone());
+        let server = Server::start(sc).expect("server A start");
+        let handle = server.handle();
+        for line in &stream[..split] {
+            assert!(handle.handle_line(line).contains("\"ok\":true"), "{line}");
+        }
+        let outcome = server.join();
+        // Mid-trace shutdown: not drained, but state is coherent and the
+        // decision log so far was flushed.
+        assert!(!outcome.state.drained);
+        assert!(outcome.result.is_none());
+        assert_eq!(outcome.event_log.len(), split);
+        assert!(
+            !outcome.decisions_jsonl.is_empty(),
+            "decision JSONL not flushed"
+        );
+    }
+
+    // Second server: resume from the flushed log, feed the rest, drain.
+    let online = {
+        let mut sc = config("arena", &cfg);
+        sc.resume = Some(log_path.clone());
+        sc.event_log = Some(log_path.clone());
+        let server = Server::start(sc).expect("server B start");
+        let handle = server.handle();
+        // Replay restored the clock and state.
+        let snap = handle.hub().load();
+        assert_eq!(
+            snap.state.submitted,
+            stream[..split]
+                .iter()
+                .filter(|l| l.contains("\"cmd\":\"submit\""))
+                .count()
+        );
+        for line in &stream[split..] {
+            assert!(handle.handle_line(line).contains("\"ok\":true"), "{line}");
+        }
+        assert!(handle
+            .handle_line("{\"cmd\":\"drain\"}")
+            .contains("\"drained\":true"));
+        let outcome = server.join();
+        // The log now holds the full accepted stream (drain included).
+        assert_eq!(outcome.event_log.len(), stream.len() + 1);
+        fingerprint(outcome.result.expect("drained"))
+    };
+    let _ = std::fs::remove_file(&log_path);
+    assert_eq!(online, batch, "restarted run diverged from batch");
+}
+
+#[test]
+fn replay_tolerates_a_truncated_trailing_line() {
+    // A crash can leave a half-written last line in the log; recovery
+    // skips it and replays the intact prefix.
+    let jobs = mixed_trace(6, 150.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let log_path = scratch("truncated");
+    {
+        let mut sc = config("fcfs", &cfg);
+        sc.event_log = Some(log_path.clone());
+        let server = Server::start(sc).expect("server start");
+        let handle = server.handle();
+        for job in &jobs {
+            assert!(handle
+                .handle_line(&submit_line(job))
+                .contains("\"ok\":true"));
+        }
+        let _ = server.join();
+    }
+    // Simulate the crash: chop the last line in half.
+    let text = std::fs::read_to_string(&log_path).expect("log readable");
+    let intact: Vec<&str> = text.lines().collect();
+    let last = intact.last().expect("log has lines");
+    let truncated = format!(
+        "{}\n{}",
+        intact[..intact.len() - 1].join("\n"),
+        &last[..last.len() / 2]
+    );
+    std::fs::write(&log_path, truncated).expect("rewrite log");
+
+    let mut sc = config("fcfs", &cfg);
+    sc.resume = Some(log_path.clone());
+    let server = Server::start(sc).expect("resume start");
+    let handle = server.handle();
+    let snap = handle.hub().load();
+    assert_eq!(
+        snap.state.submitted,
+        jobs.len() - 1,
+        "truncated line was not skipped"
+    );
+    // The daemon keeps accepting input after a lossy recovery.
+    assert!(handle
+        .handle_line(&submit_line(&jobs[jobs.len() - 1]))
+        .contains("\"ok\":true"));
+    assert!(handle
+        .handle_line("{\"cmd\":\"drain\"}")
+        .contains("\"drained\":true"));
+    let outcome = server.join();
+    assert!(outcome.state.drained);
+    assert_eq!(outcome.state.submitted, jobs.len());
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn shutdown_flushes_decision_log_to_disk() {
+    let jobs = mixed_trace(8, 120.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let decisions_path = scratch("decisions");
+    let mut sc = config("fcfs", &cfg);
+    sc.decision_log = Some(decisions_path.clone());
+    let server = Server::start(sc).expect("server start");
+    let handle = server.handle();
+    for job in &jobs {
+        assert!(handle
+            .handle_line(&submit_line(job))
+            .contains("\"ok\":true"));
+    }
+    assert!(handle
+        .handle_line("{\"cmd\":\"drain\"}")
+        .contains("\"drained\":true"));
+    let outcome = server.join();
+    let on_disk = std::fs::read_to_string(&decisions_path).expect("decision log written");
+    assert_eq!(on_disk, outcome.decisions_jsonl);
+    assert!(!on_disk.is_empty());
+    for line in on_disk.lines() {
+        let v: serde::Value = serde_json::from_str(line).expect("decision line parses");
+        assert!(v.get("seq").is_some());
+    }
+    let _ = std::fs::remove_file(&decisions_path);
+}
+
+#[test]
+fn in_memory_event_log_replays_identically() {
+    // The outcome's in-memory event log alone (no files) is enough to
+    // reproduce a run: feed it to a fresh daemon line by line.
+    let jobs = mixed_trace(10, 130.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let first = {
+        let server = Server::start(config("gavel", &cfg)).expect("server start");
+        let handle = server.handle();
+        for job in &jobs {
+            assert!(handle
+                .handle_line(&submit_line(job))
+                .contains("\"ok\":true"));
+        }
+        assert!(handle
+            .handle_line("{\"cmd\":\"drain\"}")
+            .contains("\"drained\":true"));
+        server.join()
+    };
+    let replayed = {
+        let server = Server::start(config("gavel", &cfg)).expect("replay start");
+        let handle = server.handle();
+        for line in &first.event_log {
+            assert!(handle.handle_line(line).contains("\"ok\":true"), "{line}");
+        }
+        server.join()
+    };
+    assert!(
+        replayed.state.drained,
+        "event log did not include the drain"
+    );
+    let (a, b) = (
+        fingerprint(first.result.expect("drained")),
+        fingerprint(replayed.result.expect("drained")),
+    );
+    assert_eq!(a, b, "in-memory replay diverged");
+}

@@ -17,7 +17,23 @@
 //!   shards than partitions, custom pool groupings).
 
 use arena::prelude::*;
+use arena::sched::{policy_by_name, POLICY_NAMES};
 use arena::trace::FaultEvent;
+
+/// The five-way comparison set with every environment knob pinned.
+///
+/// `arena::experiments::comparison_policies()` builds `ArenaPolicy::new()`,
+/// which consults `ARENA_WORKER_THREADS` — so a stray variable in the
+/// test runner's environment would silently change what this suite
+/// exercises. Equivalence tests must control their execution knobs
+/// explicitly (the worker pool under test comes from the `ShardPlan`),
+/// so build each policy by name with the worker count pinned to 1.
+fn pinned_policies() -> Vec<Box<dyn Policy>> {
+    POLICY_NAMES
+        .iter()
+        .map(|name| policy_by_name(name, 1).expect("known policy"))
+        .collect()
+}
 
 fn mixed_trace(n: u64, gap_s: f64) -> Vec<JobSpec> {
     (0..n)
@@ -62,7 +78,7 @@ fn fingerprint(mut r: SimResult) -> String {
 /// Serial-engine fingerprints for every comparison policy on a scenario.
 fn serial_fingerprints(jobs: &[JobSpec], faults: &[FaultEvent], cfg: &SimConfig) -> Vec<String> {
     let cluster = arena::cluster::presets::physical_testbed();
-    arena::experiments::comparison_policies()
+    pinned_policies()
         .into_iter()
         .map(|mut policy| {
             let service = PlanService::new(&cluster, CostParams::default(), 17);
@@ -88,7 +104,7 @@ fn sharded_fingerprints(
     plan: &ShardPlan,
 ) -> Vec<String> {
     let cluster = arena::cluster::presets::physical_testbed();
-    arena::experiments::comparison_policies()
+    pinned_policies()
         .into_iter()
         .map(|mut policy| {
             let service = PlanService::new(&cluster, CostParams::default(), 17);
