@@ -266,6 +266,92 @@ fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
     )
 }
 
+/// The loaded engine round through the sharded incremental driver —
+/// the decision loop the telemetry plane instruments — once with
+/// `Obs::disabled()` and once with the live plane attached
+/// (`Obs::metrics_only` + a `MetricsRegistry`): every burst timed,
+/// per-shard gauges stored, event counters bumped, estimator ratios
+/// refreshed, stage spans recorded into lock-free histograms. The pair
+/// is the overhead gate — telemetry-on must stay within 5% of
+/// telemetry-off, enforced in CI by `arena-analyze bench-check
+/// BENCH_sim_telemetry_off.json <committed BENCH_sim.json> --threshold
+/// 0.05` (the `_off` file freezes the off mean under the telemetry
+/// entry's name; both entries land in `BENCH_sim.json` too).
+fn bench_simulate_loaded_telemetry(smoke: bool) -> (Vec<BenchEntry>, BenchEntry) {
+    let cluster = arena::cluster::presets::physical_testbed();
+    let service = PlanService::new(&cluster, CostParams::default(), 51);
+    let n = if smoke { 200 } else { 5000 };
+    let jobs = make_jobs(n, 4, 30.0, 2);
+    let fault_span_s = n as f64 * 30.0 * 1.4;
+    let faults = arena::trace::generate_faults(
+        &arena::trace::FaultConfig::with_mtbf(60_000.0),
+        &[16, 16],
+        fault_span_s,
+    );
+    let cfg = SimConfig::new(30.0 * 24.0 * 3600.0);
+    let plan = ShardPlan::per_pool(&cluster);
+    // Warm the plan caches once.
+    let _ = simulate_sharded_with_faults(
+        &cluster,
+        &jobs,
+        &mut FcfsPolicy::new(),
+        &service,
+        &cfg,
+        &faults,
+        &plan,
+    );
+    // More iterations than the other loaded benches: the overhead gate
+    // compares these two means at a 5% threshold, well inside this
+    // host's run-to-run noise at 3 iterations.
+    let iters = if smoke { 1 } else { 8 };
+    let off = time_loop(
+        &format!("sim/simulate_{n}_jobs_faulted_fcfs_sharded"),
+        iters,
+        || {
+            let mut p = FcfsPolicy::new();
+            black_box(simulate_sharded_with_faults(
+                &cluster,
+                black_box(&jobs),
+                &mut p,
+                &service,
+                &cfg,
+                &faults,
+                &plan,
+            ));
+        },
+    );
+    let registry = std::sync::Arc::new(MetricsRegistry::new(256));
+    let obs = Obs::metrics_only(std::sync::Arc::clone(&registry));
+    let name_on = format!("sim/simulate_{n}_jobs_faulted_fcfs_telemetry");
+    let on = time_loop(&name_on, iters, || {
+        let mut p = FcfsPolicy::new();
+        black_box(simulate_sharded_with_faults_traced(
+            &cluster,
+            black_box(&jobs),
+            &mut p,
+            &service,
+            &cfg,
+            &faults,
+            &obs,
+            &plan,
+        ));
+    });
+    // The run must actually have fed the plane, or the gate is a no-op.
+    assert!(
+        registry
+            .counters_snapshot()
+            .get("sim.event.arrival")
+            .copied()
+            >= Some(n),
+        "telemetry bench ran without populating the registry"
+    );
+    // The off mean under the on entry's name: the frozen left-hand side
+    // of the CI overhead gate.
+    let mut gate = off.clone();
+    gate.name = name_on;
+    (vec![off, on], gate)
+}
+
 /// A class-diverse burst for the multi-pool sharded bench: families,
 /// sizes and GPU requests all vary, so the queue spans many distinct
 /// candidate classes, and arrivals compress into a burst so the queue
@@ -378,6 +464,8 @@ fn main() {
     benches.extend(bench_arena_500(smoke));
     benches.push(bench_simulate_500(smoke));
     benches.push(bench_simulate_loaded(smoke));
+    let (telemetry, telemetry_gate) = bench_simulate_loaded_telemetry(smoke);
+    benches.extend(telemetry);
     benches.extend(bench_simulate_multipool(smoke));
 
     if !smoke {
@@ -404,4 +492,16 @@ fn main() {
         benches,
     };
     write_bench_report("BENCH_sim.json", &report).expect("write BENCH_sim.json");
+    // The telemetry-off reference for the CI overhead gate. Smoke runs
+    // must not clobber the committed full-scale numbers.
+    if !smoke {
+        let gate = BenchReport {
+            smoke,
+            git_rev: git_rev(),
+            policies: vec!["Arena".to_string()],
+            benches: vec![telemetry_gate],
+        };
+        write_bench_report("BENCH_sim_telemetry_off.json", &gate)
+            .expect("write BENCH_sim_telemetry_off.json");
+    }
 }

@@ -5,6 +5,7 @@
 //! arena-analyze summarize <results-dir>
 //! arena-analyze diff <dir-a> <dir-b> [--top N]
 //! arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]
+//! arena-analyze metrics <dump.txt> [<other.txt>] [--prefix P]
 //! ```
 //!
 //! * `summarize` reads the `timeline_*.summary.json` files written by
@@ -17,6 +18,11 @@
 //!   non-zero when any bench's mean regressed by more than the
 //!   threshold (default 0.20 = +20%). The `smoke:true` single-iteration
 //!   format is accepted on either side.
+//! * `metrics` parses a Prometheus-style exposition dump as scraped
+//!   from the daemon's `query metrics` (the `metrics` string of the
+//!   response, or the raw response line itself) and summarizes it; with
+//!   two dumps it reports per-series deltas instead. Exits non-zero on
+//!   malformed or empty input — CI uses it as a well-formedness gate.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -38,11 +44,26 @@ fn main() -> ExitCode {
                 flag_value(&args, "--threshold").map_or(0.20, |v| v.parse().unwrap_or(0.20));
             bench_check(Path::new(&args[1]), Path::new(&args[2]), threshold)
         }
+        Some("metrics") if args.len() >= 2 => {
+            let prefix = flag_value(&args, "--prefix").unwrap_or("").to_string();
+            let files: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            // --prefix takes a value; drop it from the positional list.
+            let files: Vec<&String> = files.into_iter().filter(|f| **f != prefix).collect();
+            match files.as_slice() {
+                [one] => metrics_summary(Path::new(one), &prefix),
+                [a, b] => metrics_diff(Path::new(a), Path::new(b), &prefix),
+                _ => {
+                    eprintln!("metrics: expected one or two dump files");
+                    ExitCode::from(2)
+                }
+            }
+        }
         _ => {
             eprintln!(
                 "usage:\n  arena-analyze summarize <results-dir>\n  \
                  arena-analyze diff <dir-a> <dir-b> [--top N]\n  \
-                 arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]"
+                 arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]\n  \
+                 arena-analyze metrics <dump.txt> [<other.txt>] [--prefix P]"
             );
             ExitCode::from(2)
         }
@@ -211,6 +232,199 @@ fn load_bench(path: &Path) -> Result<(bool, BTreeMap<String, BenchLine>), String
         out.insert(name, BenchLine { iters, mean_s });
     }
     Ok((smoke, out))
+}
+
+/// One parsed exposition dump: declared metric families and every
+/// sample series (full name with labels → value).
+struct MetricsDump {
+    /// family base name → `counter` | `gauge` | `histogram`.
+    types: BTreeMap<String, String>,
+    /// series (with labels) → value, insertion order preserved by name.
+    series: BTreeMap<String, f64>,
+}
+
+/// Strict parse of a Prometheus-style exposition as produced by the
+/// daemon's `query metrics`. Accepts either the raw text or the whole
+/// JSONL response line (the `metrics` string is extracted). Rejects
+/// malformed sample lines, samples without a declared family, and
+/// dumps with no samples at all — this is CI's well-formedness gate.
+fn parse_metrics_dump(path: &Path) -> Result<MetricsDump, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let text = if body.trim_start().starts_with('{') {
+        // A captured response line: {"ok":true,...,"metrics":"..."}.
+        let v: serde::Value = serde_json::from_str(body.trim())
+            .map_err(|e| format!("{}: bad response JSON: {e}", path.display()))?;
+        match v.get("metrics") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => {
+                return Err(format!(
+                    "{}: response has no `metrics` string",
+                    path.display()
+                ))
+            }
+        }
+    } else {
+        body
+    };
+    let mut types = BTreeMap::new();
+    let mut series = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("{}:{}: {msg}", path.display(), lineno + 1);
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| at("# TYPE without a family name".to_string()))?;
+                    let kind = words
+                        .next()
+                        .ok_or_else(|| at(format!("# TYPE {name} without a kind")))?;
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(at(format!("unknown family kind `{kind}`")));
+                    }
+                    if let Some(prev) = types.insert(name.to_string(), kind.to_string()) {
+                        if prev != kind {
+                            return Err(at(format!("family {name} re-typed {prev} -> {kind}")));
+                        }
+                    }
+                }
+                _ => {} // tolerate HELP and other comments
+            }
+            continue;
+        }
+        // Sample: `name value` or `name{labels} value`. Labels may
+        // contain spaces only inside quotes — our emitter never does —
+        // so the last whitespace split is the value.
+        let Some(split) = line.rfind(|c: char| c.is_whitespace()) else {
+            return Err(at(format!("sample line without a value: `{line}`")));
+        };
+        let (name, value) = (line[..split].trim(), line[split..].trim());
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| at(format!("unparseable sample value `{v}`")))?,
+        };
+        let base = name.split('{').next().unwrap_or(name);
+        let family_known = types.contains_key(base)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                base.strip_suffix(suffix)
+                    .is_some_and(|f| types.get(f).map(String::as_str) == Some("histogram"))
+            });
+        if !family_known {
+            return Err(at(format!("sample `{name}` has no declared family")));
+        }
+        series.insert(name.to_string(), value);
+    }
+    if series.is_empty() {
+        return Err(format!("{}: no samples in dump", path.display()));
+    }
+    Ok(MetricsDump { types, series })
+}
+
+/// Whether a series is a histogram bucket sample (elided from tables —
+/// `_sum`/`_count` carry the summary).
+fn is_bucket(name: &str) -> bool {
+    name.split('{').next().unwrap_or(name).ends_with("_bucket")
+}
+
+fn metrics_summary(path: &Path, prefix: &str) -> ExitCode {
+    let dump = match parse_metrics_dump(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let kind_of = |name: &str| -> String {
+        let base = name.split('{').next().unwrap_or(name);
+        if let Some(k) = dump.types.get(base) {
+            return k.clone();
+        }
+        "histogram".to_string()
+    };
+    let mut t = Table::new(
+        &format!(
+            "Metrics: {} ({} families)",
+            path.display(),
+            dump.types.len()
+        ),
+        &["series", "kind", "value"],
+    );
+    let mut shown = 0;
+    for (name, value) in &dump.series {
+        if !name.starts_with(prefix) || is_bucket(name) {
+            continue;
+        }
+        shown += 1;
+        t.row(vec![name.clone(), kind_of(name), format!("{value}")]);
+    }
+    println!("{}", t.render());
+    if shown == 0 {
+        eprintln!("metrics: no series match prefix `{prefix}`");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn metrics_diff(path_a: &Path, path_b: &Path, prefix: &str) -> ExitCode {
+    let (a, b) = match (parse_metrics_dump(path_a), parse_metrics_dump(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut t = Table::new(
+        &format!("Metrics diff: {} -> {}", path_a.display(), path_b.display()),
+        &["series", "a", "b", "delta"],
+    );
+    let names: std::collections::BTreeSet<&String> =
+        a.series.keys().chain(b.series.keys()).collect();
+    for name in names {
+        if !name.starts_with(prefix) || is_bucket(name) {
+            continue;
+        }
+        match (a.series.get(name), b.series.get(name)) {
+            (Some(&va), Some(&vb)) => {
+                if va != vb {
+                    t.row(vec![
+                        name.clone(),
+                        format!("{va}"),
+                        format!("{vb}"),
+                        format!("{:+}", vb - va),
+                    ]);
+                }
+            }
+            (Some(&va), None) => {
+                t.row(vec![
+                    name.clone(),
+                    format!("{va}"),
+                    "-".into(),
+                    "GONE".into(),
+                ]);
+            }
+            (None, Some(&vb)) => {
+                t.row(vec![
+                    name.clone(),
+                    "-".into(),
+                    format!("{vb}"),
+                    "NEW".into(),
+                ]);
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    println!("{}", t.render());
+    ExitCode::SUCCESS
 }
 
 fn bench_check(old: &Path, new: &Path, threshold: f64) -> ExitCode {

@@ -79,7 +79,9 @@ fn main() {
 /// Flags: `--stdin` | `--addr H:P` (default `127.0.0.1:7700`),
 /// `--policy NAME` (default `arena`), `--cluster table1|testbed|tiny`,
 /// `--shards N`, `--workers N`, `--seed N`, `--horizon-s F`,
-/// `--event-log P`, `--decision-log P`, `--resume P`.
+/// `--event-log P`, `--decision-log P`, `--resume P`,
+/// `--flight-log P` (auto-dump the telemetry flight recorder on faults
+/// and shutdown), `--flight-cap N` (recorder capacity, default 256).
 fn serve(args: &[String]) {
     let mut stdin_mode = false;
     let mut addr = "127.0.0.1:7700".to_string();
@@ -92,6 +94,8 @@ fn serve(args: &[String]) {
     let mut event_log = None;
     let mut decision_log = None;
     let mut resume = None;
+    let mut flight_log = None;
+    let mut flight_cap = 256usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = || {
@@ -111,6 +115,8 @@ fn serve(args: &[String]) {
             "--event-log" => event_log = Some(val().into()),
             "--decision-log" => decision_log = Some(val().into()),
             "--resume" => resume = Some(val().into()),
+            "--flight-log" => flight_log = Some(val().into()),
+            "--flight-cap" => flight_cap = val().parse().expect("--flight-cap N"),
             other => panic!("unknown serve flag '{other}'"),
         }
     }
@@ -127,6 +133,8 @@ fn serve(args: &[String]) {
     cfg.event_log = event_log;
     cfg.decision_log = decision_log;
     cfg.resume = resume;
+    cfg.flight_log = flight_log;
+    cfg.flight_capacity = flight_cap;
     let server = Server::start(cfg).expect("server start");
     let handle = server.handle();
     if stdin_mode {

@@ -38,13 +38,17 @@
 //! assert_eq!(report.counters["sched.pass"], 1);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+pub mod metrics;
 pub mod timeline;
 
+pub use metrics::{
+    labeled, Counter, FlightRecorder, Gauge, HistSnapshot, Histogram, MetricsRegistry,
+};
 pub use timeline::{
     AllocEvent, JobAccount, JobEvent, JobEventKind, JobInterval, JobState, NodeSlot, StopCause,
     Timeline, UtilSample,
@@ -359,14 +363,18 @@ impl HistStats {
     }
 
     /// Summarises raw samples (nearest-rank percentiles; samples need
-    /// not be sorted).
+    /// not be sorted). Non-finite samples are discarded before
+    /// summarising — a NaN smuggled in by a degenerate shard merge must
+    /// never surface as a NaN percentile in exposition output — so
+    /// `count` reflects finite samples only. An empty (or all-NaN)
+    /// slice summarises to the all-zero default.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
             return HistStats::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         let pct = |p: f64| {
             let rank = (p * sorted.len() as f64).ceil() as usize;
             sorted[rank.clamp(1, sorted.len()) - 1]
@@ -397,22 +405,37 @@ struct Inner {
     histograms: BTreeMap<String, Vec<f64>>,
     spans: BTreeMap<String, SpanStats>,
     timeline: Timeline,
+    // Flight-recorder ids for the current context, refreshed by
+    // `context` only when the policy/trigger string actually changes.
+    policy_id: u16,
+    trigger_id: u16,
+    // Per-reason id cache so `decision` never takes the (cold)
+    // intern lock for a reason it has already seen.
+    reason_ids: HashMap<&'static str, u16>,
 }
 
 /// The observability handle.
 ///
-/// Cheap to clone (an `Option<Arc>`); [`Obs::disabled`] carries no state
-/// at all and makes every recording method a no-op.
+/// Cheap to clone (two `Option<Arc>`s); [`Obs::disabled`] carries no
+/// state at all and makes every recording method a no-op. A handle may
+/// additionally carry a [`MetricsRegistry`]: counters, gauges and
+/// histogram observations then take the lock-free registry path
+/// instead of the trace mutex, and recorded decisions are mirrored
+/// into the registry's flight recorder.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     inner: Option<Arc<Mutex<Inner>>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Obs {
     /// The default no-op handle: nothing is recorded, nothing is paid.
     #[must_use]
     pub fn disabled() -> Self {
-        Obs { inner: None }
+        Obs {
+            inner: None,
+            metrics: None,
+        }
     }
 
     /// A recording handle with empty state.
@@ -420,10 +443,39 @@ impl Obs {
     pub fn enabled() -> Self {
         Obs {
             inner: Some(Arc::new(Mutex::new(Inner::default()))),
+            metrics: None,
         }
     }
 
-    /// Whether this handle records anything.
+    /// A handle that records *only* into the lock-free registry:
+    /// counters, gauges, histograms and span timings, but no decision
+    /// log, no timeline, no trace mutex. This is the "telemetry plane
+    /// only" mode the overhead bench compares against
+    /// [`Obs::disabled`].
+    #[must_use]
+    pub fn metrics_only(registry: Arc<MetricsRegistry>) -> Self {
+        Obs {
+            inner: None,
+            metrics: Some(registry),
+        }
+    }
+
+    /// Attaches a live metrics registry to this handle (builder style).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Whether this handle records full traces (decisions, timeline).
+    /// A metrics-only handle answers `false`: instrumented code may
+    /// skip building decision/timeline payloads entirely.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -443,15 +495,24 @@ impl Obs {
             g.time_s = time_s;
             if g.policy != policy {
                 g.policy = policy.to_string();
+                if let Some(reg) = &self.metrics {
+                    g.policy_id = reg.flight().intern_policy(policy);
+                }
             }
             if g.trigger != trigger {
                 g.trigger = trigger.to_string();
+                if let Some(reg) = &self.metrics {
+                    g.trigger_id = reg.flight().intern_trigger(trigger);
+                }
             }
         }
     }
 
     /// Records a decision, stamping seq/time/policy/trigger from the
-    /// current context.
+    /// current context. With a registry attached the stamped decision
+    /// is also mirrored into the flight recorder — an id-encoded ring
+    /// write with no extra lock (interning a first-seen reason is the
+    /// only cold exception).
     pub fn decision(&self, mut d: Decision) {
         if let Some(mut g) = self.lock() {
             d.seq = g.seq;
@@ -459,6 +520,18 @@ impl Obs {
             d.time_s = g.time_s;
             d.policy.clone_from(&g.policy);
             d.trigger.clone_from(&g.trigger);
+            if let Some(reg) = &self.metrics {
+                let reason_id = match g.reason_ids.get(d.reason) {
+                    Some(&id) => id,
+                    None => {
+                        let id = reg.flight().intern_reason(d.reason);
+                        g.reason_ids.insert(d.reason, id);
+                        id
+                    }
+                };
+                reg.flight()
+                    .record(&d, g.policy_id, g.trigger_id, reason_id);
+            }
             g.decisions.push(d);
         }
     }
@@ -482,8 +555,13 @@ impl Obs {
     /// serving layer can poll it per query.
     #[must_use]
     pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
-        self.lock()
-            .map_or_else(BTreeMap::new, |g| g.counters.clone())
+        let mut out = self
+            .lock()
+            .map_or_else(BTreeMap::new, |g| g.counters.clone());
+        if let Some(reg) = &self.metrics {
+            out.extend(reg.counters_snapshot());
+        }
+        out
     }
 
     /// Renders the counters in Prometheus-style exposition format, one
@@ -505,8 +583,16 @@ impl Obs {
         out
     }
 
-    /// Increments a counter.
+    /// Increments a counter. With a registry attached this is the
+    /// lock-free fast path (an RCU map load plus one `fetch_add`); the
+    /// final values surface identically through [`Obs::report`] and
+    /// [`Obs::counters_snapshot`], so callers migrate without output
+    /// changes.
     pub fn incr(&self, name: &str, by: u64) {
+        if let Some(reg) = &self.metrics {
+            reg.incr(name, by);
+            return;
+        }
         if let Some(mut g) = self.lock() {
             match g.counters.get_mut(name) {
                 Some(v) => *v += by,
@@ -517,8 +603,15 @@ impl Obs {
         }
     }
 
-    /// Records one `(time, value)` sample of a gauge.
+    /// Records one `(time, value)` sample of a gauge. With a registry
+    /// attached the gauge is a lock-free last-value cell instead (live
+    /// levels for `query metrics`; the registry plane does not keep the
+    /// full time series).
     pub fn gauge(&self, name: &str, time_s: f64, value: f64) {
+        if let Some(reg) = &self.metrics {
+            reg.set_gauge(name, value);
+            return;
+        }
         if let Some(mut g) = self.lock() {
             match g.gauges.get_mut(name) {
                 Some(v) => v.push((time_s, value)),
@@ -529,8 +622,15 @@ impl Obs {
         }
     }
 
-    /// Records a value into a histogram.
+    /// Records a value into a histogram. With a registry attached the
+    /// sample lands in the lock-free log2-bucket histogram (report
+    /// percentiles become ≤2x bucket approximations instead of exact
+    /// sample ranks).
     pub fn observe(&self, name: &str, value: f64) {
+        if let Some(reg) = &self.metrics {
+            reg.observe(name, value);
+            return;
+        }
         if let Some(mut g) = self.lock() {
             g.histograms
                 .entry(name.to_string())
@@ -603,15 +703,19 @@ impl Obs {
     #[must_use]
     pub fn span(&self, name: &'static str) -> Span<'_> {
         Span {
-            obs: self.inner.as_ref().map(|_| (self, Instant::now())),
+            obs: (self.inner.is_some() || self.metrics.is_some()).then(|| (self, Instant::now())),
             name,
         }
     }
 
     /// Snapshots everything recorded so far into a [`TraceReport`].
+    /// Registry-backed counters and histograms are merged in, so a
+    /// registry-attached run reports the same counter totals an
+    /// unattached one would.
     #[must_use]
     pub fn report(&self) -> TraceReport {
-        self.lock()
+        let mut report = self
+            .lock()
             .map_or_else(TraceReport::default, |g| TraceReport {
                 decisions: g.decisions.clone(),
                 counters: g.counters.clone(),
@@ -623,7 +727,12 @@ impl Obs {
                     .collect(),
                 spans: g.spans.clone(),
                 timeline: g.timeline.clone(),
-            })
+            });
+        if let Some(reg) = &self.metrics {
+            report.counters.extend(reg.counters_snapshot());
+            report.histograms.extend(reg.histograms_snapshot());
+        }
+        report
     }
 }
 
@@ -642,6 +751,11 @@ impl Drop for Span<'_> {
                 s.count += 1;
                 s.total_s += dt;
                 s.max_s = s.max_s.max(dt);
+            }
+            // Live plane: the same stage timing as a mergeable
+            // histogram, readable while the run is still going.
+            if let Some(reg) = &obs.metrics {
+                reg.observe(self.name, dt);
             }
         }
     }
@@ -831,10 +945,73 @@ mod tests {
         // Single sample: every percentile is that sample.
         let one = HistStats::from_samples(&[7.0]);
         assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
+        assert_eq!(one.count, 1);
+        assert_eq!((one.min, one.max, one.sum), (7.0, 7.0, 7.0));
         assert_eq!(HistStats::from_samples(&[]), HistStats::default());
         let lines = obs.report().histogram_lines();
         assert!(lines.contains("h count=100"));
         assert!(lines.contains("p95=95.000000"));
+    }
+
+    #[test]
+    fn from_samples_discards_non_finite() {
+        // NaN anywhere in the input must never reach a percentile: a
+        // shard-merged histogram with one degenerate sample would
+        // otherwise poison the whole exposition line.
+        let h = HistStats::from_samples(&[3.0, f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(h.count, 3);
+        assert_eq!((h.min, h.max, h.sum), (1.0, 3.0, 6.0));
+        for v in [h.p50, h.p95, h.p99, h.mean()] {
+            assert!(v.is_finite(), "non-finite summary field");
+        }
+        assert_eq!(h.p99, 3.0);
+        // All-NaN input collapses to the empty default, not NaN stats.
+        let all_nan = HistStats::from_samples(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan, HistStats::default());
+        assert_eq!(all_nan.mean(), 0.0);
+        // -inf sorts first under total_cmp; it must be dropped too.
+        let neg = HistStats::from_samples(&[f64::NEG_INFINITY, 5.0]);
+        assert_eq!((neg.count, neg.min, neg.p50), (1, 5.0, 5.0));
+    }
+
+    #[test]
+    fn registry_backed_handle_matches_trace_counters() {
+        // The same instrumentation calls against a registry-backed
+        // handle surface identical counter totals in the report.
+        let plain = Obs::enabled();
+        let reg = Arc::new(MetricsRegistry::new(8));
+        let fast = Obs::enabled().with_metrics(Arc::clone(&reg));
+        for obs in [&plain, &fast] {
+            obs.incr("sim.event.arrival", 2);
+            obs.incr("sim.event.arrival", 1);
+            obs.incr("sched.pass", 1);
+            obs.observe("lat", 0.5);
+            obs.gauge("depth", 0.0, 4.0);
+        }
+        assert_eq!(plain.report().counters, fast.report().counters);
+        assert_eq!(plain.counters_snapshot(), fast.counters_snapshot());
+        assert_eq!(fast.report().histograms["lat"].count, 1);
+        assert_eq!(reg.counter("sched.pass").get(), 1);
+        assert_eq!(reg.gauge("depth").get(), 4.0);
+        // Decisions mirror into the flight recorder with full stamps.
+        fast.context(9.0, "Arena", "round");
+        fast.decision(Decision::place(3, 0, 4).with_score(0.5).why("best-cell"));
+        let ring = reg.flight().recent(10);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(fast.report().decisions, ring);
+        assert_eq!(fast.report().decisions_jsonl(), reg.flight().dump_jsonl(10));
+        // Metrics-only mode records no decisions but keeps counters.
+        let lite = Obs::metrics_only(Arc::new(MetricsRegistry::new(8)));
+        assert!(!lite.is_enabled());
+        lite.decision(Decision::drop(1).why("r"));
+        lite.incr("c", 5);
+        assert_eq!(lite.decision_count(), 0);
+        assert_eq!(lite.counters_snapshot()["c"], 5);
+        drop(lite.span("stage"));
+        assert_eq!(
+            lite.metrics().unwrap().histograms_snapshot()["stage"].count,
+            1
+        );
     }
 
     #[test]

@@ -37,14 +37,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use arena_cluster::Cluster;
-use arena_obs::{Decision, Obs};
+use arena_obs::{Decision, MetricsRegistry, Obs};
 use arena_perf::CostParams;
 use arena_runtime::WorkerPool;
 use arena_sched::{policy_by_name, PlanService};
 use arena_sim::{Engine, EngineState, ShardPlan, SimConfig, SimResult};
 use serde::Value;
 
-use crate::protocol::{err_line, ok_line, parse_command, Command};
+use crate::protocol::{
+    err_line, ok_line, parse_command, request_id, with_request_id, Command, Query,
+};
 use crate::snapshot::{answer_query, ServerSnapshot, SnapshotHub};
 
 /// How the daemon maps real time onto the engine clock.
@@ -91,6 +93,12 @@ pub struct ServerConfig {
     pub resume: Option<PathBuf>,
     /// Publish a snapshot every this many bursts while draining.
     pub publish_every: usize,
+    /// Flight-recorder capacity: the telemetry plane retains the last
+    /// this-many decisions for `dump`.
+    pub flight_capacity: usize,
+    /// Auto-dump the flight recorder here (overwrite) after every
+    /// applied fault and at shutdown. `None` keeps dumps on demand.
+    pub flight_log: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -110,6 +118,8 @@ impl ServerConfig {
             decision_log: None,
             resume: None,
             publish_every: 64,
+            flight_capacity: 256,
+            flight_log: None,
         }
     }
 
@@ -133,6 +143,10 @@ pub struct ServerOutcome {
     pub event_log: Vec<String>,
     /// The decision log as JSON Lines.
     pub decisions_jsonl: String,
+    /// The flight recorder's final contents as JSON Lines — the last
+    /// `flight_capacity` decisions, byte-identical to the tail of
+    /// `decisions_jsonl`.
+    pub flight_jsonl: String,
 }
 
 enum Request {
@@ -147,12 +161,14 @@ enum Request {
 }
 
 /// Cloneable handle to a running daemon: forwards mutating commands,
-/// answers queries from the snapshot hub.
+/// answers queries from the snapshot hub and live telemetry from the
+/// metrics registry.
 #[derive(Clone)]
 pub struct ServerHandle {
     tx: Sender<Request>,
     hub: Arc<SnapshotHub>,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ServerHandle {
@@ -163,6 +179,13 @@ impl ServerHandle {
         &self.hub
     }
 
+    /// The live metrics registry shared with the daemon's engine —
+    /// counters, gauges, stage histograms and the flight recorder.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn is_shutdown(&self) -> bool {
@@ -171,16 +194,91 @@ impl ServerHandle {
 
     /// Processes one protocol line and returns the response line.
     /// Reject-and-continue: any parse or validation failure produces an
-    /// `ok:false` response and changes nothing.
+    /// `ok:false` response and changes nothing. A `watch` command
+    /// answers with its first sample only — use
+    /// [`ServerHandle::handle_line_sink`] for the streamed form.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
         let trimmed = line.trim();
+        let response = self.respond(trimmed);
+        match request_id(trimmed) {
+            Some(id) => with_request_id(&response, &id),
+            None => response,
+        }
+    }
+
+    /// Processes one protocol line, emitting one or more response lines
+    /// through `emit` (which returns `false` to cancel the stream).
+    /// Identical to [`ServerHandle::handle_line`] for every command
+    /// except `watch`, which emits a fresh sample every `interval_s`
+    /// seconds until `count` samples are out, shutdown is requested, or
+    /// the sink cancels.
+    pub fn handle_line_sink(&self, line: &str, emit: &mut dyn FnMut(&str) -> bool) {
+        let trimmed = line.trim();
+        if let Ok(Command::Watch {
+            what,
+            interval_s,
+            count,
+        }) = parse_command(trimmed)
+        {
+            let id = request_id(trimmed);
+            let mut sample: u64 = 0;
+            loop {
+                let mut response = self.answer(&what);
+                response = with_sample(&response, sample);
+                if let Some(id) = &id {
+                    response = with_request_id(&response, id);
+                }
+                if !emit(&response) {
+                    return;
+                }
+                sample += 1;
+                if count != 0 && sample >= count {
+                    return;
+                }
+                if self.is_shutdown() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_secs_f64(interval_s));
+                if self.is_shutdown() {
+                    return;
+                }
+            }
+        }
+        let _ = emit(&self.handle_line(line));
+    }
+
+    /// Answers one read-only query: `metrics` from the live registry,
+    /// everything else from the latest snapshot.
+    fn answer(&self, q: &Query) -> String {
+        match q {
+            Query::Metrics => ok_line(vec![(
+                "metrics".to_string(),
+                Value::Str(self.metrics.expose()),
+            )]),
+            other => answer_query(other, &self.hub.load()),
+        }
+    }
+
+    fn respond(&self, trimmed: &str) -> String {
         if trimmed.is_empty() {
             return err_line("empty line");
         }
         match parse_command(trimmed) {
             Err(e) => err_line(&e),
-            Ok(Command::Query(q)) => answer_query(&q, &self.hub.load()),
+            Ok(Command::Query(q)) => self.answer(&q),
+            Ok(Command::Watch { what, .. }) => with_sample(&self.answer(&what), 0),
+            Ok(Command::Dump) => {
+                let flight = self.metrics.flight();
+                ok_line(vec![
+                    ("total".to_string(), Value::U64(flight.total())),
+                    ("capacity".to_string(), Value::U64(flight.capacity() as u64)),
+                    (
+                        "jsonl".to_string(),
+                        Value::Str(flight.dump_jsonl(flight.capacity())),
+                    ),
+                ])
+            }
             Ok(Command::Shutdown) => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 let (reply, rx) = mpsc::channel();
@@ -192,20 +290,37 @@ impl ServerHandle {
                 }
             }
             Ok(cmd) => {
+                let started = Instant::now();
                 let (reply, rx) = mpsc::channel();
                 let sent = self.tx.send(Request::Apply {
                     cmd,
                     line: trimmed.to_string(),
                     reply,
                 });
-                match sent {
+                let response = match sent {
                     Ok(()) => rx
                         .recv()
                         .unwrap_or_else(|_| err_line("daemon stopped before replying")),
                     Err(_) => err_line("daemon is not running"),
-                }
+                };
+                // End-to-end command→decision latency: send, apply (which
+                // runs the decision loop), publish, reply.
+                self.metrics
+                    .observe("server.command_seconds", started.elapsed().as_secs_f64());
+                response
             }
         }
+    }
+}
+
+/// Stamps the watch sample index onto a response line.
+fn with_sample(response: &str, sample: u64) -> String {
+    match serde_json::from_str(response) {
+        Ok(Value::Object(mut fields)) => {
+            fields.push(("sample".to_string(), Value::U64(sample)));
+            serde_json::to_string(&Value::Object(fields)).expect("response serialises")
+        }
+        _ => response.to_string(),
     }
 }
 
@@ -243,14 +358,16 @@ impl Server {
             decisions: Vec::new(),
         }));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(MetricsRegistry::new(cfg.flight_capacity));
         let handle = ServerHandle {
             tx,
             hub: Arc::clone(&hub),
             shutdown: Arc::clone(&shutdown),
+            metrics: Arc::clone(&metrics),
         };
         let daemon = std::thread::Builder::new()
             .name("arena-daemon".to_string())
-            .spawn(move || daemon_main(cfg, rx, &hub, &shutdown))
+            .spawn(move || daemon_main(cfg, rx, &hub, &shutdown, metrics))
             .map_err(|e| format!("failed to spawn daemon thread: {e}"))?;
         // Wait for the daemon's first publication (which happens after
         // any resume-log replay) so a caller never observes the seq-0
@@ -376,11 +493,12 @@ fn daemon_main(
     rx: Receiver<Request>,
     hub: &SnapshotHub,
     shutdown: &AtomicBool,
+    metrics: Arc<MetricsRegistry>,
 ) -> ServerOutcome {
     let mut policy =
         policy_by_name(&cfg.policy, cfg.worker_threads).expect("policy validated in Server::start");
     let service = PlanService::new(&cfg.cluster, CostParams::default(), cfg.seed);
-    let obs = Obs::enabled();
+    let obs = Obs::enabled().with_metrics(Arc::clone(&metrics));
     let plan = match cfg.shards {
         Some(n) => ShardPlan::per_pool(&cfg.cluster)
             .with_shards(n)
@@ -461,9 +579,15 @@ fn daemon_main(
                     shards,
                 ) {
                     Ok(extra) => {
+                        let faulted = matches!(cmd, Command::Fault(_));
                         log.append(&line);
                         seq += 1;
                         publish(hub, &engine, &obs, &mut mirror, seq, &cfg.policy, shards);
+                        if faulted {
+                            // Fault injection is exactly when an operator
+                            // wants the recent decision tail preserved.
+                            dump_flight(cfg.flight_log.as_ref(), &metrics);
+                        }
                         let _ = reply.send(ok_line(extra));
                     }
                     Err(e) => {
@@ -504,11 +628,23 @@ fn daemon_main(
     if let Some(path) = &cfg.decision_log {
         let _ = std::fs::write(path, &decisions_jsonl);
     }
+    dump_flight(cfg.flight_log.as_ref(), &metrics);
+    let flight = metrics.flight();
+    let flight_jsonl = flight.dump_jsonl(flight.capacity());
     ServerOutcome {
         result,
         state,
         event_log: log.lines,
         decisions_jsonl,
+        flight_jsonl,
+    }
+}
+
+/// Overwrites the flight log with the recorder's current contents.
+fn dump_flight(path: Option<&PathBuf>, metrics: &MetricsRegistry) {
+    if let Some(p) = path {
+        let flight = metrics.flight();
+        let _ = std::fs::write(p, flight.dump_jsonl(flight.capacity()));
     }
 }
 
@@ -595,7 +731,7 @@ fn apply(
                 ("now_s".to_string(), Value::F64(engine.now())),
             ])
         }
-        Command::Query(_) | Command::Shutdown => {
+        Command::Query(_) | Command::Watch { .. } | Command::Dump | Command::Shutdown => {
             Err("internal: non-mutating command routed to daemon".to_string())
         }
     }
@@ -610,6 +746,7 @@ fn publish(
     policy: &str,
     shards: usize,
 ) {
+    let started = Instant::now();
     mirror.refresh(obs);
     hub.publish(ServerSnapshot {
         seq,
@@ -619,4 +756,6 @@ fn publish(
         counters: obs.counters_snapshot(),
         decisions: mirror.chunks.clone(),
     });
+    // RCU snapshot publish latency (mirror refresh + state copy + swap).
+    obs.observe("server.publish_seconds", started.elapsed().as_secs_f64());
 }

@@ -12,6 +12,14 @@
 //! status/queue/job/cluster/decision-log/metrics requests from the
 //! latest snapshot wait-free.
 //!
+//! The daemon also carries an always-on **telemetry plane**
+//! (DESIGN.md §14): a lock-free [`arena_obs::MetricsRegistry`] records
+//! per-stage decision-loop latencies, per-shard gauges and a
+//! flight-recorder ring of the last N decisions. `query metrics`
+//! renders a deterministic Prometheus-style scrape, `watch` streams any
+//! query on an interval, `dump` returns the flight recorder's contents,
+//! and every command may carry an `"id"` echoed on its response.
+//!
 //! The load-bearing property is **online/batch equivalence**: feeding
 //! a trace to the daemon one command at a time, in any interleaving
 //! with queries, then draining, produces byte-identical output

@@ -14,7 +14,10 @@ use crate::daemon::ServerHandle;
 
 /// Serves the protocol over a `BufRead`/`Write` pair — the `repro serve
 /// --stdin` mode and the in-process harness the fuzz suite drives.
-/// Returns after EOF or once shutdown has been requested.
+/// Returns after EOF or once shutdown has been requested. A `watch`
+/// command streams one response line per sample; the stream ends (and
+/// the next command is read) once its `count` is reached, shutdown is
+/// requested, or the peer goes away.
 ///
 /// # Errors
 ///
@@ -27,9 +30,20 @@ pub fn serve_lines<R: BufRead, W: Write>(
 ) -> std::io::Result<()> {
     for line in input.lines() {
         let Ok(line) = line else { break };
-        let response = handle.handle_line(&line);
-        writeln!(output, "{response}")?;
-        output.flush()?;
+        let mut io_err: Option<std::io::Error> = None;
+        handle.handle_line_sink(&line, &mut |response| {
+            let wrote = writeln!(output, "{response}").and_then(|()| output.flush());
+            match wrote {
+                Ok(()) => true,
+                Err(e) => {
+                    io_err = Some(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
         if handle.is_shutdown() {
             break;
         }

@@ -11,6 +11,8 @@
 //! | `{"cmd":"advance","to_s":T}` | advance the virtual clock: run every burst strictly before `T` |
 //! | `{"cmd":"drain"}` | close the input stream and run the decision loop to completion |
 //! | `{"cmd":"query","what":…}` | read-only query served from the latest snapshot |
+//! | `{"cmd":"watch","what":…,"interval_s":S,"count":N}` | stream query samples every `S` seconds (`count` 0 = until shutdown) |
+//! | `{"cmd":"dump"}` | flush the telemetry flight recorder as JSONL |
 //! | `{"cmd":"shutdown"}` | flush logs and stop the daemon |
 //!
 //! Query `what` values: `"status"`, `"jobs"`, `"queue"`, `"cluster"`,
@@ -20,6 +22,12 @@
 //! Responses are JSON objects with an `ok` boolean; failures carry an
 //! `error` string. Parsing is **reject-and-continue**: a malformed line
 //! produces an error response and leaves the daemon state untouched.
+//!
+//! **Correlation ids:** any command may carry a top-level `"id"` field
+//! (any JSON value); the response line echoes it back verbatim so
+//! pipelined clients can match responses to requests. `query job` also
+//! names its *job* id `"id"` — that value is both the lookup key and
+//! the echoed correlation id.
 
 use arena_trace::{FaultEvent, FaultKind, JobSpec};
 use serde::{Deserialize, Value};
@@ -70,6 +78,18 @@ pub enum Command {
     Drain,
     /// A read-only snapshot query.
     Query(Query),
+    /// A streaming subscription: re-answer `what` every `interval_s`
+    /// seconds. Non-mutating; terminated by `count` or shutdown.
+    Watch {
+        /// The query to sample.
+        what: Query,
+        /// Seconds between samples.
+        interval_s: f64,
+        /// Number of samples to emit; `0` streams until shutdown.
+        count: u64,
+    },
+    /// Flush the telemetry flight recorder (last N decisions) as JSONL.
+    Dump,
     /// Stop the daemon.
     Shutdown,
 }
@@ -152,28 +172,74 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             to_s: get_f64(&v, "to_s")?,
         }),
         "drain" => Ok(Command::Drain),
-        "query" => {
-            let what = get_str(&v, "what")?;
-            let q = match what {
-                "status" => Query::Status,
-                "jobs" => Query::Jobs,
-                "queue" => Query::Queue,
-                "cluster" => Query::Cluster,
-                "metrics" => Query::Metrics,
-                "job" => Query::Job(get_u64(&v, "id")?),
-                "decisions" => Query::Decisions {
-                    from: v.get("from").map_or(Ok(0), |f| {
-                        u64::from_value(f).map_err(|e| e.to_string()).and_then(|n| {
-                            usize::try_from(n).map_err(|_| "from out of range".to_string())
-                        })
-                    })?,
-                },
-                other => return Err(format!("unknown query `{other}`")),
+        "query" => Ok(Command::Query(parse_query(&v)?)),
+        "watch" => {
+            let interval_s = match v.get("interval_s") {
+                Some(f) => f64::from_value(f).map_err(|e| e.to_string())?,
+                None => 1.0,
             };
-            Ok(Command::Query(q))
+            if !interval_s.is_finite() || interval_s < 0.0 {
+                return Err(format!("bad watch interval {interval_s}"));
+            }
+            let count = match v.get("count") {
+                Some(f) => u64::from_value(f).map_err(|e| e.to_string())?,
+                None => 0,
+            };
+            Ok(Command::Watch {
+                what: parse_query(&v)?,
+                interval_s,
+                count,
+            })
         }
+        "dump" => Ok(Command::Dump),
         "shutdown" => Ok(Command::Shutdown),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses the `what` selector shared by `query` and `watch`.
+fn parse_query(v: &Value) -> Result<Query, String> {
+    let what = get_str(v, "what")?;
+    match what {
+        "status" => Ok(Query::Status),
+        "jobs" => Ok(Query::Jobs),
+        "queue" => Ok(Query::Queue),
+        "cluster" => Ok(Query::Cluster),
+        "metrics" => Ok(Query::Metrics),
+        "job" => Ok(Query::Job(get_u64(v, "id")?)),
+        "decisions" => Ok(Query::Decisions {
+            from: v.get("from").map_or(Ok(0), |f| {
+                u64::from_value(f)
+                    .map_err(|e| e.to_string())
+                    .and_then(|n| usize::try_from(n).map_err(|_| "from out of range".to_string()))
+            })?,
+        }),
+        other => Err(format!("unknown query `{other}`")),
+    }
+}
+
+/// Best-effort extraction of the optional top-level correlation `"id"`
+/// from a command line. Works even when the command itself fails
+/// validation, so error responses carry the id too; returns `None` for
+/// non-JSON input (those error lines cannot be correlated anyway).
+#[must_use]
+pub fn request_id(line: &str) -> Option<Value> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    v.get("id").cloned()
+}
+
+/// Appends the echoed correlation id to a finished response line. The
+/// response is one of our own `ok_line`/`err_line` objects, so the
+/// re-parse cannot fail; anything else is returned untouched.
+#[must_use]
+pub fn with_request_id(response: &str, id: &Value) -> String {
+    match serde_json::from_str(response) {
+        Ok(Value::Object(mut fields)) => {
+            fields.retain(|(k, _)| k != "id");
+            fields.push(("id".to_string(), id.clone()));
+            serde_json::to_string(&Value::Object(fields)).expect("response serialises")
+        }
+        _ => response.to_string(),
     }
 }
 
@@ -295,5 +361,66 @@ mod tests {
             parse_command("{\"cmd\":\"query\",\"what\":\"decisions\",\"from\":12}"),
             Ok(Command::Query(Query::Decisions { from: 12 }))
         );
+    }
+
+    #[test]
+    fn watch_and_dump_parse() {
+        assert_eq!(
+            parse_command("{\"cmd\":\"watch\",\"what\":\"metrics\"}"),
+            Ok(Command::Watch {
+                what: Query::Metrics,
+                interval_s: 1.0,
+                count: 0,
+            })
+        );
+        assert_eq!(
+            parse_command(
+                "{\"cmd\":\"watch\",\"what\":\"status\",\"interval_s\":0.25,\"count\":3}"
+            ),
+            Ok(Command::Watch {
+                what: Query::Status,
+                interval_s: 0.25,
+                count: 3,
+            })
+        );
+        assert_eq!(parse_command("{\"cmd\":\"dump\"}"), Ok(Command::Dump));
+        for bad in [
+            "{\"cmd\":\"watch\"}",
+            "{\"cmd\":\"watch\",\"what\":\"vibes\"}",
+            "{\"cmd\":\"watch\",\"what\":\"status\",\"interval_s\":-1.0}",
+            "{\"cmd\":\"watch\",\"what\":\"status\",\"interval_s\":\"soon\"}",
+        ] {
+            assert!(parse_command(bad).is_err(), "accepted: {bad}");
+        }
+        // watch and dump never reach the daemon's event log.
+        assert!(!parse_command("{\"cmd\":\"dump\"}").unwrap().is_mutating());
+    }
+
+    #[test]
+    fn request_ids_are_extracted_and_echoed() {
+        assert_eq!(
+            request_id("{\"cmd\":\"drain\",\"id\":7}"),
+            Some(Value::U64(7))
+        );
+        assert_eq!(
+            request_id("{\"cmd\":\"drain\",\"id\":\"req-1\"}"),
+            Some(Value::Str("req-1".to_string()))
+        );
+        assert_eq!(request_id("{\"cmd\":\"drain\"}"), None);
+        // Best-effort: ids survive commands that fail validation...
+        assert_eq!(
+            request_id("{\"cmd\":\"warp\",\"id\":3}"),
+            Some(Value::U64(3))
+        );
+        // ...but non-JSON lines have no id to echo.
+        assert_eq!(request_id("not json"), None);
+
+        let ok = ok_line(vec![("now_s".to_string(), Value::F64(1.0))]);
+        let tagged = with_request_id(&ok, &Value::Str("req-1".to_string()));
+        assert!(tagged.contains("\"ok\":true"));
+        assert!(tagged.ends_with("\"id\":\"req-1\"}"));
+        let err = with_request_id(&err_line("nope"), &Value::U64(9));
+        assert!(err.contains("\"ok\":false"));
+        assert!(err.ends_with("\"id\":9}"));
     }
 }

@@ -32,7 +32,10 @@ use std::sync::Arc;
 
 use arena_cluster::{Cluster, GpuTypeId};
 use arena_estimator::Interner;
-use arena_obs::{Decision, JobEventKind, Obs, StopCause};
+use arena_obs::{
+    labeled, Counter, Decision, Gauge, Histogram, JobEventKind, MetricsRegistry, Obs, Span,
+    StopCause,
+};
 use arena_runtime::merge_by_index;
 use arena_sched::PlanService;
 use arena_sched::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView, ShardQueue};
@@ -227,6 +230,149 @@ pub struct EngineState {
     pub jobs: Vec<JobStatus>,
 }
 
+/// Pre-registered live-telemetry handles for the decision loop
+/// (DESIGN.md §14). Present only when the engine's [`Obs`] carries a
+/// [`MetricsRegistry`]; every update is a handful of relaxed atomic
+/// ops, so the plane stays on even inside the sharded hot path.
+struct EngineTelemetry {
+    /// Wall-clock of one full burst (advance + events + dispatch).
+    burst: Histogram,
+    /// Per-shard event-heap depth after each burst.
+    heap_depth: Vec<Gauge>,
+    /// Per-shard queued-job count after each burst.
+    queue_len: Vec<Gauge>,
+    /// Per-shard active (Starting/Running) job count after each burst.
+    active_len: Vec<Gauge>,
+    /// Per-shard candidate view-build latency (the parallel fan-out
+    /// stage; shards observe from worker threads).
+    candidate_gen: Vec<Histogram>,
+    /// Estimator cache hit ratios, refreshed after every dispatch.
+    est_hit_ratio: Gauge,
+    est_profile_ratio: Gauge,
+    est_table_ratio: Gauge,
+    /// Cumulative wall-clock spent computing fresh estimates, seconds.
+    est_seconds: Gauge,
+    /// Per-stage decision-loop latency, same names the span plane uses
+    /// so exposition and trace reports agree. Held as resolved handles:
+    /// the per-event path must never pay a name-routed lookup.
+    stage_merge: Histogram,
+    stage_prepare: Histogram,
+    stage_schedule: Histogram,
+    stage_commit: Histogram,
+    /// Actions emitted per scheduling pass.
+    actions_per_pass: Histogram,
+    /// Merged queue / running lengths at each dispatch.
+    queue_depth: Gauge,
+    running_jobs: Gauge,
+    /// One counter per static event label (see [`event_counter_name`]).
+    ev_arrival: Counter,
+    ev_departure: Counter,
+    ev_round: Counter,
+    ev_failure: Counter,
+    ev_repair: Counter,
+}
+
+impl EngineTelemetry {
+    fn new(reg: &MetricsRegistry, shards: usize) -> Self {
+        let shard_label = |base: &str, s: usize| labeled(base, &[("shard", &s.to_string())]);
+        EngineTelemetry {
+            burst: reg.histogram("sim.stage.burst_seconds"),
+            heap_depth: (0..shards)
+                .map(|s| reg.gauge(&shard_label("sim.shard.heap_depth", s)))
+                .collect(),
+            queue_len: (0..shards)
+                .map(|s| reg.gauge(&shard_label("sim.shard.queue_len", s)))
+                .collect(),
+            active_len: (0..shards)
+                .map(|s| reg.gauge(&shard_label("sim.shard.active_len", s)))
+                .collect(),
+            candidate_gen: (0..shards)
+                .map(|s| reg.histogram(&shard_label("sim.stage.candidate_gen_seconds", s)))
+                .collect(),
+            est_hit_ratio: reg.gauge("sim.estimator.estimate_hit_ratio"),
+            est_profile_ratio: reg.gauge("sim.estimator.profile_hit_ratio"),
+            est_table_ratio: reg.gauge("sim.estimator.table_hit_ratio"),
+            est_seconds: reg.gauge("sim.estimator.estimate_seconds"),
+            stage_merge: reg.histogram("sim.shard.merge"),
+            stage_prepare: reg.histogram("sim.shard.prepare"),
+            stage_schedule: reg.histogram("sim.schedule"),
+            stage_commit: reg.histogram("sim.commit"),
+            actions_per_pass: reg.histogram("sim.actions_per_pass"),
+            queue_depth: reg.gauge("sim.queue_depth"),
+            running_jobs: reg.gauge("sim.running_jobs"),
+            ev_arrival: reg.counter("sim.event.arrival"),
+            ev_departure: reg.counter("sim.event.departure"),
+            ev_round: reg.counter("sim.event.round"),
+            ev_failure: reg.counter("sim.event.node-failure"),
+            ev_repair: reg.counter("sim.event.node-repair"),
+        }
+    }
+
+    /// The pre-resolved counter for a static event label, if any.
+    fn event_counter(&self, label: &str) -> Option<&Counter> {
+        match label {
+            "arrival" => Some(&self.ev_arrival),
+            "departure" => Some(&self.ev_departure),
+            "round" => Some(&self.ev_round),
+            "node-failure" => Some(&self.ev_failure),
+            "node-repair" => Some(&self.ev_repair),
+            _ => None,
+        }
+    }
+
+    /// Refreshes the estimator gauges from a cache-stats snapshot.
+    fn observe_estimator(&self, est: &arena_estimator::CacheStatsSnapshot) {
+        let ratio = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        self.est_hit_ratio
+            .set(ratio(est.estimate_hits, est.estimate_misses));
+        self.est_profile_ratio
+            .set(ratio(est.profile_hits, est.profile_misses));
+        self.est_table_ratio
+            .set(ratio(est.table_hits, est.table_misses));
+        self.est_seconds.set(est.estimate_ns as f64 / 1e9);
+    }
+}
+
+/// Static counter name for a scheduling event label — same strings the
+/// trace plane always used, minus the per-event `format!` allocation.
+/// `None` for labels this table has never seen (callers fall back to
+/// formatting, preserving the historical counter name exactly).
+fn event_counter_name(label: &str) -> Option<&'static str> {
+    match label {
+        "arrival" => Some("sim.event.arrival"),
+        "departure" => Some("sim.event.departure"),
+        "round" => Some("sim.event.round"),
+        "node-failure" => Some("sim.event.node-failure"),
+        "node-repair" => Some("sim.event.node-repair"),
+        _ => None,
+    }
+}
+
+/// RAII stage timer for the decision loop. With live telemetry the
+/// latency lands in a pre-resolved registry histogram (two relaxed
+/// atomic adds, no name lookup); otherwise it falls back to the legacy
+/// span plane, which is bitwise-identical to the pre-telemetry build.
+enum StageGuard<'a> {
+    /// Held only for its `Drop`: the span records itself when released.
+    Span(#[allow(dead_code)] Span<'a>),
+    Direct(Histogram, std::time::Instant),
+}
+
+impl Drop for StageGuard<'_> {
+    fn drop(&mut self) {
+        if let StageGuard::Direct(hist, started) = self {
+            hist.observe(started.elapsed().as_secs_f64());
+        }
+    }
+}
+
 /// The incremental sharded engine. See the module docs for the API
 /// shape and the equivalence contract with the batch loop.
 pub struct Engine<'a> {
@@ -259,6 +405,7 @@ pub struct Engine<'a> {
     input_open: bool,
     stopped: bool,
     cluster_gpu_capacity: usize,
+    tele: Option<EngineTelemetry>,
 }
 
 impl<'a> Engine<'a> {
@@ -310,6 +457,9 @@ impl<'a> Engine<'a> {
             input_open: true,
             stopped: false,
             cluster_gpu_capacity: cluster.total_gpus(),
+            tele: obs
+                .metrics()
+                .map(|reg| EngineTelemetry::new(reg, plan.shards())),
         }
     }
 
@@ -474,7 +624,7 @@ impl<'a> Engine<'a> {
             if te >= s - EPS {
                 break;
             }
-            self.burst(te);
+            self.burst_timed(te);
         }
     }
 
@@ -488,7 +638,7 @@ impl<'a> Engine<'a> {
             self.stopped = true;
             return false;
         }
-        self.burst(te);
+        self.burst_timed(te);
         !self.stopped
     }
 
@@ -703,6 +853,27 @@ impl<'a> Engine<'a> {
         ]
         .into_iter()
         .fold(f64::INFINITY, f64::min)
+    }
+
+    /// [`Engine::burst`] wrapped in live telemetry: burst wall-clock
+    /// plus per-shard heap-depth/queue-length gauges. A no-op wrapper
+    /// when no registry is attached — the batch path pays nothing.
+    fn burst_timed(&mut self, te: f64) {
+        let timer = self
+            .tele
+            .as_ref()
+            .map(|tele| (tele.burst.clone(), std::time::Instant::now()));
+        self.burst(te);
+        if let Some((hist, started)) = timer {
+            hist.observe(started.elapsed().as_secs_f64());
+            if let Some(tele) = &self.tele {
+                for (s, ix) in self.indexes.iter().enumerate() {
+                    tele.heap_depth[s].set(ix.heap.len() as f64);
+                    tele.queue_len[s].set(ix.queued.len() as f64);
+                    tele.active_len[s].set(ix.active.len() as f64);
+                }
+            }
+        }
     }
 
     /// One burst at `te`: the body of the batch loop, verbatim.
@@ -1013,14 +1184,39 @@ impl<'a> Engine<'a> {
                 if parallel {
                     let mut frags: Vec<ViewFragment> = {
                         let sjobs: &[SJob] = &self.sjobs;
+                        // Per-shard candidate-gen latency: each worker
+                        // times its own fragment build into that
+                        // shard's histogram (atomics, thread-safe).
+                        let hists: Vec<Option<Histogram>> = match &self.tele {
+                            Some(tele) => {
+                                tele.candidate_gen.iter().map(|h| Some(h.clone())).collect()
+                            }
+                            None => self.indexes.iter().map(|_| None).collect(),
+                        };
                         self.plan.workers().run_all(
                             self.indexes
                                 .iter()
-                                .map(|ix| move || build_fragment(ix, sjobs))
+                                .zip(hists)
+                                .map(|(ix, hist)| {
+                                    move || {
+                                        let started =
+                                            hist.as_ref().map(|_| std::time::Instant::now());
+                                        let frag = build_fragment(ix, sjobs);
+                                        if let (Some(h), Some(s)) = (hist, started) {
+                                            h.observe(s.elapsed().as_secs_f64());
+                                        }
+                                        frag
+                                    }
+                                })
                                 .collect(),
                         )
                     };
-                    let _span = self.obs.span("sim.shard.merge");
+                    let _merge = match &self.tele {
+                        Some(tele) => {
+                            StageGuard::Direct(tele.stage_merge.clone(), std::time::Instant::now())
+                        }
+                        None => StageGuard::Span(self.obs.span("sim.shard.merge")),
+                    };
                     let queued_pairs = merge_by_index(
                         frags
                             .iter_mut()
@@ -1056,7 +1252,12 @@ impl<'a> Engine<'a> {
                     }
                     (homes, queued, running)
                 } else {
-                    let _span = self.obs.span("sim.shard.merge");
+                    let _merge = match &self.tele {
+                        Some(tele) => {
+                            StageGuard::Direct(tele.stage_merge.clone(), std::time::Instant::now())
+                        }
+                        None => StageGuard::Span(self.obs.span("sim.shard.merge")),
+                    };
                     let merged_q = merged_indices(&self.indexes, |ix| ix.queued.iter().copied());
                     let homes = merged_q.iter().map(|&(i, _)| self.home_of[i]).collect();
                     let queued = merged_q
@@ -1072,7 +1273,21 @@ impl<'a> Engine<'a> {
             let pools = self.cluster.pool_stats();
             if self.obs.is_enabled() {
                 self.obs.context(t, self.policy.name(), ev.label());
-                self.obs.incr(&format!("sim.event.{}", ev.label()), 1);
+            }
+            if let Some(tele) = &self.tele {
+                // Registry fast path: pre-resolved handles, no name
+                // routing. `tele` is Some exactly when metrics are on.
+                match tele.event_counter(ev.label()) {
+                    Some(c) => c.incr(1),
+                    None => self.obs.incr(&format!("sim.event.{}", ev.label()), 1),
+                }
+                tele.queue_depth.set(queued.len() as f64);
+                tele.running_jobs.set(running.len() as f64);
+            } else if self.obs.is_enabled() {
+                match event_counter_name(ev.label()) {
+                    Some(name) => self.obs.incr(name, 1),
+                    None => self.obs.incr(&format!("sim.event.{}", ev.label()), 1),
+                }
                 self.obs.gauge("sim.queue_depth", t, queued.len() as f64);
                 self.obs.gauge("sim.running_jobs", t, running.len() as f64);
             }
@@ -1090,7 +1305,12 @@ impl<'a> Engine<'a> {
             // merged order is ascending within each shard, so every shard
             // sees its jobs in arrival order.
             {
-                let _span = self.obs.span("sim.shard.prepare");
+                let _prepare = match &self.tele {
+                    Some(tele) => {
+                        StageGuard::Direct(tele.stage_prepare.clone(), std::time::Instant::now())
+                    }
+                    None => StageGuard::Span(self.obs.span("sim.shard.prepare")),
+                };
                 let mut split: Vec<Vec<&JobView>> =
                     (0..self.indexes.len()).map(|_| Vec::new()).collect();
                 for (&home, v) in queued_homes.iter().zip(queued.iter()) {
@@ -1104,16 +1324,45 @@ impl<'a> Engine<'a> {
                 self.policy.prepare_shards(&shard_queues, &view);
             }
             let started = std::time::Instant::now();
-            let actions = {
+            let actions = if self.tele.is_some() {
+                // Registry path reuses the decision-latency clock below
+                // instead of opening a span (one Instant pair saved).
+                self.policy.schedule(ev, &view)
+            } else {
                 let _span = self.obs.span("sim.schedule");
                 self.policy.schedule(ev, &view)
             };
-            self.decisions.push(started.elapsed().as_secs_f64());
-            self.obs
-                .observe("sim.actions_per_pass", actions.len() as f64);
+            let decision_s = started.elapsed().as_secs_f64();
+            self.decisions.push(decision_s);
+            if let Some(tele) = &self.tele {
+                tele.stage_schedule.observe(decision_s);
+                tele.actions_per_pass.observe(actions.len() as f64);
+            } else {
+                self.obs
+                    .observe("sim.actions_per_pass", actions.len() as f64);
+            }
             actions
         };
-        self.execute(&actions);
+        {
+            // Commit stage: action execution against the cluster books.
+            // The histogram handle is cloned out of `tele` first so the
+            // mutable borrow for `execute` stays free.
+            match self.tele.as_ref().map(|t| t.stage_commit.clone()) {
+                Some(hist) => {
+                    let started = std::time::Instant::now();
+                    self.execute(&actions);
+                    hist.observe(started.elapsed().as_secs_f64());
+                }
+                None => {
+                    let obs = self.obs.clone();
+                    let _span = obs.span("sim.commit");
+                    self.execute(&actions);
+                }
+            }
+        }
+        if let Some(tele) = &self.tele {
+            tele.observe_estimator(&self.service.estimator_stats());
+        }
     }
 
     /// Executes scheduling actions — the serial engine's executor with

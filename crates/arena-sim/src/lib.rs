@@ -27,8 +27,8 @@ pub mod reference;
 pub mod shard;
 
 pub use arena_obs::{
-    Decision, DecisionKind, JobAccount, JobEventKind, JobState, Obs, StopCause, Timeline,
-    TraceReport, UtilSample,
+    Decision, DecisionKind, JobAccount, JobEventKind, JobState, MetricsRegistry, Obs, StopCause,
+    Timeline, TraceReport, UtilSample,
 };
 pub use engine::{
     simulate, simulate_traced, simulate_with_faults, simulate_with_faults_traced, SimConfig,

@@ -295,6 +295,56 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_plane_is_invisible_in_output() {
+        use arena_obs::MetricsRegistry;
+        use std::sync::Arc;
+        let cluster = presets::physical_testbed();
+        let jobs = tiny_trace();
+        let cfg = SimConfig::new(48.0 * 3600.0);
+        let plan = ShardPlan::per_pool(&cluster).with_shards(2);
+        let off = {
+            let service = PlanService::new(&cluster, CostParams::default(), 11);
+            simulate_sharded(
+                &cluster,
+                &jobs,
+                &mut FcfsPolicy::new(),
+                &service,
+                &cfg,
+                &plan,
+            )
+        };
+        let registry = Arc::new(MetricsRegistry::new(64));
+        let on = {
+            let service = PlanService::new(&cluster, CostParams::default(), 11);
+            let obs = Obs::metrics_only(Arc::clone(&registry));
+            simulate_sharded_with_faults_traced(
+                &cluster,
+                &jobs,
+                &mut FcfsPolicy::new(),
+                &service,
+                &cfg,
+                &[],
+                &obs,
+                &plan,
+            )
+        };
+        // The live plane must not perturb a single simulated byte.
+        assert_eq!(on.metrics.avg_jct_s, off.metrics.avg_jct_s);
+        assert_eq!(on.timeline, off.timeline);
+        assert_eq!(on.raw_timeline, off.raw_timeline);
+        // ... while the registry fills with per-stage / per-shard data.
+        let counters = registry.counters_snapshot();
+        assert!(counters["sim.event.arrival"] >= jobs.len() as u64);
+        assert!(counters.contains_key("sim.place.ok"));
+        let hists = registry.histograms_snapshot();
+        assert!(hists["sim.stage.burst_seconds"].count > 0);
+        let text = registry.expose();
+        assert!(text.contains("sim_shard_heap_depth{shard=\"0\"}"));
+        assert!(text.contains("sim_shard_queue_len{shard=\"1\"}"));
+        assert!(text.contains("sim_estimator_estimate_hit_ratio"));
+    }
+
+    #[test]
     fn sharded_run_is_deterministic_across_worker_pools() {
         let cluster = presets::physical_testbed();
         let jobs = tiny_trace();

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use arena_sim::{
         simulate, simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,
         simulate_sharded_with_faults_traced, simulate_traced, simulate_with_faults,
-        simulate_with_faults_traced, Decision, DecisionKind, Obs, ShardPlan, SimConfig, SimResult,
-        TraceReport,
+        simulate_with_faults_traced, Decision, DecisionKind, MetricsRegistry, Obs, ShardPlan,
+        SimConfig, SimResult, TraceReport,
     };
     pub use arena_trace::{generate, JobSpec, TraceConfig, TraceKind};
 }

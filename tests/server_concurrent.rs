@@ -7,6 +7,7 @@
 //! mutated after publication — and the sequence numbers each thread
 //! observes must be monotone (RCU readers can lag, never go back).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -168,6 +169,109 @@ fn readers_observe_only_consistent_monotone_snapshots() {
     for seq in final_seqs {
         assert!(seq > 0, "reader never saw a published snapshot");
     }
+}
+
+#[test]
+fn metrics_reader_sees_monotone_live_series_during_drain() {
+    // A telemetry scraper polls the lock-free registry while the daemon
+    // drains a loaded trace. Each counter and each histogram's
+    // count/sum are single monotone atomics, so every polled value must
+    // be >= the previous poll — a decrease means the record path
+    // corrupted a cell. Cross-field equalities are only checked at
+    // quiescence (fields are distinct relaxed atomics, so a mid-burst
+    // poll may see one updated before the other).
+    let jobs = mixed_trace(16, 90.0);
+    let cfg = SimConfig::new(24.0 * 3600.0);
+    let mut server_cfg =
+        ServerConfig::new("arena", arena::cluster::presets::physical_testbed(), cfg).with_shards(2);
+    server_cfg.publish_every = 1;
+    let server = Server::start(server_cfg).expect("server start");
+    let handle = server.handle();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let metrics = Arc::clone(handle.metrics());
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_counters: BTreeMap<String, u64> = BTreeMap::new();
+            let mut last_hists: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+            let mut polls = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                let counters = metrics.counters_snapshot();
+                for (name, &v) in &counters {
+                    if let Some(&prev) = last_counters.get(name) {
+                        assert!(v >= prev, "counter {name} went backwards: {prev} -> {v}");
+                    }
+                }
+                last_counters = counters;
+                for (name, h) in metrics.histograms_snapshot() {
+                    assert!(
+                        h.sum.is_finite() && h.sum >= 0.0,
+                        "histogram {name} has a bad sum: {}",
+                        h.sum
+                    );
+                    if let Some(&(pc, ps)) = last_hists.get(&name) {
+                        assert!(
+                            h.count >= pc,
+                            "histogram {name} count went backwards: {pc} -> {}",
+                            h.count
+                        );
+                        assert!(
+                            h.sum >= ps - 1e-9,
+                            "histogram {name} sum went backwards: {ps} -> {}",
+                            h.sum
+                        );
+                    }
+                    last_hists.insert(name, (h.count, h.sum));
+                }
+                // The exposition renderer must never panic or emit
+                // non-text while the writers are live.
+                let text = metrics.expose();
+                assert!(text.is_ascii(), "exposition produced non-ASCII output");
+                polls += 1;
+            }
+            polls
+        })
+    };
+
+    for job in &jobs {
+        let r = handle.handle_line(&submit_line(job));
+        assert!(r.contains("\"ok\":true"), "submit rejected: {r}");
+    }
+    let drained = handle.handle_line("{\"cmd\":\"drain\"}");
+    assert!(drained.contains("\"drained\":true"));
+    stop.store(true, Ordering::SeqCst);
+    let polls = reader.join().expect("metrics reader panicked");
+    assert!(polls > 0, "metrics reader never polled");
+
+    // Quiescent cross-field consistency: the drain is done, so sums
+    // must sit inside [min*count, max*count] for every series, and the
+    // decision loop must actually have recorded activity.
+    let metrics = Arc::clone(handle.metrics());
+    let counters = metrics.counters_snapshot();
+    assert!(
+        counters.get("sim.event.arrival").copied().unwrap_or(0) >= jobs.len() as u64,
+        "arrival counter undercounts: {counters:?}"
+    );
+    let hists = metrics.histograms_snapshot();
+    let burst = hists
+        .get("sim.stage.burst_seconds")
+        .expect("burst histogram registered");
+    assert!(burst.count > 0, "no bursts recorded");
+    for (name, h) in &hists {
+        if h.count == 0 {
+            continue;
+        }
+        let slack = 1e-6 * h.count as f64;
+        assert!(
+            h.sum <= h.max * h.count as f64 + slack && h.sum >= h.min * h.count as f64 - slack,
+            "histogram {name} sum {} outside [{}, {}]",
+            h.sum,
+            h.min * h.count as f64,
+            h.max * h.count as f64
+        );
+    }
+    let _ = server.join();
 }
 
 #[test]
