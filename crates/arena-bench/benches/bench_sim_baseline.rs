@@ -10,10 +10,12 @@
 //! proves the paths run, not how fast).
 
 use std::hint::black_box;
+use std::time::Instant;
 
 use arena::prelude::*;
 use arena::sched::{JobView, Obs, PlacementView, SchedEvent, SchedView};
-use arena_bench::{git_rev, time_loop, write_bench_report, BenchEntry, BenchReport};
+use arena::trace::TakeSource;
+use arena_bench::{git_rev, time_loop, vm_hwm_bytes, write_bench_report, BenchEntry, BenchReport};
 
 fn make_jobs(n: u64, base_gpus: usize, submit_gap_s: f64, num_pools: usize) -> Vec<JobSpec> {
     (0..n)
@@ -456,9 +458,85 @@ fn bench_simulate_multipool(smoke: bool) -> Vec<BenchEntry> {
     ]
 }
 
+/// The fleet-scale streaming pair: an open-ended synthetic PAI-load
+/// trace on a 2,048-GPU cluster pumped straight from the generator into
+/// the record-folding engine — no materialised trace, no per-job record
+/// vector, terminal jobs reclaimed as they drain. Two consecutive runs
+/// in this process, 100k jobs then 1M (50k/100k in smoke mode), each
+/// entry stamped with the process peak RSS (`VmHWM`). The watermark is
+/// monotone over the process lifetime, so the big run's peak staying
+/// within 1.2x the small run's pins the memory model: resident state
+/// follows the *live* job count, not the trace length. Must run before
+/// every other bench so the watermark reflects the streaming runs and
+/// not an earlier fixture's transient. `ARENA_MEM_BUDGET_BYTES`, when
+/// set, additionally caps the plan/estimator caches (the CI fleet-scale
+/// job runs this bench under a budget).
+fn bench_stream_fleet(smoke: bool) -> Vec<BenchEntry> {
+    let cluster = arena::cluster::presets::tiny_a100(256, 8);
+    // Open-ended trace: the duration never binds; TakeSource cuts the
+    // arrival stream at an exact job count instead.
+    let trace_cfg = TraceConfig::new(TraceKind::PaiLow, 4.0e9, cluster.total_gpus(), vec![40.0]);
+    // The smoke sizes both sit past the allocator's warmup plateau
+    // (~50k jobs on this fixture) so the flatness gate measures the
+    // steady state, not malloc arena growth.
+    let (small, big) = if smoke {
+        (50_000_u64, 100_000_u64)
+    } else {
+        (100_000, 1_000_000)
+    };
+    let mut entries = Vec::new();
+    let mut peaks = Vec::new();
+    for n in [small, big] {
+        let service = PlanService::new(&cluster, CostParams::default(), 51);
+        if let Some(budget) = service.apply_env_budget() {
+            println!("stream_fleet: cache budget {budget} bytes (ARENA_MEM_BUDGET_BYTES)");
+        }
+        let plan = ShardPlan::per_pool(&cluster);
+        let cfg = SimConfig::new(4.1e9);
+        let mut policy = FcfsPolicy::new();
+        let mut source = TakeSource::new(GenSource::new(&trace_cfg), n);
+        let t0 = Instant::now();
+        let summary = simulate_stream(&cluster, &mut policy, &service, &mut source, &cfg, &plan)
+            .expect("generator-backed source cannot fail");
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(summary.jobs.jobs, n, "generator ran dry before the cap");
+        let peak = vm_hwm_bytes();
+        println!(
+            "sim/stream_fleet_{n}: {n} jobs in {wall:.2}s ({:.0} jobs/s), \
+             peak RSS {} MiB, peak live jobs {}, fingerprint {:016x}",
+            n as f64 / wall,
+            peak.unwrap_or(0) >> 20,
+            summary.peak_live_jobs,
+            summary.fingerprint,
+        );
+        entries.push(BenchEntry {
+            name: format!("sim/stream_fleet_{n}_fcfs"),
+            iters: 1,
+            mean_s: wall,
+            min_s: wall,
+            max_s: wall,
+            peak_rss_bytes: peak,
+        });
+        peaks.push(peak);
+        black_box(summary);
+    }
+    // The flatness gate itself: the larger trace may not move the
+    // high-water mark by more than 20%.
+    if let [Some(first), Some(second)] = peaks[..] {
+        assert!(
+            second as f64 <= 1.2 * first as f64,
+            "streaming peak RSS grew with trace length: {small} jobs -> {first} B, \
+             {big} jobs -> {second} B"
+        );
+    }
+    entries
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let mut benches = Vec::new();
+    // First, before any other fixture touches the high-water mark.
+    benches.extend(bench_stream_fleet(smoke));
     benches.extend(bench_estimate(smoke));
     benches.extend(bench_arena_schedule(smoke));
     benches.extend(bench_arena_500(smoke));
@@ -503,5 +581,27 @@ fn main() {
         };
         write_bench_report("BENCH_sim_telemetry_off.json", &gate)
             .expect("write BENCH_sim_telemetry_off.json");
+        // The serial-engine reference for the sharded decision-loop
+        // gate, refreshed from this same run so both sides of the
+        // comparison come off the same machine under the same load —
+        // a stale frozen number drifts with host speed and fails the
+        // gate spuriously. The serial entry is renamed to the sharded
+        // entry's name, which is how bench-check pairs them.
+        let serial = report
+            .benches
+            .iter()
+            .find(|b| b.name == "sim/simulate_multipool_arena_serial")
+            .expect("serial multipool entry present in full runs");
+        let unsharded = BenchReport {
+            smoke,
+            git_rev: git_rev(),
+            policies: vec!["Arena".to_string()],
+            benches: vec![BenchEntry {
+                name: "sim/simulate_multipool_arena_sharded".to_string(),
+                ..serial.clone()
+            }],
+        };
+        write_bench_report("BENCH_sim_unsharded.json", &unsharded)
+            .expect("write BENCH_sim_unsharded.json");
     }
 }

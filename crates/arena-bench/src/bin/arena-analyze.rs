@@ -4,7 +4,7 @@
 //! ```text
 //! arena-analyze summarize <results-dir>
 //! arena-analyze diff <dir-a> <dir-b> [--top N]
-//! arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]
+//! arena-analyze bench-check <old.json> <new.json> [--threshold FRAC] [--rss-threshold FRAC]
 //! arena-analyze metrics <dump.txt> [<other.txt>] [--prefix P]
 //! ```
 //!
@@ -17,7 +17,9 @@
 //! * `bench-check` compares two `BENCH_sim.json` files and exits
 //!   non-zero when any bench's mean regressed by more than the
 //!   threshold (default 0.20 = +20%). The `smoke:true` single-iteration
-//!   format is accepted on either side.
+//!   format is accepted on either side. With `--rss-threshold` it also
+//!   gates `peak_rss_bytes` on entries where both sides record it
+//!   (e.g. the streaming fleet benches), at its own fraction.
 //! * `metrics` parses a Prometheus-style exposition dump as scraped
 //!   from the daemon's `query metrics` (the `metrics` string of the
 //!   response, or the raw response line itself) and summarizes it; with
@@ -42,7 +44,13 @@ fn main() -> ExitCode {
         Some("bench-check") if args.len() >= 3 => {
             let threshold =
                 flag_value(&args, "--threshold").map_or(0.20, |v| v.parse().unwrap_or(0.20));
-            bench_check(Path::new(&args[1]), Path::new(&args[2]), threshold)
+            let rss_threshold = flag_value(&args, "--rss-threshold").and_then(|v| v.parse().ok());
+            bench_check(
+                Path::new(&args[1]),
+                Path::new(&args[2]),
+                threshold,
+                rss_threshold,
+            )
         }
         Some("metrics") if args.len() >= 2 => {
             let prefix = flag_value(&args, "--prefix").unwrap_or("").to_string();
@@ -62,7 +70,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  arena-analyze summarize <results-dir>\n  \
                  arena-analyze diff <dir-a> <dir-b> [--top N]\n  \
-                 arena-analyze bench-check <old.json> <new.json> [--threshold FRAC]\n  \
+                 arena-analyze bench-check <old.json> <new.json> [--threshold FRAC] [--rss-threshold FRAC]\n  \
                  arena-analyze metrics <dump.txt> [<other.txt>] [--prefix P]"
             );
             ExitCode::from(2)
@@ -199,6 +207,7 @@ fn diff(dir_a: &Path, dir_b: &Path, top: usize) -> ExitCode {
 struct BenchLine {
     iters: u64,
     mean_s: f64,
+    peak_rss_bytes: Option<f64>,
 }
 
 /// Parses a `BENCH_sim.json` file tolerantly: `git_rev` / `policies`
@@ -229,7 +238,15 @@ fn load_bench(path: &Path) -> Result<(bool, BTreeMap<String, BenchLine>), String
         };
         let mean_s = num("mean_s").ok_or_else(|| format!("{name}: missing mean_s"))?;
         let iters = num("iters").map_or(1, |x| x as u64);
-        out.insert(name, BenchLine { iters, mean_s });
+        let peak_rss_bytes = num("peak_rss_bytes");
+        out.insert(
+            name,
+            BenchLine {
+                iters,
+                mean_s,
+                peak_rss_bytes,
+            },
+        );
     }
     Ok((smoke, out))
 }
@@ -427,7 +444,7 @@ fn metrics_diff(path_a: &Path, path_b: &Path, prefix: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn bench_check(old: &Path, new: &Path, threshold: f64) -> ExitCode {
+fn bench_check(old: &Path, new: &Path, threshold: f64, rss_threshold: Option<f64>) -> ExitCode {
     let ((old_smoke, old_b), (new_smoke, new_b)) = match (load_bench(old), load_bench(new)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
@@ -472,12 +489,31 @@ fn bench_check(old: &Path, new: &Path, threshold: f64) -> ExitCode {
         if regressed {
             failures += 1;
         }
+        // The RSS gate only engages when asked for and when both sides
+        // recorded a watermark — absent entries are not a regression.
+        let rss_regressed = match (rss_threshold, o.peak_rss_bytes, n.peak_rss_bytes) {
+            (Some(frac), Some(old_rss), Some(new_rss)) if old_rss > 0.0 => {
+                new_rss > old_rss * (1.0 + frac)
+            }
+            _ => false,
+        };
+        if rss_regressed {
+            failures += 1;
+        }
         t.row(vec![
             format!("{name} ({}x/{}x)", o.iters, n.iters),
             format!("{:.6}", o.mean_s),
             format!("{:.6}", n.mean_s),
             format!("{ratio:.3}"),
-            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+            match (regressed, rss_regressed) {
+                (true, _) => "REGRESSED".to_string(),
+                (false, true) => format!(
+                    "RSS-REGRESSED ({:.0} -> {:.0} MiB)",
+                    o.peak_rss_bytes.unwrap_or(0.0) / (1024.0 * 1024.0),
+                    n.peak_rss_bytes.unwrap_or(0.0) / (1024.0 * 1024.0)
+                ),
+                (false, false) => "ok".to_string(),
+            },
         ]);
     }
     println!("{}", t.render());

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 /// One timed loop's aggregate in the machine-readable `BENCH_*` schema
 /// consumed by `arena-analyze bench-check`.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchEntry {
     /// Stable bench name, e.g. `sched/arena_decision_loaded`.
     pub name: String,
@@ -25,6 +25,29 @@ pub struct BenchEntry {
     pub min_s: f64,
     /// Slowest iteration, seconds.
     pub max_s: f64,
+    /// Process peak resident set (`VmHWM`) sampled right after the loop,
+    /// bytes. Only memory-gated benches record it; absent elsewhere so
+    /// pre-existing entries keep their schema.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+// Hand-written so an absent watermark *omits* the field (the derive
+// shim would emit `null`, changing the schema of every historical
+// entry).
+impl serde::Serialize for BenchEntry {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("iters".to_string(), self.iters.to_value()),
+            ("mean_s".to_string(), self.mean_s.to_value()),
+            ("min_s".to_string(), self.min_s.to_value()),
+            ("max_s".to_string(), self.max_s.to_value()),
+        ];
+        if let Some(rss) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".to_string(), rss.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// A full bench run in the `BENCH_*` schema.
@@ -70,12 +93,30 @@ pub fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
         mean_s: sum / iters as f64,
         min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
         max_s: samples.iter().copied().fold(0.0, f64::max),
+        peak_rss_bytes: None,
     };
     println!(
         "{name}: {iters} iters, mean {:.6}s, min {:.6}s",
         entry.mean_s, entry.min_s
     );
     entry
+}
+
+/// The process's peak resident set size (`VmHWM` from
+/// `/proc/self/status`) in bytes, or `None` where procfs is absent.
+///
+/// `VmHWM` is a high-water mark: monotone over the process lifetime and
+/// never reset. Sampling it after consecutive in-process runs of
+/// growing size therefore yields a sound flatness check — if the big
+/// run barely moves the mark the small run set, its working set did not
+/// grow with input size.
+#[must_use]
+pub fn vm_hwm_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Writes a [`BenchReport`] as pretty JSON at the workspace root (where
@@ -162,11 +203,34 @@ mod tests {
                 mean_s: 0.5,
                 min_s: 0.5,
                 max_s: 0.5,
+                peak_rss_bytes: None,
             }],
         };
         let json = serde_json::to_string(&report).unwrap();
         for key in ["smoke", "git_rev", "policies", "benches", "mean_s"] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // RSS is opt-in: absent entries keep the historical schema, and
+        // recording one adds the field.
+        assert!(!json.contains("peak_rss_bytes"));
+        let mut with_rss = report.clone();
+        with_rss.benches[0].peak_rss_bytes = Some(1 << 20);
+        let json = serde_json::to_string(&with_rss).unwrap();
+        assert!(json.contains("\"peak_rss_bytes\":1048576"));
+    }
+
+    #[test]
+    fn vm_hwm_reads_on_linux() {
+        // On Linux procfs is always there; elsewhere the probe is None.
+        if std::path::Path::new("/proc/self/status").exists() {
+            let hwm = super::vm_hwm_bytes().expect("VmHWM readable");
+            assert!(hwm > 0, "peak RSS cannot be zero for a live process");
+            // Growing the heap never lowers a high-water mark.
+            let ballast = vec![0_u8; 4 << 20];
+            std::hint::black_box(&ballast);
+            assert!(super::vm_hwm_bytes().unwrap() >= hwm);
+        } else {
+            assert_eq!(super::vm_hwm_bytes(), None);
         }
     }
 

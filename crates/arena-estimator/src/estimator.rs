@@ -7,6 +7,7 @@ use arena_model::ModelGraph;
 use arena_parallelism::{PipelinePlan, StageAssignment, StagePlan};
 use arena_perf::noise::NoiseModel;
 use arena_perf::{CostParams, HwTarget, ProfilingMeter};
+use arena_runtime::{MemSection, MemSize};
 
 use crate::cell::{Cell, Favor};
 use crate::keys::{CellKey, Interner, ShardedMap, TableKey};
@@ -26,6 +27,18 @@ pub struct CellEstimate {
     pub favors: Vec<Favor>,
     /// Largest estimated per-GPU memory footprint, bytes.
     pub max_mem_bytes: f64,
+}
+
+impl arena_runtime::MemSize for CellEstimate {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .plan
+                .stages
+                .len()
+                .saturating_mul(std::mem::size_of::<arena_parallelism::StageAssignment>())
+            + self.favors.len() * std::mem::size_of::<Favor>()
+    }
 }
 
 /// Per-(stage, mode) terms entering the assembly.
@@ -161,6 +174,60 @@ impl CellEstimator {
         &self.stats
     }
 
+    /// Applies a total byte budget across the three caches (tables ¼,
+    /// profiles ½, estimates ¼ — roughly their relative footprints on a
+    /// loaded trace), sweeping oldest-first immediately. `None` lifts
+    /// all budgets. Eviction never changes estimation results — every
+    /// cached value is a pure function of its key — only hit rates.
+    pub fn set_mem_budget(&self, total: Option<usize>) {
+        self.tables.set_budget(total.map(|t| t / 4));
+        self.profiles.set_budget(total.map(|t| t / 2));
+        self.estimates.set_budget(total.map(|t| t / 4));
+    }
+
+    /// The estimator's memory ledger: accounted bytes, entries, budget
+    /// and evictions per cache. Reads only lock-free mirrors (plus one
+    /// shard lock per cache for the budget figure).
+    #[must_use]
+    pub fn mem_report(&self) -> Vec<MemSection> {
+        let section = |name: &str, bytes: usize, entries: usize, budget, evictions| MemSection {
+            name: name.to_string(),
+            bytes,
+            entries,
+            budget_bytes: budget,
+            evictions,
+        };
+        vec![
+            section(
+                "estimator.tables",
+                self.tables.bytes(),
+                self.tables.len(),
+                self.tables.budget(),
+                self.tables.evictions(),
+            ),
+            section(
+                "estimator.profiles",
+                self.profiles.bytes(),
+                self.profiles.len(),
+                self.profiles.budget(),
+                self.profiles.evictions(),
+            ),
+            section(
+                "estimator.estimates",
+                self.estimates.bytes(),
+                self.estimates.len(),
+                self.estimates.budget(),
+                self.estimates.evictions(),
+            ),
+        ]
+    }
+
+    /// Accounted cache bytes across all three caches (lock-free).
+    #[must_use]
+    pub fn mem_bytes_total(&self) -> usize {
+        self.tables.bytes() + self.profiles.bytes() + self.estimates.bytes()
+    }
+
     /// The interned struct key identifying one `(model, batch, cell, hw)`
     /// combination in the profile and estimate caches.
     fn cell_key(
@@ -203,8 +270,9 @@ impl CellEstimator {
             }
         }
         self.stats.table_misses.fetch_add(1, Ordering::Relaxed);
-        w.insert(key, built.clone());
+        let delta = w.insert(key, built.clone(), built.mem_bytes());
         drop(w);
+        self.tables.apply(delta);
         built
     }
 
@@ -242,8 +310,9 @@ impl CellEstimator {
             return p.clone();
         }
         self.stats.profile_misses.fetch_add(1, Ordering::Relaxed);
-        w.insert(key, prof.clone());
+        let delta = w.insert(key, prof.clone(), prof.mem_bytes());
         drop(w);
+        self.profiles.apply(delta);
         prof
     }
 
@@ -295,7 +364,8 @@ impl CellEstimator {
             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
-        self.estimates.insert(key, key.hash_value(), est.clone());
+        self.estimates
+            .insert(key, key.hash_value(), est.clone(), est.mem_bytes());
         est
     }
 
@@ -796,6 +866,71 @@ mod tests {
             "second pass hits profiles"
         );
         assert!(s2.table_hits > s1.table_hits);
+    }
+
+    #[test]
+    fn mem_report_accounts_live_caches() {
+        let est = CellEstimator::new(CostParams::default(), 53);
+        let g = ModelConfig::new(ModelFamily::Bert, 1.3, 256).build();
+        let cell = Cell::new(&g, 8, 4).unwrap();
+        let _ = est.estimate(&g, 256, &cell, &a100());
+        let report = est.mem_report();
+        assert_eq!(report.len(), 3);
+        for s in &report {
+            assert!(s.bytes > 0, "{} holds bytes after an estimate", s.name);
+            assert!(s.entries > 0);
+            assert_eq!(s.budget_bytes, None);
+            assert_eq!(s.evictions, 0);
+        }
+        assert_eq!(
+            est.mem_bytes_total(),
+            report.iter().map(|s| s.bytes).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_never_changes_results() {
+        // An adversarially tiny budget forces constant eviction; every
+        // estimate must still be bitwise what a cache-bypassing
+        // computation returns, because values are pure functions of keys.
+        let est = CellEstimator::new(CostParams::default(), 59);
+        est.set_mem_budget(Some(1024));
+        let hw = a100();
+        let mut evicted_something = false;
+        for (fam, size, batch) in [
+            (ModelFamily::Bert, 1.3, 256),
+            (ModelFamily::Moe, 1.3, 512),
+            (ModelFamily::WideResNet, 1.0, 512),
+            (ModelFamily::Bert, 2.6, 256),
+        ] {
+            let g = ModelConfig::new(fam, size, batch).build();
+            for (gpus, stages) in [(8, 4), (8, 2), (4, 2), (4, 1)] {
+                let Some(cell) = Cell::new(&g, gpus, stages) else {
+                    continue;
+                };
+                let cached = est.estimate(&g, batch, &cell, &hw);
+                let bypassed = est.estimate_bypassing_cache(&g, batch, &cell, &hw);
+                match (cached, bypassed) {
+                    (None, None) => {}
+                    (Some(c), Some(b)) => {
+                        assert_eq!(c.iter_time_s.to_bits(), b.iter_time_s.to_bits());
+                        assert_eq!(c.plan.label(), b.plan.label());
+                    }
+                    (c, b) => panic!(
+                        "feasibility disagrees under budget: {} vs {}",
+                        c.is_some(),
+                        b.is_some()
+                    ),
+                }
+            }
+            evicted_something |= est.mem_report().iter().any(|s| s.evictions > 0);
+        }
+        assert!(evicted_something, "1 KiB budget must evict");
+        // The ledger stays near the (per-shard) budget envelope rather
+        // than growing with the workload.
+        for s in est.mem_report() {
+            assert!(s.budget_bytes.is_some());
+        }
     }
 
     proptest::proptest! {

@@ -15,8 +15,9 @@
 //!   bottom bits index hash buckets *within* a shard), so concurrent
 //!   readers of different keys never touch the same lock.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::RwLock;
 
@@ -163,27 +164,143 @@ impl Hasher for IdentityHasher {
 /// A `HashMap` keyed by prehashed keys, probing on the stored hash.
 pub(crate) type PrehashedMap<K, V> = HashMap<K, V, BuildHasherDefault<IdentityHasher>>;
 
+/// Fixed per-entry overhead charged on top of the caller-supplied value
+/// cost: hash slot, stored cost and order-clock entry.
+const ENTRY_OVERHEAD: usize = 48;
+
+/// Byte-delta and eviction count produced by one budgeted insert; the
+/// owning [`ShardedMap`] folds it into its lock-free totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardDelta {
+    bytes_added: usize,
+    bytes_removed: usize,
+    evicted: u64,
+}
+
+/// One shard's state: the prehashed map (values stored with their byte
+/// cost), an insertion-order eviction clock and this shard's slice of
+/// the byte budget. Everything lives under one `RwLock`, so the clock
+/// order — and therefore eviction — is the lock-serialised insertion
+/// order, never hash order.
+pub(crate) struct ShardState<K, V> {
+    map: PrehashedMap<K, (V, usize)>,
+    order: VecDeque<K>,
+    bytes: usize,
+    budget: Option<usize>,
+    evictions: u64,
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> ShardState<K, V> {
+    fn new() -> Self {
+        ShardState {
+            map: PrehashedMap::default(),
+            order: VecDeque::new(),
+            bytes: 0,
+            budget: None,
+            evictions: 0,
+        }
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Inserts `value` at `cost` bytes, then evicts oldest-first until
+    /// back under this shard's budget. The just-inserted key survives
+    /// its own sweep so an oversized entry still caches once.
+    pub(crate) fn insert(&mut self, key: K, value: V, cost: usize) -> ShardDelta {
+        let cost = cost + ENTRY_OVERHEAD;
+        let mut delta = ShardDelta::default();
+        if let Some((_, old_cost)) = self.map.insert(key, (value, cost)) {
+            delta.bytes_removed += old_cost;
+        } else {
+            self.order.push_back(key);
+        }
+        delta.bytes_added += cost;
+        self.bytes = self.bytes + cost - delta.bytes_removed;
+        if let Some(budget) = self.budget {
+            while self.bytes > budget && self.order.len() > 1 {
+                let oldest = self.order.pop_front().expect("non-empty clock");
+                if oldest == key {
+                    self.order.push_back(oldest);
+                    if self.order.len() == 1 {
+                        break;
+                    }
+                    continue;
+                }
+                let (_, c) = self.map.remove(&oldest).expect("clock tracks live keys");
+                self.bytes -= c;
+                self.evictions += 1;
+                delta.bytes_removed += c;
+                delta.evicted += 1;
+            }
+        }
+        delta
+    }
+
+    fn set_budget(&mut self, budget: Option<usize>) -> ShardDelta {
+        self.budget = budget;
+        let mut delta = ShardDelta::default();
+        if let Some(b) = budget {
+            while self.bytes > b && self.order.len() > 1 {
+                let oldest = self.order.pop_front().expect("non-empty clock");
+                let (_, c) = self.map.remove(&oldest).expect("clock tracks live keys");
+                self.bytes -= c;
+                self.evictions += 1;
+                delta.bytes_removed += c;
+                delta.evicted += 1;
+            }
+        }
+        delta
+    }
+}
+
 /// An N-way sharded map: the key hash's **top** bits select the shard
 /// (each behind its own `RwLock`), leaving the bottom bits — which the
 /// inner map's buckets use — uncorrelated with shard choice.
+///
+/// Each shard carries `budget / SHARDS` bytes of any configured budget
+/// and evicts oldest-first within the shard. Totals are mirrored into
+/// relaxed atomics so memory gauges read them without touching any
+/// shard lock.
 pub(crate) struct ShardedMap<K, V> {
-    shards: Vec<RwLock<PrehashedMap<K, V>>>,
+    shards: Vec<RwLock<ShardState<K, V>>>,
+    total_bytes: AtomicUsize,
+    total_evictions: AtomicU64,
 }
 
 impl<K: Copy + Eq + Hash, V: Clone> ShardedMap<K, V> {
     pub(crate) fn new() -> Self {
         ShardedMap {
             shards: (0..SHARDS)
-                .map(|_| RwLock::new(PrehashedMap::default()))
+                .map(|_| RwLock::new(ShardState::new()))
                 .collect(),
+            total_bytes: AtomicUsize::new(0),
+            total_evictions: AtomicU64::new(0),
         }
     }
 
     /// The shard lock a hash maps to; callers do hit/miss accounting
     /// under it.
-    pub(crate) fn shard(&self, hash: u64) -> &RwLock<PrehashedMap<K, V>> {
+    pub(crate) fn shard(&self, hash: u64) -> &RwLock<ShardState<K, V>> {
         let idx = (hash >> (64 - SHARDS.trailing_zeros())) as usize;
         &self.shards[idx]
+    }
+
+    /// Folds one insert's byte/eviction delta into the lock-free
+    /// totals. Callers inserting through a directly-held shard lock
+    /// must call this after releasing it.
+    pub(crate) fn apply(&self, delta: ShardDelta) {
+        self.total_bytes
+            .fetch_add(delta.bytes_added, Ordering::Relaxed);
+        self.total_bytes
+            .fetch_sub(delta.bytes_removed, Ordering::Relaxed);
+        self.total_evictions
+            .fetch_add(delta.evicted, Ordering::Relaxed);
     }
 
     /// Clones the value under `key`, if present (read lock only).
@@ -191,15 +308,42 @@ impl<K: Copy + Eq + Hash, V: Clone> ShardedMap<K, V> {
         self.shard(hash).read().get(key).cloned()
     }
 
-    /// Inserts (last writer wins — all writers of a key compute the same
-    /// deterministic value).
-    pub(crate) fn insert(&self, key: K, hash: u64, value: V) {
-        self.shard(hash).write().insert(key, value);
+    /// Inserts at `cost` accounted bytes (last writer wins — all
+    /// writers of a key compute the same deterministic value), evicting
+    /// within the shard if a budget is set.
+    pub(crate) fn insert(&self, key: K, hash: u64, value: V, cost: usize) {
+        let delta = self.shard(hash).write().insert(key, value, cost);
+        self.apply(delta);
+    }
+
+    /// Splits `total` bytes evenly across shards (`None` = unlimited)
+    /// and sweeps immediately.
+    pub(crate) fn set_budget(&self, total: Option<usize>) {
+        let per_shard = total.map(|t| t / SHARDS);
+        for s in &self.shards {
+            let delta = s.write().set_budget(per_shard);
+            self.apply(delta);
+        }
     }
 
     /// Total entries across shards.
     pub(crate) fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Accounted bytes, from the lock-free mirror.
+    pub(crate) fn bytes(&self) -> usize {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted since creation, from the lock-free mirror.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.total_evictions.load(Ordering::Relaxed)
+    }
+
+    /// The per-shard budget scaled back to a map-wide figure, if set.
+    pub(crate) fn budget(&self) -> Option<usize> {
+        self.shards[0].read().budget.map(|b| b * SHARDS)
     }
 }
 
@@ -240,7 +384,7 @@ mod tests {
             .map(|i| CellKey::new(i % 5, 256, 1 << (i % 6), 1 << (i % 3), i % 3, 4))
             .collect();
         for (n, k) in keys.iter().enumerate() {
-            m.insert(*k, k.hash_value(), n);
+            m.insert(*k, k.hash_value(), n, 8);
         }
         let distinct: std::collections::HashSet<CellKey> = keys.iter().copied().collect();
         assert_eq!(m.len(), distinct.len());
@@ -256,5 +400,42 @@ mod tests {
             let last = keys.iter().rposition(|k2| k2 == k).unwrap();
             assert_eq!(got, last, "key {n} resolved wrong slot");
         }
+        // Byte accounting tracks inserts (cost + fixed overhead each).
+        assert_eq!(m.bytes(), distinct.len() * (8 + ENTRY_OVERHEAD));
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.budget(), None);
+    }
+
+    #[test]
+    fn sharded_map_budget_evicts_oldest_within_shard() {
+        let m: ShardedMap<TableKey, u64> = ShardedMap::new();
+        // All keys land in whatever shard their hash picks; give each
+        // shard room for about two entries.
+        let per = 64 + ENTRY_OVERHEAD;
+        m.set_budget(Some(2 * per * SHARDS));
+        let keys: Vec<TableKey> = (0..64).map(|i| TableKey::new(i, 4)).collect();
+        for (n, k) in keys.iter().enumerate() {
+            m.insert(*k, k.hash_value(), n as u64, 64);
+        }
+        assert!(m.len() < 64, "budget must shed entries");
+        assert!(m.evictions() > 0);
+        assert!(
+            m.bytes() <= 2 * per * SHARDS + per,
+            "bytes stay near budget"
+        );
+        // Survivors read back their last-written values.
+        for (n, k) in keys.iter().enumerate() {
+            if let Some(v) = m.get(k, k.hash_value()) {
+                assert_eq!(v, n as u64);
+            }
+        }
+        // Lifting the budget stops eviction.
+        m.set_budget(None);
+        let before = m.evictions();
+        for k in &keys {
+            m.insert(*k, k.hash_value(), 0, 64);
+        }
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.evictions(), before);
     }
 }

@@ -52,6 +52,12 @@ pub struct CellProfiles {
     pub stages: Vec<[StageProfile; 2]>,
 }
 
+impl arena_runtime::MemSize for CellProfiles {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.stages.len() * std::mem::size_of::<[StageProfile; 2]>()
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // One call site; mirrors the profiling request tuple.
 fn profile_stage(
     p: &CostParams,

@@ -144,6 +144,18 @@ impl CommTables {
     }
 }
 
+impl arena_runtime::MemSize for CommTables {
+    fn mem_bytes(&self) -> usize {
+        let per_curve = |c: &VolumeCurve| {
+            std::mem::size_of::<VolumeCurve>()
+                + c.points.len() * std::mem::size_of::<(f64, f64)>()
+                + std::mem::size_of::<(CollectiveKind, usize)>()
+                + 16 // hash-table slot overhead
+        };
+        std::mem::size_of::<Self>() + self.curves.values().map(per_curve).sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,7 +47,8 @@ pub mod metrics;
 pub mod timeline;
 
 pub use metrics::{
-    labeled, Counter, FlightRecorder, Gauge, HistSnapshot, Histogram, MetricsRegistry,
+    labeled, publish_mem_sections, Counter, FlightRecorder, Gauge, HistSnapshot, Histogram,
+    MetricsRegistry,
 };
 pub use timeline::{
     AllocEvent, JobAccount, JobEvent, JobEventKind, JobInterval, JobState, NodeSlot, StopCause,

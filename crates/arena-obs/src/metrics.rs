@@ -785,6 +785,33 @@ impl MetricsRegistry {
     }
 }
 
+/// Publishes a memory ledger into the registry as one gauge family per
+/// field, labelled by section:
+///
+/// * `mem.bytes{section="..."}` — live accounted bytes,
+/// * `mem.entries{section="..."}` — live entries behind those bytes,
+/// * `mem.budget_bytes{section="..."}` — the byte budget, `0` meaning
+///   unlimited,
+/// * `mem.evictions{section="..."}` — cumulative entries evicted to
+///   stay under budget (monotone; a gauge because the source counter
+///   is already cumulative).
+///
+/// Callers refresh on their own cadence (the engine republishes after
+/// each scheduling pass); between refreshes the gauges hold the last
+/// published ledger.
+pub fn publish_mem_sections(reg: &MetricsRegistry, sections: &[arena_runtime::MemSection]) {
+    for s in sections {
+        let labels: &[(&str, &str)] = &[("section", &s.name)];
+        reg.set_gauge(&labeled("mem.bytes", labels), s.bytes as f64);
+        reg.set_gauge(&labeled("mem.entries", labels), s.entries as f64);
+        reg.set_gauge(
+            &labeled("mem.budget_bytes", labels),
+            s.budget_bytes.unwrap_or(0) as f64,
+        );
+        reg.set_gauge(&labeled("mem.evictions", labels), s.evictions as f64);
+    }
+}
+
 /// Builds a registry key with Prometheus label syntax:
 /// `labeled("sim.shard.heap_depth", &[("shard", "3")])` →
 /// `sim.shard.heap_depth{shard="3"}`.
@@ -994,6 +1021,39 @@ mod tests {
         assert!(text.contains("srv_publish_seconds_count 1"));
         // Deterministic: two expositions of the same registry match.
         assert_eq!(text, reg.expose());
+    }
+
+    #[test]
+    fn mem_sections_publish_as_labelled_gauges() {
+        let reg = MetricsRegistry::new(4);
+        let sections = vec![
+            arena_runtime::MemSection {
+                name: "estimator.profiles".to_string(),
+                bytes: 4096,
+                entries: 12,
+                budget_bytes: Some(1 << 20),
+                evictions: 3,
+            },
+            arena_runtime::MemSection::unbudgeted("plans.graphs", 512, 2),
+        ];
+        publish_mem_sections(&reg, &sections);
+        let g = |name: &str| reg.gauge(name).get();
+        assert_eq!(g("mem.bytes{section=\"estimator.profiles\"}"), 4096.0);
+        assert_eq!(g("mem.entries{section=\"estimator.profiles\"}"), 12.0);
+        assert_eq!(
+            g("mem.budget_bytes{section=\"estimator.profiles\"}"),
+            (1_u64 << 20) as f64
+        );
+        assert_eq!(g("mem.evictions{section=\"estimator.profiles\"}"), 3.0);
+        // Unbudgeted sections expose 0 (= unlimited) rather than no series.
+        assert_eq!(g("mem.budget_bytes{section=\"plans.graphs\"}"), 0.0);
+        let text = reg.expose();
+        assert!(text.contains("mem_bytes{section=\"plans.graphs\"} 512"));
+        // Republishing overwrites in place — gauges track the ledger.
+        let mut grown = sections;
+        grown[0].bytes = 8192;
+        publish_mem_sections(&reg, &grown);
+        assert_eq!(g("mem.bytes{section=\"estimator.profiles\"}"), 8192.0);
     }
 
     #[test]

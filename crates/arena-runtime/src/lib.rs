@@ -20,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod mem;
 pub mod rcu;
 
+pub use mem::{mem_budget_from_env, BudgetedMap, MemSection, MemSize, MEM_BUDGET_ENV};
 pub use rcu::RcuCell;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

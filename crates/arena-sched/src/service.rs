@@ -18,7 +18,12 @@
 //!
 //! All results are memoised by `(model, batch, gpus, pool)`: identical
 //! configurations are explored once, exactly as a real cluster caches
-//! profiling databases.
+//! profiling databases. The memo maps are byte-accounted
+//! [`BudgetedMap`]s: under a configured budget
+//! ([`PlanService::set_mem_budget`]) the plan database sheds its
+//! oldest entries and recomputes them on demand — every entry is a
+//! pure function of its key, so eviction changes wall-clock and hit
+//! rates, never a returned plan.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +35,7 @@ use arena_estimator::{Cell, CellEstimate, CellEstimator};
 use arena_model::{ModelConfig, ModelGraph};
 use arena_parallelism::{PipelinePlan, PlanSpace, StageAssignment, StagePlan};
 use arena_perf::{CostParams, GroundTruth, HwTarget};
+use arena_runtime::{BudgetedMap, MemSection, MemSize};
 use arena_trace::JobSpec;
 use arena_tuner::tune_in_space;
 
@@ -66,6 +72,18 @@ pub struct CellChoice {
     pub throughput_sps: f64,
 }
 
+impl MemSize for RunPlan {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.plan_label.len()
+    }
+}
+
+impl MemSize for CellChoice {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
 type Key = (String, usize, usize, usize);
 
 /// The plan-acquisition service.
@@ -74,12 +92,12 @@ pub struct PlanService {
     estimator: CellEstimator,
     specs: Vec<NodeSpec>,
     graphs: RwLock<HashMap<String, Arc<ModelGraph>>>,
-    adaptive: RwLock<HashMap<Key, Option<RunPlan>>>,
-    dp: RwLock<HashMap<Key, Option<f64>>>,
-    pure_dp: RwLock<HashMap<Key, Option<f64>>>,
-    cells: RwLock<HashMap<Key, Option<CellChoice>>>,
-    arena_runs: RwLock<HashMap<Key, Option<RunPlan>>>,
-    ideal: RwLock<HashMap<(String, usize, usize), f64>>,
+    adaptive: RwLock<BudgetedMap<Key, Option<RunPlan>>>,
+    dp: RwLock<BudgetedMap<Key, Option<f64>>>,
+    pure_dp: RwLock<BudgetedMap<Key, Option<f64>>>,
+    cells: RwLock<BudgetedMap<Key, Option<CellChoice>>>,
+    arena_runs: RwLock<BudgetedMap<Key, Option<RunPlan>>>,
+    ideal: RwLock<BudgetedMap<(String, usize, usize), f64>>,
 }
 
 impl std::fmt::Debug for PlanService {
@@ -92,21 +110,96 @@ impl std::fmt::Debug for PlanService {
 
 impl PlanService {
     /// Creates a service for `cluster` with the given cost constants.
+    ///
+    /// Honours `ARENA_MEM_BUDGET_BYTES` at construction, so every entry
+    /// point — `repro`, the daemon, the benches — runs budgeted under
+    /// the same operator knob. A later [`Self::set_mem_budget`] call
+    /// overrides it.
     #[must_use]
     pub fn new(cluster: &Cluster, params: CostParams, seed: u64) -> Self {
         let specs = cluster.pool_ids().map(|id| cluster.spec(id)).collect();
-        PlanService {
+        let service = PlanService {
             gt: GroundTruth::new(params.clone(), seed),
             estimator: CellEstimator::new(params, seed),
             specs,
             graphs: RwLock::new(HashMap::new()),
-            adaptive: RwLock::new(HashMap::new()),
-            dp: RwLock::new(HashMap::new()),
-            pure_dp: RwLock::new(HashMap::new()),
-            cells: RwLock::new(HashMap::new()),
-            arena_runs: RwLock::new(HashMap::new()),
-            ideal: RwLock::new(HashMap::new()),
-        }
+            adaptive: RwLock::new(BudgetedMap::new(None)),
+            dp: RwLock::new(BudgetedMap::new(None)),
+            pure_dp: RwLock::new(BudgetedMap::new(None)),
+            cells: RwLock::new(BudgetedMap::new(None)),
+            arena_runs: RwLock::new(BudgetedMap::new(None)),
+            ideal: RwLock::new(BudgetedMap::new(None)),
+        };
+        service.apply_env_budget();
+        service
+    }
+
+    /// Applies a total byte budget to the plan database (split evenly
+    /// across its six memo maps), sweeping oldest-first immediately;
+    /// `None` lifts it. The operator-graph cache is exempt: it is
+    /// bounded by the model zoo, not the trace. Evicted entries
+    /// recompute deterministically on the next lookup, so scheduling
+    /// output is unchanged — only wall-clock and hit rates move.
+    pub fn set_mem_budget(&self, total: Option<usize>) {
+        let share = total.map(|t| t / 6);
+        self.adaptive.write().set_budget(share);
+        self.dp.write().set_budget(share);
+        self.pure_dp.write().set_budget(share);
+        self.cells.write().set_budget(share);
+        self.arena_runs.write().set_budget(share);
+        self.ideal.write().set_budget(share);
+    }
+
+    /// Applies the `ARENA_MEM_BUDGET_BYTES` environment knob, when set:
+    /// half the total goes to the plan database, half to the estimator's
+    /// caches. Returns the budget read, for logging. With the variable
+    /// unset this is a no-op (budgets keep their current values, so a
+    /// programmatic budget set earlier survives).
+    pub fn apply_env_budget(&self) -> Option<usize> {
+        let total = arena_runtime::mem_budget_from_env()?;
+        self.set_mem_budget(Some(total / 2));
+        self.estimator.set_mem_budget(Some(total / 2));
+        Some(total)
+    }
+
+    /// The plan database's memory ledger (plus the unbudgeted graph
+    /// cache), one [`MemSection`] per map. The estimator's own ledger is
+    /// separate — see [`arena_estimator::CellEstimator::mem_report`].
+    #[must_use]
+    pub fn mem_report(&self) -> Vec<MemSection> {
+        let graphs = self.graphs.read();
+        let graph_bytes: usize = graphs
+            .values()
+            .map(|g| {
+                std::mem::size_of::<ModelGraph>()
+                    + g.name.len()
+                    + g.ops.len() * g.ops.first().map_or(0, std::mem::size_of_val)
+            })
+            .sum();
+        let mut out = vec![MemSection::unbudgeted(
+            "plans.graphs",
+            graph_bytes,
+            graphs.len(),
+        )];
+        drop(graphs);
+        out.push(self.adaptive.read().section("plans.adaptive"));
+        out.push(self.dp.read().section("plans.dp"));
+        out.push(self.pure_dp.read().section("plans.pure_dp"));
+        out.push(self.cells.read().section("plans.cells"));
+        out.push(self.arena_runs.read().section("plans.arena_runs"));
+        out.push(self.ideal.read().section("plans.ideal"));
+        out
+    }
+
+    /// Accounted plan-database bytes (excludes the graph cache).
+    #[must_use]
+    pub fn mem_bytes_total(&self) -> usize {
+        self.adaptive.read().bytes()
+            + self.dp.read().bytes()
+            + self.pure_dp.read().bytes()
+            + self.cells.read().bytes()
+            + self.arena_runs.read().bytes()
+            + self.ideal.read().bytes()
     }
 
     /// The ground truth backing this service.

@@ -103,6 +103,11 @@ pub(crate) struct SJob {
     pub(crate) last_update_s: f64,
     pub(crate) remaining: f64,
     pub(crate) alloc: Option<Allocation>,
+    /// Home executor shard, fixed at arrival (always 0 in the serial
+    /// engine). Carried on the job rather than in a side table so that
+    /// reclaiming a terminal job's slot frees *all* of its per-job
+    /// state.
+    pub(crate) home: usize,
     pub(crate) pool: usize,
     pub(crate) gpus: usize,
     pub(crate) opportunistic: bool,
@@ -582,6 +587,7 @@ pub fn simulate_with_faults_traced(
                 last_update_s: t,
                 remaining: iters,
                 alloc: None,
+                home: 0,
                 pool: 0,
                 gpus: 0,
                 opportunistic: false,

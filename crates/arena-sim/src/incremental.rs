@@ -42,8 +42,10 @@ use arena_sched::{Action, JobView, PlanMode, Policy, SchedEvent, SchedView, Shar
 use arena_trace::{FaultEvent, FaultKind, JobSpec};
 
 use crate::engine::{job_view, EventIndex, JState, SJob, SimConfig, SimResult, EPS};
-use crate::metrics::{aggregate, FaultLog, JobRecord};
+use crate::metrics::{aggregate, DecisionStats, FaultLog, FoldedRecords, JobRecord};
 use crate::shard::ShardPlan;
+use crate::store::JobStore;
+use crate::stream::StreamSummary;
 use serde::Serialize;
 
 /// Below this many live jobs, per-shard view fragments are built inline:
@@ -382,13 +384,12 @@ pub struct Engine<'a> {
     obs: Obs,
     policy: &'a mut dyn Policy,
     service: &'a PlanService,
-    sjobs: Vec<SJob>,
+    sjobs: JobStore,
     id_of: HashMap<u64, usize>,
     seen_ids: HashSet<u64>,
     // One event heap + membership index per executor shard; a job lives
     // in the index of its home shard for its whole lifetime.
     indexes: Vec<EventIndex>,
-    home_of: Vec<usize>,
     due: Vec<usize>,
     interner: Interner,
     acquired: HashSet<(u32, usize, usize, usize)>,
@@ -406,6 +407,18 @@ pub struct Engine<'a> {
     stopped: bool,
     cluster_gpu_capacity: usize,
     tele: Option<EngineTelemetry>,
+    // Record-fold mode (streaming runs): terminal jobs fold into a
+    // constant-memory aggregate and release their job-table slot at the
+    // end of the burst that terminated them. Off by default — batch and
+    // daemon runs keep every record for `finish`.
+    fold_records: bool,
+    folded: FoldedRecords,
+    reclaim_pending: Vec<usize>,
+    decision_stats: DecisionStats,
+    peak_live_jobs: usize,
+    // Scheduling passes since construction; clocks the memory-ledger
+    // gauge refresh (see the dispatch tail).
+    mem_clock: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -436,11 +449,10 @@ impl<'a> Engine<'a> {
             obs: obs.clone(),
             policy,
             service,
-            sjobs: Vec::new(),
+            sjobs: JobStore::new(),
             id_of: HashMap::new(),
             seen_ids: HashSet::new(),
             indexes: (0..plan.shards()).map(|_| EventIndex::default()).collect(),
-            home_of: Vec::new(),
             due: Vec::new(),
             interner: Interner::new(),
             acquired: HashSet::new(),
@@ -460,7 +472,38 @@ impl<'a> Engine<'a> {
             tele: obs
                 .metrics()
                 .map(|reg| EngineTelemetry::new(reg, plan.shards())),
+            fold_records: false,
+            folded: FoldedRecords::default(),
+            reclaim_pending: Vec::new(),
+            decision_stats: DecisionStats::default(),
+            peak_live_jobs: 0,
+            mem_clock: 0,
         }
+    }
+
+    /// Switches the engine into record-fold mode for streaming runs:
+    /// terminal jobs fold into a [`FoldedRecords`] aggregate and their
+    /// job-table slot is reclaimed at the end of the burst that
+    /// terminated them, so resident memory follows the *live* job count
+    /// instead of the trace length. The duplicate-id ledger is skipped
+    /// too (streaming drivers feed pre-validated sources), which means
+    /// [`Engine::submit`] / [`Engine::drop_job`] lose duplicate/unknown
+    /// detection — fold mode is for [`crate::stream`] drivers, not the
+    /// daemon. Finish such a run with [`Engine::finish_stream`].
+    ///
+    /// Folding is invisible in scheduling output: a reclaimed job is
+    /// terminal, so every engine path already treated it as inert
+    /// (stale heap entries, id-miss `continue`s in the executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job was already submitted.
+    pub fn enable_record_fold(&mut self) {
+        assert!(
+            self.sjobs.is_empty() && self.pending_jobs.is_empty(),
+            "record-fold mode must be enabled before any submission"
+        );
+        self.fold_records = true;
     }
 
     /// Engine clock, seconds.
@@ -556,7 +599,11 @@ impl<'a> Engine<'a> {
     /// semantics (including tolerated duplicate ids) bit-for-bit.
     pub(crate) fn push_job_unchecked(&mut self, spec: JobSpec) {
         self.last_submit_s = self.last_submit_s.max(spec.submit_s);
-        self.seen_ids.insert(spec.id);
+        if !self.fold_records {
+            // The ledger is O(trace length); fold-mode sources are
+            // pre-validated, so streaming runs skip it.
+            self.seen_ids.insert(spec.id);
+        }
         self.pending_jobs.push_back(spec);
     }
 
@@ -600,8 +647,13 @@ impl<'a> Engine<'a> {
             }
             j.state = JState::Dropped;
             self.obs.job_event(t, id, JobEventKind::Drop);
-            self.indexes[self.home_of[idx]].retire(&mut self.sjobs[idx], idx);
+            let home = self.sjobs[idx].home;
+            self.indexes[home].retire(&mut self.sjobs[idx], idx);
+            if self.fold_records {
+                self.reclaim_pending.push(idx);
+            }
             self.dispatch(SchedEvent::Departure(id));
+            self.process_reclaims();
         } else {
             // Accepted but not yet arrived: cancel it in the input queue.
             self.pending_jobs.retain(|s| s.id != id);
@@ -651,9 +703,9 @@ impl<'a> Engine<'a> {
     #[must_use]
     pub fn state(&self) -> EngineState {
         let mut jobs: Vec<JobStatus> =
-            Vec::with_capacity(self.sjobs.len() + self.pending_jobs.len());
+            Vec::with_capacity(self.sjobs.live() + self.pending_jobs.len());
         let (mut queued, mut starting, mut running, mut finished, mut dropped) = (0, 0, 0, 0, 0);
-        for j in &self.sjobs {
+        for (_, j) in self.sjobs.iter() {
             let phase = match j.state {
                 JState::Queued => {
                     queued += 1;
@@ -716,15 +768,18 @@ impl<'a> Engine<'a> {
                 failed_gpus: p.failed_gpus,
             })
             .collect();
+        // Folded (reclaimed) jobs keep counting toward the totals so the
+        // conservation invariant survives record-fold mode; their
+        // per-job statuses are gone by design.
         EngineState {
             now_s: self.t,
-            submitted: self.sjobs.len() + self.pending_jobs.len(),
+            submitted: self.sjobs.live() + self.folded.jobs as usize + self.pending_jobs.len(),
             pending: self.pending_jobs.len(),
             queued,
             starting,
             running,
-            finished,
-            dropped,
+            finished: finished + self.folded.finished as usize,
+            dropped: dropped + self.folded.dropped as usize,
             input_closed: !self.input_open,
             drained: self.stopped,
             pools,
@@ -738,23 +793,30 @@ impl<'a> Engine<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if a terminal job still holds GPUs (engine invariant).
+    /// Panics if a terminal job still holds GPUs (engine invariant), or
+    /// if the engine runs in record-fold mode (use
+    /// [`Engine::finish_stream`], which returns the folded aggregate
+    /// instead of per-job records).
     #[must_use]
     pub fn finish(mut self) -> SimResult {
+        assert!(
+            !self.fold_records,
+            "record-fold runs finish via finish_stream"
+        );
         // Conformance: terminal jobs hold no GPUs, and each home shard's
         // membership indexes agree with the job table.
-        for (i, j) in self.sjobs.iter().enumerate() {
+        for (i, j) in self.sjobs.iter() {
             if matches!(j.state, JState::Finished | JState::Dropped) {
                 assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
             }
             debug_assert_eq!(
-                self.indexes[self.home_of[i]].queued.contains(&i),
+                self.indexes[j.home].queued.contains(&i),
                 j.state == JState::Queued,
                 "queued index out of sync for job {}",
                 j.spec.id
             );
             debug_assert_eq!(
-                self.indexes[self.home_of[i]].active.contains(&i),
+                self.indexes[j.home].active.contains(&i),
                 j.active(),
                 "active index out of sync for job {}",
                 j.spec.id
@@ -763,32 +825,13 @@ impl<'a> Engine<'a> {
         self.flog.elapsed_s = self.t.min(self.cfg.horizon_s);
         self.flog.gpu_capacity_s = self.cluster_gpu_capacity as f64 * self.flog.elapsed_s;
         let t_end = self.flog.elapsed_s;
-        for j in &mut self.sjobs {
+        for (_, j) in self.sjobs.iter_mut() {
             j.flush_run(t_end);
             j.flush_alloc(t_end);
         }
         self.obs.timeline_close(t_end);
 
-        let records: Vec<JobRecord> = self
-            .sjobs
-            .iter()
-            .map(|j| JobRecord {
-                id: j.spec.id,
-                name: j.spec.name.clone(),
-                submit_s: j.spec.submit_s,
-                start_s: j.start_s,
-                finish_s: j.finish_s,
-                dropped: j.state == JState::Dropped,
-                restarts: j.restarts,
-                run_s: j.run_s,
-                productive_gpu_s: j.productive_gpu_s,
-                allocated_gpu_s: j.allocated_gpu_s,
-                deadline_met: j
-                    .spec
-                    .deadline_s
-                    .map(|d| j.finish_s.is_some_and(|f| f <= d)),
-            })
-            .collect();
+        let records: Vec<JobRecord> = self.sjobs.iter().map(|(_, j)| job_record(j)).collect();
         let metrics = aggregate(
             &records,
             &self.timeline,
@@ -817,6 +860,101 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Folds a drained record-fold run into a [`StreamSummary`] — the
+    /// batch tail of [`Engine::finish`] without ever materialising the
+    /// record vector: residual (non-terminal) jobs flush their open
+    /// segments at `t_end` and fold like everything that already
+    /// terminated mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Engine::enable_record_fold`] was called, or if a
+    /// terminal job still holds GPUs (engine invariant).
+    #[must_use]
+    pub fn finish_stream(mut self) -> StreamSummary {
+        assert!(
+            self.fold_records,
+            "finish_stream requires record-fold mode (enable_record_fold)"
+        );
+        self.process_reclaims();
+        self.flog.elapsed_s = self.t.min(self.cfg.horizon_s);
+        self.flog.gpu_capacity_s = self.cluster_gpu_capacity as f64 * self.flog.elapsed_s;
+        let t_end = self.flog.elapsed_s;
+        let residual: Vec<usize> = self.sjobs.iter().map(|(i, _)| i).collect();
+        for idx in residual {
+            let j = &mut self.sjobs[idx];
+            if matches!(j.state, JState::Finished | JState::Dropped) {
+                assert!(j.alloc.is_none(), "terminal job {} holds GPUs", j.spec.id);
+            }
+            j.flush_run(t_end);
+            j.flush_alloc(t_end);
+            let rec = job_record(&self.sjobs[idx]);
+            self.folded.fold(&rec);
+            self.sjobs.reclaim(idx);
+        }
+        self.obs.timeline_close(t_end);
+        let folded = self.folded;
+        let flog = &self.flog;
+        StreamSummary {
+            policy: self.policy.name().to_string(),
+            fingerprint: folded.fingerprint(),
+            jobs: folded,
+            decisions: self.decision_stats,
+            // Fault-log derived rates, mirroring `aggregate`.
+            goodput_sps: if flog.elapsed_s > 0.0 {
+                (flog.samples_processed - flog.samples_lost).max(0.0) / flog.elapsed_s
+            } else {
+                0.0
+            },
+            work_lost_frac: if flog.samples_processed > 0.0 {
+                flog.samples_lost / flog.samples_processed
+            } else {
+                0.0
+            },
+            failure_evictions: flog.failure_evictions,
+            mean_recovery_s: if flog.recovery_times_s.is_empty() {
+                0.0
+            } else {
+                flog.recovery_times_s.iter().sum::<f64>() / flog.recovery_times_s.len() as f64
+            },
+            cluster_util_frac: if flog.gpu_capacity_s > 0.0 {
+                folded.productive_gpu_s / flog.gpu_capacity_s
+            } else {
+                0.0
+            },
+            elapsed_s: flog.elapsed_s,
+            peak_live_jobs: self.peak_live_jobs,
+            timeline: self.timeline,
+            raw_timeline: self.raw_timeline,
+        }
+    }
+
+    /// Folds every job queued for reclamation into the aggregate and
+    /// frees its slot. Deferred to burst end (and input-command
+    /// boundaries) so action lists and event handling inside the
+    /// terminating burst still resolve the job by id — between the
+    /// terminal transition and the reclaim, every path already treats
+    /// the job as inert.
+    fn process_reclaims(&mut self) {
+        while let Some(idx) = self.reclaim_pending.pop() {
+            let rec = {
+                let j = &self.sjobs[idx];
+                debug_assert!(
+                    matches!(j.state, JState::Finished | JState::Dropped),
+                    "reclaiming a non-terminal job"
+                );
+                job_record(j)
+            };
+            // A tolerated duplicate id maps to its first slot; only the
+            // mapping owner removes it.
+            if self.id_of.get(&rec.id).is_some_and(|&m| m == idx) {
+                self.id_of.remove(&rec.id);
+            }
+            self.folded.fold(&rec);
+            self.sjobs.reclaim(idx);
+        }
+    }
+
     /// Heap maintenance plus the next-event computation. The per-shard
     /// heaps partition the serial engine's single heap, and `f64::min`
     /// ignores NaN consistently, so the fold over per-shard fresh minima
@@ -828,7 +966,7 @@ impl<'a> Engine<'a> {
         for index in &mut self.indexes {
             if index.heap.len() > 1024 && index.heap.len() > 8 * (index.active.len() + 1) {
                 let EventIndex { heap, .. } = index;
-                heap.compact(|job, generation| sjobs[job].generation == generation);
+                heap.compact(|job, generation| sjobs.is_fresh(job, generation));
             }
         }
         let next_arrival = self.pending_jobs.front().map(|j| j.submit_s);
@@ -841,7 +979,7 @@ impl<'a> Engine<'a> {
             .iter_mut()
             .map(|ix| {
                 ix.heap
-                    .next_fresh(|job, generation| sjobs[job].generation == generation)
+                    .next_fresh(|job, generation| sjobs.is_fresh(job, generation))
             })
             .fold(f64::INFINITY, f64::min);
         [
@@ -899,8 +1037,9 @@ impl<'a> Engine<'a> {
                     debug_assert!(j.last_update_s <= te, "job advanced backwards");
                     j.last_update_s = te;
                     j.generation += 1;
-                    let (generation, wake) = (j.generation, te + j.remaining * j.iter_time);
-                    self.indexes[self.home_of[i]].heap.push(wake, generation, i);
+                    let (home, generation, wake) =
+                        (j.home, j.generation, te + j.remaining * j.iter_time);
+                    self.indexes[home].heap.push(wake, generation, i);
                 }
             }
         }
@@ -930,8 +1069,9 @@ impl<'a> Engine<'a> {
                     }
                     self.obs.job_event(t, j.spec.id, JobEventKind::RunStart);
                     j.generation += 1;
-                    let (generation, wake) = (j.generation, t + j.remaining * j.iter_time);
-                    self.indexes[self.home_of[i]].heap.push(wake, generation, i);
+                    let (home, generation, wake) =
+                        (j.home, j.generation, t + j.remaining * j.iter_time);
+                    self.indexes[home].heap.push(wake, generation, i);
                 }
             }
         }
@@ -964,7 +1104,11 @@ impl<'a> Engine<'a> {
             }
             self.obs.job_event(t, j.spec.id, JobEventKind::Finish);
             event = Some(SchedEvent::Departure(j.spec.id));
-            self.indexes[self.home_of[i]].retire(&mut self.sjobs[i], i);
+            let home = self.sjobs[i].home;
+            self.indexes[home].retire(&mut self.sjobs[i], i);
+            if self.fold_records {
+                self.reclaim_pending.push(i);
+            }
         }
         self.due = due;
 
@@ -1033,7 +1177,8 @@ impl<'a> Engine<'a> {
                                 .on_shard(j.spec.requested_pool as u32)
                                 .why("node-failure-evict"),
                         );
-                        self.indexes[self.home_of[i]].requeue(&mut self.sjobs[i], i);
+                        let home = self.sjobs[i].home;
+                        self.indexes[home].requeue(&mut self.sjobs[i], i);
                     }
                     self.due = due;
                     SchedEvent::NodeFailure {
@@ -1066,8 +1211,7 @@ impl<'a> Engine<'a> {
             let id = spec.id;
             let home = self.plan.shard_of_pool(spec.requested_pool);
             let model_key = self.interner.intern(&spec.model.name());
-            let idx = self.sjobs.len();
-            self.sjobs.push(SJob {
+            let idx = self.sjobs.push(SJob {
                 spec,
                 model_key,
                 state: JState::Queued,
@@ -1075,6 +1219,7 @@ impl<'a> Engine<'a> {
                 last_update_s: t,
                 remaining: iters,
                 alloc: None,
+                home,
                 pool: 0,
                 gpus: 0,
                 opportunistic: false,
@@ -1092,7 +1237,6 @@ impl<'a> Engine<'a> {
                 productive_gpu_s: 0.0,
                 allocated_gpu_s: 0.0,
             });
-            self.home_of.push(home);
             self.id_of.entry(id).or_insert(idx);
             self.indexes[home].queued.insert(idx);
             self.obs.job_event(t, id, JobEventKind::Submit);
@@ -1139,6 +1283,19 @@ impl<'a> Engine<'a> {
         {
             self.stopped = true;
         }
+
+        // Burst end: record the live high-water mark (the streaming
+        // memory-model's working-set measure) and return terminal jobs'
+        // slots in record-fold mode.
+        let live: usize = self
+            .indexes
+            .iter()
+            .map(|ix| ix.queued.len() + ix.active.len())
+            .sum();
+        self.peak_live_jobs = self.peak_live_jobs.max(live);
+        if !self.reclaim_pending.is_empty() {
+            self.process_reclaims();
+        }
     }
 
     /// Builds the policy's view shard-by-shard, merges the fragments,
@@ -1183,7 +1340,7 @@ impl<'a> Engine<'a> {
             let (queued_homes, queued, running): (Vec<usize>, Vec<JobView>, Vec<JobView>) =
                 if parallel {
                     let mut frags: Vec<ViewFragment> = {
-                        let sjobs: &[SJob] = &self.sjobs;
+                        let sjobs: &JobStore = &self.sjobs;
                         // Per-shard candidate-gen latency: each worker
                         // times its own fragment build into that
                         // shard's histogram (atomics, thread-safe).
@@ -1247,7 +1404,7 @@ impl<'a> Engine<'a> {
                     let mut homes = Vec::with_capacity(queued_pairs.len());
                     let mut queued = Vec::with_capacity(queued_pairs.len());
                     for (i, v) in queued_pairs {
-                        homes.push(self.home_of[i]);
+                        homes.push(self.sjobs[i].home);
                         queued.push(v);
                     }
                     (homes, queued, running)
@@ -1259,7 +1416,7 @@ impl<'a> Engine<'a> {
                         None => StageGuard::Span(self.obs.span("sim.shard.merge")),
                     };
                     let merged_q = merged_indices(&self.indexes, |ix| ix.queued.iter().copied());
-                    let homes = merged_q.iter().map(|&(i, _)| self.home_of[i]).collect();
+                    let homes = merged_q.iter().map(|&(i, _)| self.sjobs[i].home).collect();
                     let queued = merged_q
                         .iter()
                         .map(|&(i, _)| job_view(&self.sjobs[i]))
@@ -1333,7 +1490,12 @@ impl<'a> Engine<'a> {
                 self.policy.schedule(ev, &view)
             };
             let decision_s = started.elapsed().as_secs_f64();
-            self.decisions.push(decision_s);
+            self.decision_stats.observe(decision_s);
+            if !self.fold_records {
+                // The per-decision vector only feeds `finish`'s mean;
+                // fold mode keeps the running stats instead.
+                self.decisions.push(decision_s);
+            }
             if let Some(tele) = &self.tele {
                 tele.stage_schedule.observe(decision_s);
                 tele.actions_per_pass.observe(actions.len() as f64);
@@ -1363,6 +1525,23 @@ impl<'a> Engine<'a> {
         if let Some(tele) = &self.tele {
             tele.observe_estimator(&self.service.estimator_stats());
         }
+        // Memory-ledger gauges refresh on a 1-in-64 pass clock (first
+        // pass included, so a scrape right after the first submit
+        // already carries the series): the section walk allocates its
+        // report, so riding every burst showed up on the loaded
+        // telemetry bench, while this cadence keeps a daemon's
+        // `query metrics` scrape at most a few dozen decisions stale.
+        // Registry-less runs skip the ledger walk entirely.
+        let publish_mem = self.mem_clock.is_multiple_of(64);
+        self.mem_clock += 1;
+        if !publish_mem {
+            return;
+        }
+        if let Some(reg) = self.obs.metrics() {
+            let mut sections = self.service.estimator().mem_report();
+            sections.extend(self.service.mem_report());
+            arena_obs::publish_mem_sections(reg, &sections);
+        }
     }
 
     /// Executes scheduling actions — the serial engine's executor with
@@ -1390,7 +1569,11 @@ impl<'a> Engine<'a> {
                     }
                     j.state = JState::Dropped;
                     self.obs.job_event(t, job, JobEventKind::Drop);
-                    self.indexes[self.home_of[idx]].retire(&mut self.sjobs[idx], idx);
+                    let home = self.sjobs[idx].home;
+                    self.indexes[home].retire(&mut self.sjobs[idx], idx);
+                    if self.fold_records {
+                        self.reclaim_pending.push(idx);
+                    }
                 }
                 Action::Evict { job } => {
                     let Some(&idx) = self.id_of.get(&job) else {
@@ -1416,7 +1599,8 @@ impl<'a> Engine<'a> {
                                 lost_iters: 0.0,
                             },
                         );
-                        self.indexes[self.home_of[idx]].requeue(&mut self.sjobs[idx], idx);
+                        let home = self.sjobs[idx].home;
+                        self.indexes[home].requeue(&mut self.sjobs[idx], idx);
                     }
                 }
                 Action::Place {
@@ -1492,11 +1676,8 @@ impl<'a> Engine<'a> {
                                     opportunistic,
                                 },
                             );
-                            self.indexes[self.home_of[idx]].place(
-                                &mut self.sjobs[idx],
-                                idx,
-                                t + delay,
-                            );
+                            let home = self.sjobs[idx].home;
+                            self.indexes[home].place(&mut self.sjobs[idx], idx, t + delay);
                         }
                         Err(_) => {
                             // Capacity race: job returns to the queue.
@@ -1518,7 +1699,8 @@ impl<'a> Engine<'a> {
                                     .on_shard(j.spec.requested_pool as u32)
                                     .why("capacity-race"),
                             );
-                            self.indexes[self.home_of[idx]].requeue(&mut self.sjobs[idx], idx);
+                            let home = self.sjobs[idx].home;
+                            self.indexes[home].requeue(&mut self.sjobs[idx], idx);
                         }
                     }
                 }
@@ -1559,11 +1741,35 @@ struct ViewFragment {
     active: Vec<JobView>,
 }
 
-fn build_fragment(ix: &EventIndex, sjobs: &[SJob]) -> ViewFragment {
+fn build_fragment(ix: &EventIndex, sjobs: &JobStore) -> ViewFragment {
     ViewFragment {
         queued_idx: ix.queued.iter().copied().collect(),
         queued: ix.queued.iter().map(|&i| job_view(&sjobs[i])).collect(),
         active_idx: ix.active.iter().copied().collect(),
         active: ix.active.iter().map(|&i| job_view(&sjobs[i])).collect(),
+    }
+}
+
+/// The final record of one job, read off its (flushed) engine state.
+/// `finish` builds these for every job after the end-of-run flush;
+/// record-fold mode builds them at the terminal transition, where the
+/// flushes have already run and every field is final — the two paths
+/// produce bitwise-identical records.
+fn job_record(j: &SJob) -> JobRecord {
+    JobRecord {
+        id: j.spec.id,
+        name: j.spec.name.clone(),
+        submit_s: j.spec.submit_s,
+        start_s: j.start_s,
+        finish_s: j.finish_s,
+        dropped: j.state == JState::Dropped,
+        restarts: j.restarts,
+        run_s: j.run_s,
+        productive_gpu_s: j.productive_gpu_s,
+        allocated_gpu_s: j.allocated_gpu_s,
+        deadline_met: j
+            .spec
+            .deadline_s
+            .map(|d| j.finish_s.is_some_and(|f| f <= d)),
     }
 }

@@ -25,6 +25,8 @@ pub mod metrics;
 #[doc(hidden)]
 pub mod reference;
 pub mod shard;
+mod store;
+pub mod stream;
 
 pub use arena_obs::{
     Decision, DecisionKind, JobAccount, JobEventKind, JobState, MetricsRegistry, Obs, StopCause,
@@ -35,8 +37,9 @@ pub use engine::{
     SimResult,
 };
 pub use incremental::{Engine, EngineState, InputError, JobPhase, JobStatus, PoolSnapshot};
-pub use metrics::{FaultLog, JobRecord, Metrics};
+pub use metrics::{record_fingerprint, DecisionStats, FaultLog, FoldedRecords, JobRecord, Metrics};
 pub use shard::{
     simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,
     simulate_sharded_with_faults_traced, ShardPlan,
 };
+pub use stream::{simulate_stream, simulate_stream_with_faults, StreamSummary};

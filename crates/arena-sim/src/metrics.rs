@@ -44,6 +44,211 @@ impl JobRecord {
     }
 }
 
+/// Order-independent hash of one job record over a canonical field
+/// encoding (ids and counters little-endian, floats by IEEE bit
+/// pattern, `Option`s tagged). Two records hash equal iff every
+/// observable field is bitwise equal.
+fn record_hash(r: &JobRecord) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let opt_f64 = |v: Option<f64>| match v {
+        None => [0u8; 9],
+        Some(x) => {
+            let mut out = [0u8; 9];
+            out[0] = 1;
+            out[1..].copy_from_slice(&x.to_bits().to_le_bytes());
+            out
+        }
+    };
+    eat(&r.id.to_le_bytes());
+    eat(&(r.name.len() as u64).to_le_bytes());
+    eat(r.name.as_bytes());
+    eat(&r.submit_s.to_bits().to_le_bytes());
+    eat(&opt_f64(r.start_s));
+    eat(&opt_f64(r.finish_s));
+    eat(&[u8::from(r.dropped)]);
+    eat(&r.restarts.to_le_bytes());
+    eat(&r.run_s.to_bits().to_le_bytes());
+    eat(&r.productive_gpu_s.to_bits().to_le_bytes());
+    eat(&r.allocated_gpu_s.to_bits().to_le_bytes());
+    eat(&[match r.deadline_met {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }]);
+    h
+}
+
+/// Fingerprint of a whole record set, independent of record order.
+/// Streaming runs fold records as jobs terminate while batch runs emit
+/// them in submission order; because the combination is a commutative
+/// fold (wrapping sum + xor of per-record hashes), both orders produce
+/// the same fingerprint exactly when the record *multisets* are equal.
+#[must_use]
+pub fn record_fingerprint(records: &[JobRecord]) -> u64 {
+    let mut folded = FoldedRecords::default();
+    for r in records {
+        folded.fold(r);
+    }
+    folded.fingerprint()
+}
+
+/// Constant-memory aggregate of job records — what a streaming run
+/// keeps instead of a `Vec<JobRecord>`. Every field is a commutative
+/// fold over per-record contributions, so folding records as jobs
+/// terminate (streaming order) matches folding the batch engine's
+/// submission-ordered record vector, except that floating-point *sums*
+/// may differ in final bits across fold orders; the integer counters
+/// and the [`FoldedRecords::fingerprint`] are exactly order-free.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FoldedRecords {
+    /// Records folded in total.
+    pub jobs: u64,
+    /// Records with a finish time.
+    pub finished: u64,
+    /// Dropped records.
+    pub dropped: u64,
+    /// Neither finished nor dropped (ran out the horizon).
+    pub unfinished: u64,
+    /// Records that ever started.
+    pub started: u64,
+    /// Total restarts.
+    pub restarts: u64,
+    /// Sum of JCTs over finished records, seconds.
+    pub jct_sum_s: f64,
+    /// Max JCT over finished records, seconds.
+    pub jct_max_s: f64,
+    /// Sum of queueing times over started records, seconds.
+    pub queue_sum_s: f64,
+    /// Total wall-clock spent running, seconds.
+    pub run_sum_s: f64,
+    /// Total productive GPU-seconds.
+    pub productive_gpu_s: f64,
+    /// Total allocated GPU-seconds.
+    pub allocated_gpu_s: f64,
+    /// Records carrying a deadline.
+    pub deadline_total: u64,
+    /// Deadline-carrying records that met it.
+    pub deadline_met: u64,
+    fp_sum: u64,
+    fp_xor: u64,
+}
+
+impl FoldedRecords {
+    /// Folds one record into the aggregate.
+    pub fn fold(&mut self, r: &JobRecord) {
+        self.jobs += 1;
+        if r.dropped {
+            self.dropped += 1;
+        } else if r.finish_s.is_none() {
+            self.unfinished += 1;
+        }
+        if let Some(jct) = r.jct_s() {
+            self.finished += 1;
+            self.jct_sum_s += jct;
+            self.jct_max_s = self.jct_max_s.max(jct);
+        }
+        if let Some(q) = r.queue_s() {
+            self.started += 1;
+            self.queue_sum_s += q;
+        }
+        self.restarts += u64::from(r.restarts);
+        self.run_sum_s += r.run_s;
+        self.productive_gpu_s += r.productive_gpu_s;
+        self.allocated_gpu_s += r.allocated_gpu_s;
+        match r.deadline_met {
+            None => {}
+            Some(met) => {
+                self.deadline_total += 1;
+                self.deadline_met += u64::from(met);
+            }
+        }
+        let fp = record_hash(r);
+        self.fp_sum = self.fp_sum.wrapping_add(fp);
+        self.fp_xor ^= fp;
+    }
+
+    /// Order-independent fingerprint of the folded record multiset —
+    /// comparable against [`record_fingerprint`] of a batch run's
+    /// record vector.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp_sum ^ self.fp_xor.rotate_left(32)
+    }
+
+    /// Mean JCT over finished records, seconds.
+    #[must_use]
+    pub fn avg_jct_s(&self) -> f64 {
+        ratio(self.jct_sum_s, self.finished)
+    }
+
+    /// Mean queueing time over started records, seconds.
+    #[must_use]
+    pub fn avg_queue_s(&self) -> f64 {
+        ratio(self.queue_sum_s, self.started)
+    }
+
+    /// Mean restarts per started record.
+    #[must_use]
+    pub fn avg_restarts(&self) -> f64 {
+        ratio(self.restarts as f64, self.started)
+    }
+
+    /// Fraction of deadline-carrying records that met their deadline
+    /// (vacuously 1 with none).
+    #[must_use]
+    pub fn deadline_satisfaction(&self) -> f64 {
+        if self.deadline_total == 0 {
+            1.0
+        } else {
+            self.deadline_met as f64 / self.deadline_total as f64
+        }
+    }
+}
+
+fn ratio(sum: f64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Streaming fold of per-decision scheduler latencies: count, total and
+/// max are all the batch engine's `Vec<f64>` ever feeds into
+/// [`aggregate`] (which takes its mean), kept without the vector.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct DecisionStats {
+    /// Scheduling passes observed.
+    pub count: u64,
+    /// Total decision wall-clock, seconds.
+    pub total_s: f64,
+    /// Worst single decision, seconds.
+    pub max_s: f64,
+}
+
+impl DecisionStats {
+    /// Folds one decision latency.
+    pub fn observe(&mut self, s: f64) {
+        self.count += 1;
+        self.total_s += s;
+        self.max_s = self.max_s.max(s);
+    }
+
+    /// Mean decision wall-clock, seconds.
+    #[must_use]
+    pub fn mean_s(&self) -> f64 {
+        ratio(self.total_s, self.count)
+    }
+}
+
 /// Raw fault-recovery counters the engine accumulates during a run and
 /// hands to [`aggregate`]. A zero-fault run leaves everything except
 /// `samples_processed` and `elapsed_s` at zero.
@@ -324,6 +529,77 @@ mod tests {
         // Without a capacity denominator the fraction stays at zero.
         let m0 = aggregate(&[], &[], &[], &[], &FaultLog::default());
         assert_eq!(m0.cluster_util_frac, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_free_and_field_sensitive() {
+        let records = vec![
+            rec(1, 0.0, Some(5.0), Some(50.0)),
+            rec(2, 10.0, Some(20.0), None),
+            JobRecord {
+                dropped: true,
+                ..rec(3, 30.0, None, None)
+            },
+        ];
+        let mut reversed = records.clone();
+        reversed.reverse();
+        assert_eq!(record_fingerprint(&records), record_fingerprint(&reversed));
+        // Any field change moves the fingerprint.
+        let mut tweaked = records.clone();
+        tweaked[0].restarts = 1;
+        assert_ne!(record_fingerprint(&records), record_fingerprint(&tweaked));
+        let mut tweaked = records.clone();
+        tweaked[1].finish_s = Some(90.0);
+        assert_ne!(record_fingerprint(&records), record_fingerprint(&tweaked));
+        // A missing record is visible even when sums happen to agree.
+        assert_ne!(
+            record_fingerprint(&records),
+            record_fingerprint(&records[..2])
+        );
+    }
+
+    #[test]
+    fn folded_records_match_aggregate_counts() {
+        let mut with_deadline = rec(4, 0.0, Some(2.0), Some(9.0));
+        with_deadline.deadline_met = Some(true);
+        let records = vec![
+            rec(1, 0.0, Some(5.0), Some(50.0)),
+            rec(2, 0.0, Some(10.0), Some(110.0)),
+            rec(3, 0.0, Some(20.0), None),
+            JobRecord {
+                dropped: true,
+                ..rec(5, 0.0, None, None)
+            },
+            with_deadline,
+        ];
+        let mut folded = FoldedRecords::default();
+        for r in &records {
+            folded.fold(r);
+        }
+        let m = aggregate(&records, &[], &[], &[], &FaultLog::default());
+        assert_eq!(folded.jobs as usize, records.len());
+        assert_eq!(folded.finished as usize, m.finished);
+        assert_eq!(folded.dropped as usize, m.dropped);
+        assert_eq!(folded.unfinished as usize, m.unfinished);
+        assert_eq!(folded.avg_jct_s(), m.avg_jct_s);
+        assert_eq!(folded.jct_max_s, m.max_jct_s);
+        assert_eq!(folded.avg_queue_s(), m.avg_queue_s);
+        assert_eq!(folded.avg_restarts(), m.avg_restarts);
+        assert_eq!(folded.deadline_satisfaction(), m.deadline_satisfaction);
+        assert_eq!(folded.fingerprint(), record_fingerprint(&records));
+    }
+
+    #[test]
+    fn decision_stats_fold_matches_vec_mean() {
+        let times = [0.1, 0.3, 0.2];
+        let mut stats = DecisionStats::default();
+        for t in times {
+            stats.observe(t);
+        }
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.max_s, 0.3);
+        assert_eq!(stats.mean_s(), times.iter().sum::<f64>() / 3.0);
+        assert_eq!(DecisionStats::default().mean_s(), 0.0);
     }
 
     #[test]

@@ -121,6 +121,145 @@ fn proxy_iter_time(model: &ModelConfig, flops_fwd: f64, gpus: usize) -> f64 {
     3.0 * flops_fwd * model.global_batch as f64 / effective_flops
 }
 
+/// Pull-based generator over a [`TraceConfig`]: yields the exact job
+/// sequence [`generate`] would collect, one arrival at a time, without
+/// ever materialising the trace. Fleet-scale drivers pump this straight
+/// into the incremental engine so memory stays flat in trace length.
+///
+/// # Examples
+///
+/// ```
+/// use arena_trace::{generate, GenSource, TraceConfig, TraceKind};
+///
+/// let cfg = TraceConfig::new(TraceKind::HeliosModerate, 3600.0, 64, vec![48.0, 24.0]);
+/// let streamed: Vec<_> = GenSource::new(&cfg).collect();
+/// assert_eq!(streamed.len(), generate(&cfg).len());
+/// ```
+#[derive(Debug)]
+pub struct GenSource {
+    cfg: TraceConfig,
+    rng: StdRng,
+    flops_cache: HashMap<String, f64>,
+    base_rate: f64,
+    dur_median: f64,
+    dur_sigma: f64,
+    t: f64,
+    id: u64,
+    done: bool,
+}
+
+impl GenSource {
+    /// A generator positioned before the first arrival of `cfg`'s trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config carries no pools or mismatched pool weights.
+    #[must_use]
+    pub fn new(cfg: &TraceConfig) -> Self {
+        assert!(!cfg.pool_mem_gib.is_empty(), "need at least one pool");
+        assert_eq!(cfg.pool_mem_gib.len(), cfg.pool_weights.len());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Calibrate the base arrival rate so that offered GPU demand matches
+        // the kind's load: rate = load x capacity / (E[duration] x E[gpus]).
+        let (base_median, dur_sigma) = cfg.kind.duration_dist();
+        let dur_median = base_median * cfg.duration_scale;
+        let e_duration = dur_median * (dur_sigma * dur_sigma / 2.0).exp();
+        let e_gpus: f64 = GPU_MENU
+            .iter()
+            .zip(&GPU_WEIGHTS)
+            .map(|(&g, &w)| g as f64 * w)
+            .sum::<f64>()
+            / GPU_WEIGHTS.iter().sum::<f64>();
+        let base_rate =
+            cfg.kind.load() * cfg.load_scale * cfg.cluster_gpus as f64 / (e_duration * e_gpus);
+
+        GenSource {
+            cfg: cfg.clone(),
+            rng,
+            flops_cache: HashMap::new(),
+            base_rate,
+            dur_median,
+            dur_sigma,
+            t: 0.0,
+            id: 0,
+            done: false,
+        }
+    }
+
+    /// Jobs yielded so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Iterator for GenSource {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.done {
+            return None;
+        }
+        let cfg = &self.cfg;
+
+        // Diurnal modulation of the Poisson rate.
+        let diurnal = 1.0 + 0.6 * (2.0 * std::f64::consts::PI * self.t / 86_400.0).sin();
+        let rate = (self.base_rate * diurnal).max(self.base_rate * 0.2);
+        self.t += exponential(&mut self.rng, rate);
+        if self.t > cfg.duration_s {
+            self.done = true;
+            return None;
+        }
+        let t = self.t;
+
+        // Model: family, size rank (small-dominated), batch.
+        let family = ModelFamily::all()[weighted_choice(&mut self.rng, &FAMILY_WEIGHTS)];
+        let sizes = family.table2_sizes();
+        let rank = weighted_choice(&mut self.rng, &SIZE_WEIGHTS[..sizes.len()]);
+        let batches = family.table2_batches();
+        let batch = batches[self.rng.random_range(0..batches.len())];
+        let model = ModelConfig::new(family, sizes[rank], batch);
+
+        // Pool and a feasible initial GPU count.
+        let pool = weighted_choice(&mut self.rng, &cfg.pool_weights);
+        let sampled = GPU_MENU[weighted_choice(&mut self.rng, &GPU_WEIGHTS)];
+        let floor = min_feasible_gpus(model.params_b, cfg.pool_mem_gib[pool]);
+        let requested_gpus = sampled.max(floor).min(64);
+
+        // Duration target -> iterations via the throughput proxy.
+        let duration =
+            lognormal(&mut self.rng, self.dur_median, self.dur_sigma).clamp(60.0, 1_209_600.0);
+        let flops = *self
+            .flops_cache
+            .entry(model.name())
+            .or_insert_with(|| model.build().total_flops_fwd());
+        let iters = (duration / proxy_iter_time(&model, flops, requested_gpus))
+            .round()
+            .max(20.0) as u64;
+
+        let deadline_s = if self.rng.random::<f64>() < cfg.deadline_fraction {
+            let slack = 1.5 + 2.5 * self.rng.random::<f64>();
+            Some(t + duration * slack)
+        } else {
+            None
+        };
+
+        let id = self.id;
+        self.id += 1;
+        Some(JobSpec {
+            id,
+            name: format!("job{id}-{}", model.name()),
+            submit_s: t,
+            model,
+            iterations: iters,
+            requested_gpus,
+            requested_pool: pool,
+            deadline_s,
+        })
+    }
+}
+
 /// Generates a seeded synthetic trace.
 ///
 /// # Examples
@@ -141,80 +280,7 @@ fn proxy_iter_time(model: &ModelConfig, flops_fwd: f64, gpus: usize) -> f64 {
 /// Panics if the config carries no pools or non-positive weights.
 #[must_use]
 pub fn generate(cfg: &TraceConfig) -> Vec<JobSpec> {
-    assert!(!cfg.pool_mem_gib.is_empty(), "need at least one pool");
-    assert_eq!(cfg.pool_mem_gib.len(), cfg.pool_weights.len());
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Calibrate the base arrival rate so that offered GPU demand matches
-    // the kind's load: rate = load x capacity / (E[duration] x E[gpus]).
-    let (base_median, dur_sigma) = cfg.kind.duration_dist();
-    let dur_median = base_median * cfg.duration_scale;
-    let e_duration = dur_median * (dur_sigma * dur_sigma / 2.0).exp();
-    let e_gpus: f64 = GPU_MENU
-        .iter()
-        .zip(&GPU_WEIGHTS)
-        .map(|(&g, &w)| g as f64 * w)
-        .sum::<f64>()
-        / GPU_WEIGHTS.iter().sum::<f64>();
-    let base_rate =
-        cfg.kind.load() * cfg.load_scale * cfg.cluster_gpus as f64 / (e_duration * e_gpus);
-
-    let mut flops_cache: HashMap<String, f64> = HashMap::new();
-    let mut jobs = Vec::new();
-    let mut t = 0.0_f64;
-    let mut id = 0_u64;
-    loop {
-        // Diurnal modulation of the Poisson rate.
-        let diurnal = 1.0 + 0.6 * (2.0 * std::f64::consts::PI * t / 86_400.0).sin();
-        let rate = (base_rate * diurnal).max(base_rate * 0.2);
-        t += exponential(&mut rng, rate);
-        if t > cfg.duration_s {
-            break;
-        }
-
-        // Model: family, size rank (small-dominated), batch.
-        let family = ModelFamily::all()[weighted_choice(&mut rng, &FAMILY_WEIGHTS)];
-        let sizes = family.table2_sizes();
-        let rank = weighted_choice(&mut rng, &SIZE_WEIGHTS[..sizes.len()]);
-        let batches = family.table2_batches();
-        let batch = batches[rng.random_range(0..batches.len())];
-        let model = ModelConfig::new(family, sizes[rank], batch);
-
-        // Pool and a feasible initial GPU count.
-        let pool = weighted_choice(&mut rng, &cfg.pool_weights);
-        let sampled = GPU_MENU[weighted_choice(&mut rng, &GPU_WEIGHTS)];
-        let floor = min_feasible_gpus(model.params_b, cfg.pool_mem_gib[pool]);
-        let requested_gpus = sampled.max(floor).min(64);
-
-        // Duration target -> iterations via the throughput proxy.
-        let duration = lognormal(&mut rng, dur_median, dur_sigma).clamp(60.0, 1_209_600.0);
-        let flops = *flops_cache
-            .entry(model.name())
-            .or_insert_with(|| model.build().total_flops_fwd());
-        let iters = (duration / proxy_iter_time(&model, flops, requested_gpus))
-            .round()
-            .max(20.0) as u64;
-
-        let deadline_s = if rng.random::<f64>() < cfg.deadline_fraction {
-            let slack = 1.5 + 2.5 * rng.random::<f64>();
-            Some(t + duration * slack)
-        } else {
-            None
-        };
-
-        jobs.push(JobSpec {
-            id,
-            name: format!("job{id}-{}", model.name()),
-            submit_s: t,
-            model,
-            iterations: iters,
-            requested_gpus,
-            requested_pool: pool,
-            deadline_s,
-        });
-        id += 1;
-    }
-    jobs
+    GenSource::new(cfg).collect()
 }
 
 #[cfg(test)]

@@ -15,8 +15,10 @@ pub mod gen;
 pub mod io;
 pub mod job;
 pub mod rng;
+pub mod stream;
 
 pub use fault::{generate_faults, FaultConfig, FaultEvent, FaultKind};
-pub use gen::{generate, TraceConfig, TraceKind};
+pub use gen::{generate, GenSource, TraceConfig, TraceKind};
 pub use io::{load_json, save_json};
 pub use job::JobSpec;
+pub use stream::{save_jsonl, JsonlSource, JsonlWriter, TakeSource, TraceSource, VecSource};

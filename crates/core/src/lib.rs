@@ -69,9 +69,9 @@ pub mod prelude {
     };
     pub use arena_sim::{
         simulate, simulate_sharded, simulate_sharded_traced, simulate_sharded_with_faults,
-        simulate_sharded_with_faults_traced, simulate_traced, simulate_with_faults,
-        simulate_with_faults_traced, Decision, DecisionKind, MetricsRegistry, Obs, ShardPlan,
-        SimConfig, SimResult, TraceReport,
+        simulate_sharded_with_faults_traced, simulate_stream, simulate_stream_with_faults,
+        simulate_traced, simulate_with_faults, simulate_with_faults_traced, Decision, DecisionKind,
+        MetricsRegistry, Obs, ShardPlan, SimConfig, SimResult, StreamSummary, TraceReport,
     };
-    pub use arena_trace::{generate, JobSpec, TraceConfig, TraceKind};
+    pub use arena_trace::{generate, GenSource, JobSpec, TraceConfig, TraceKind, TraceSource};
 }

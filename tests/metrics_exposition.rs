@@ -219,7 +219,16 @@ fn watch_streams_numbered_samples_and_metrics_scrape_is_well_formed() {
             .unwrap();
     let text = as_str(field(&scrape, "metrics")).to_string();
     let text = text.as_str();
-    for series in ["sim_event_arrival", "sim_stage_burst_seconds_count"] {
+    for series in [
+        "sim_event_arrival",
+        "sim_stage_burst_seconds_count",
+        // Memory-ledger gauges publish on the engine's first pass (then
+        // on a 1-in-64 clock), so a mid-run scrape already carries
+        // cache occupancy.
+        "mem_bytes{section=\"estimator.profiles\"}",
+        "mem_budget_bytes{section=\"plans.cells\"}",
+        "mem_evictions{section=\"estimator.estimates\"}",
+    ] {
         assert!(text.contains(series), "scrape missing {series}:\n{text}");
     }
 
