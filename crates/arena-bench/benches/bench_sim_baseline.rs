@@ -229,7 +229,7 @@ fn bench_simulate_500(smoke: bool) -> BenchEntry {
 /// policy — dominates. This is the bench the CI speedup gate holds the
 /// event-indexed core's ≥3x claim against (`BENCH_sim_pre_event_core.json`
 /// records the pre-change engine on the same fixture).
-fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
+fn bench_simulate_loaded(smoke: bool) -> Vec<BenchEntry> {
     let cluster = arena::cluster::presets::physical_testbed();
     let service = PlanService::new(&cluster, CostParams::default(), 51);
     let n = if smoke { 200 } else { 5000 };
@@ -251,7 +251,7 @@ fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
         &faults,
     );
     let iters = if smoke { 1 } else { 3 };
-    time_loop(
+    let serial = time_loop(
         &format!("sim/simulate_{n}_jobs_faulted_fcfs"),
         iters,
         || {
@@ -265,7 +265,38 @@ fn bench_simulate_loaded(smoke: bool) -> BenchEntry {
                 &faults,
             ));
         },
-    )
+    );
+    // A one-shard plan must cost the same as the serial engine: the
+    // sharded driver routes `shards == 1` straight through the serial
+    // path (DESIGN.md §12), so the merge-round machinery can never tax
+    // a degenerate plan. This entry pins that routing.
+    let shard1 = ShardPlan::per_pool(&cluster).with_shards(1);
+    let pinned = time_loop(
+        &format!("sim/simulate_{n}_jobs_faulted_fcfs_shard1"),
+        iters,
+        || {
+            let mut p = FcfsPolicy::new();
+            black_box(simulate_sharded_with_faults(
+                &cluster,
+                black_box(&jobs),
+                &mut p,
+                &service,
+                &cfg,
+                &faults,
+                &shard1,
+            ));
+        },
+    );
+    if !smoke {
+        assert!(
+            pinned.mean_s <= serial.mean_s * 1.25,
+            "one-shard sharded run must track the serial engine \
+             (serial {:.3}s vs shard1 {:.3}s): the shards==1 routing broke",
+            serial.mean_s,
+            pinned.mean_s
+        );
+    }
+    vec![serial, pinned]
 }
 
 /// The loaded engine round through the sharded incremental driver —
@@ -516,6 +547,7 @@ fn bench_stream_fleet(smoke: bool) -> Vec<BenchEntry> {
             min_s: wall,
             max_s: wall,
             peak_rss_bytes: peak,
+            allocs_per_iter: None,
         });
         peaks.push(peak);
         black_box(summary);
@@ -541,7 +573,7 @@ fn main() {
     benches.extend(bench_arena_schedule(smoke));
     benches.extend(bench_arena_500(smoke));
     benches.push(bench_simulate_500(smoke));
-    benches.push(bench_simulate_loaded(smoke));
+    benches.extend(bench_simulate_loaded(smoke));
     let (telemetry, telemetry_gate) = bench_simulate_loaded_telemetry(smoke);
     benches.extend(telemetry);
     benches.extend(bench_simulate_multipool(smoke));
@@ -603,5 +635,32 @@ fn main() {
         };
         write_bench_report("BENCH_sim_unsharded.json", &unsharded)
             .expect("write BENCH_sim_unsharded.json");
+        // The one-worker reference for the fan-out-granularity gate:
+        // the cold 500-job decision round at w4/w8 must not be slower
+        // than at w1 (chunked fan-out makes extra workers at worst
+        // free). Same same-machine refresh pattern as the unsharded
+        // gate; bench-check pairs entries by name, so the w1 entry is
+        // renamed to the w4 and w8 entry names.
+        let w1 = report
+            .benches
+            .iter()
+            .find(|b| b.name == "sched/arena_decision_500_cold_w1")
+            .expect("w1 cold decision entry present in full runs");
+        let w1_gate = BenchReport {
+            smoke,
+            git_rev: git_rev(),
+            policies: vec!["Arena".to_string()],
+            benches: vec![
+                BenchEntry {
+                    name: "sched/arena_decision_500_cold_w4".to_string(),
+                    ..w1.clone()
+                },
+                BenchEntry {
+                    name: "sched/arena_decision_500_cold_w8".to_string(),
+                    ..w1.clone()
+                },
+            ],
+        };
+        write_bench_report("BENCH_sim_w1.json", &w1_gate).expect("write BENCH_sim_w1.json");
     }
 }

@@ -29,6 +29,10 @@ pub struct BenchEntry {
     /// bytes. Only memory-gated benches record it; absent elsewhere so
     /// pre-existing entries keep their schema.
     pub peak_rss_bytes: Option<u64>,
+    /// Mean heap allocations per iteration, recorded only when the
+    /// `alloc-count` feature swaps in the counting allocator; absent
+    /// elsewhere so pre-existing entries keep their schema.
+    pub allocs_per_iter: Option<u64>,
 }
 
 // Hand-written so an absent watermark *omits* the field (the derive
@@ -45,6 +49,9 @@ impl serde::Serialize for BenchEntry {
         ];
         if let Some(rss) = self.peak_rss_bytes {
             fields.push(("peak_rss_bytes".to_string(), rss.to_value()));
+        }
+        if let Some(allocs) = self.allocs_per_iter {
+            fields.push(("allocs_per_iter".to_string(), allocs.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -77,15 +84,74 @@ pub fn git_rev() -> String {
         .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
 }
 
+/// Heap allocations counting, active only under the `alloc-count`
+/// feature. Counts `alloc`, `alloc_zeroed` and `realloc` calls from
+/// every thread; frees are not counted (the interesting regression is
+/// allocation *churn*, and a free implies a prior counted alloc).
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// System-allocator wrapper bumping a global counter per allocation.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every allocation to `System`, which upholds the
+    // `GlobalAlloc` contract; the counter update has no effect on the
+    // returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// Total heap allocations made by the process so far, when the
+/// `alloc-count` feature has swapped in the counting global allocator;
+/// `None` in a default build. The count is process-wide, so callers
+/// measuring a loop must keep other threads quiet across the window.
+#[must_use]
+pub fn alloc_count() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
 /// Times `iters` executions of `f` and returns the aggregate entry,
-/// printing a one-line summary as it goes.
+/// printing a one-line summary as it goes. Under the `alloc-count`
+/// feature the entry also records mean heap allocations per iteration.
 pub fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
     let mut samples = Vec::with_capacity(iters);
+    let allocs_before = alloc_count();
     for _ in 0..iters {
         let t0 = Instant::now();
         f();
         samples.push(t0.elapsed().as_secs_f64());
     }
+    let allocs_per_iter =
+        allocs_before.and_then(|a0| Some(alloc_count()?.saturating_sub(a0) / iters.max(1) as u64));
     let sum: f64 = samples.iter().sum();
     let entry = BenchEntry {
         name: name.to_string(),
@@ -94,6 +160,7 @@ pub fn time_loop<F: FnMut()>(name: &str, iters: usize, mut f: F) -> BenchEntry {
         min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
         max_s: samples.iter().copied().fold(0.0, f64::max),
         peak_rss_bytes: None,
+        allocs_per_iter,
     };
     println!(
         "{name}: {iters} iters, mean {:.6}s, min {:.6}s",
@@ -204,19 +271,23 @@ mod tests {
                 min_s: 0.5,
                 max_s: 0.5,
                 peak_rss_bytes: None,
+                allocs_per_iter: None,
             }],
         };
         let json = serde_json::to_string(&report).unwrap();
         for key in ["smoke", "git_rev", "policies", "benches", "mean_s"] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        // RSS is opt-in: absent entries keep the historical schema, and
-        // recording one adds the field.
+        // RSS and alloc counts are opt-in: absent entries keep the
+        // historical schema, and recording one adds the field.
         assert!(!json.contains("peak_rss_bytes"));
+        assert!(!json.contains("allocs_per_iter"));
         let mut with_rss = report.clone();
         with_rss.benches[0].peak_rss_bytes = Some(1 << 20);
+        with_rss.benches[0].allocs_per_iter = Some(3);
         let json = serde_json::to_string(&with_rss).unwrap();
         assert!(json.contains("\"peak_rss_bytes\":1048576"));
+        assert!(json.contains("\"allocs_per_iter\":3"));
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl Cell {
     /// choices of §6.1).
     #[must_use]
     pub fn generate(graph: &ModelGraph, num_gpus: usize) -> Vec<Cell> {
-        let mut out = Vec::new();
+        // Stage counts are the powers of two up to `num_gpus`: exactly
+        // `log2 + 1` candidates, so one right-sized allocation.
+        let mut out = Vec::with_capacity(num_gpus.max(1).ilog2() as usize + 1);
         let mut stages = 1;
         while stages <= num_gpus {
             if let Some(cell) = Cell::new(graph, num_gpus, stages) {

@@ -1,5 +1,14 @@
 //! The agile Cell estimator: assembly of profiled parts (§5.1, Fig. 9).
+//!
+//! The uncached pipeline is data-oriented (DESIGN.md §16): profiles are
+//! flattened into struct-of-arrays buffers, boundary transfer costs are
+//! priced once per accumulation factor instead of inside every chain-DP
+//! sweep, memory-infeasible per-stage plans are pruned *before* their
+//! collectives are priced, and the whole `2^Ns` assembly runs over
+//! reusable thread-local scratch arenas — zero heap allocation per
+//! estimate after warmup, except the returned [`CellEstimate`] itself.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -11,7 +20,7 @@ use arena_runtime::{MemSection, MemSize};
 
 use crate::cell::{Cell, Favor};
 use crate::keys::{CellKey, Interner, ShardedMap, TableKey};
-use crate::profile::{profile_cell, CellProfiles};
+use crate::profile::{profile_cell, CellProfiles, SoaProfiles};
 use crate::tables::{CollectiveKind, CommTables};
 
 /// The estimator's verdict on one Cell.
@@ -41,19 +50,52 @@ impl arena_runtime::MemSize for CellEstimate {
     }
 }
 
-/// Per-(stage, mode) terms entering the assembly.
-#[derive(Debug, Clone, Copy)]
-struct ModeTerm {
-    /// Steady-state busy time per micro-batch (compute + TP collectives +
-    /// expert dispatch).
-    busy: f64,
+/// Reusable scratch arenas for the batched `2^Ns` assembly.
+///
+/// Per-(stage, mode) vectors are indexed `2 * stage + mode` (mode 0 =
+/// DP-only, 1 = TP-only); the boundary table is indexed
+/// `4 * stage + 2 * prev_mode + mode` for stages `>= 1`. Buffers are
+/// cleared — never shrunk — between estimates, so once each thread has
+/// assembled a Cell at the workload's largest stage count the whole
+/// uncached path performs no heap allocation besides the returned
+/// [`CellEstimate`].
+#[derive(Debug, Default)]
+struct AssemblyScratch {
+    /// Flattened profile fields, refilled once per estimate.
+    soa: SoaProfiles,
+    /// Steady busy time per micro-batch (compute + TP collectives +
+    /// expert dispatch). Slots of pruned modes are never read.
+    busy: Vec<f64>,
     /// Data-parallel gradient synchronisation time.
-    sync: f64,
-    /// Per-GPU memory footprint (diagnostics).
-    #[allow(dead_code)]
-    mem: f64,
-    /// Whether this mode is feasible (memory and batch).
-    feasible: bool,
+    sync: Vec<f64>,
+    /// Whether the (stage, mode) plan survives the pre-assembly memory
+    /// and batch pruning.
+    feasible: Vec<bool>,
+    /// Precomputed boundary transfer costs at the current accumulation
+    /// factor.
+    boundary: Vec<f64>,
+    /// Steady-state threshold candidates (realised busy and boundary
+    /// values).
+    busy_cands: Vec<f64>,
+    /// Sync threshold candidates.
+    sync_cands: Vec<f64>,
+    /// Chain-DP cost table.
+    cost: Vec<f64>,
+    /// Chain-DP parent pointers.
+    parent: Vec<usize>,
+    /// Chain-DP mode reconstruction buffer.
+    modes: Vec<usize>,
+    /// Best mode assignment across threshold pairs within one
+    /// accumulation factor.
+    best_modes: Vec<usize>,
+    /// Best mode assignment across accumulation factors.
+    final_modes: Vec<usize>,
+}
+
+thread_local! {
+    /// One scratch arena per thread: the worker-pool fan-out assembles
+    /// distinct Cells concurrently without sharing (or locking) buffers.
+    static SCRATCH: RefCell<AssemblyScratch> = RefCell::new(AssemblyScratch::default());
 }
 
 /// Live hit/miss counters for the estimator's three caches, plus total
@@ -392,110 +434,252 @@ impl CellEstimator {
         hw: &HwTarget,
     ) -> Option<CellEstimate> {
         let tables = self.tables_for(hw, cell.num_gpus);
+        self.estimate_with_tables(&tables, graph, global_batch, cell, hw)
+    }
+
+    /// The uncached pipeline minus the table fetch — the batch entry
+    /// prices every Cell of one job against a single shared table.
+    fn estimate_with_tables(
+        &self,
+        tables: &CommTables,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cell: &Cell,
+        hw: &HwTarget,
+    ) -> Option<CellEstimate> {
         let profiles = self.profiles_for(graph, global_batch, cell, hw);
-        let p = &self.params;
-        let base_b = 4 * cell.num_stages;
-        let budget = hw.node.gpu.mem_bytes() as f64 * p.usable_mem_frac;
-
-        // The estimator mirrors the runtime's gradient-accumulation
-        // escalation: derive each accumulation factor's terms from the
-        // single profile taken at the GPipe default (compute and payloads
-        // scale with the micro-batch; fixed memory does not).
-        let mut best_assembly: Option<(Vec<usize>, f64)> = None;
-        for accum in [1_usize, 2, 4, 8, 16] {
-            let f = accum as f64;
-            let b = base_b * accum;
-            let terms: Vec<[ModeTerm; 2]> = profiles
-                .stages
-                .iter()
-                .enumerate()
-                .map(|(s, prof)| {
-                    let g = cell.partition.gpus[s];
-                    [0, 1].map(|m| {
-                        let pr = &prof[m];
-                        let tp_comm = if m == 1 {
-                            tables.lookup(CollectiveKind::AllReduce, g, pr.tp_payload / f)
-                        } else {
-                            0.0
-                        };
-                        let dispatch =
-                            tables.lookup(CollectiveKind::AllToAll, g, pr.dispatch_payload / f);
-                        let sync = if m == 0 {
-                            tables.lookup(CollectiveKind::AllReduce, g, pr.grad_bytes)
-                        } else {
-                            0.0
-                        };
-                        let mem = pr.fixed_mem_bytes + pr.scalable_mem_bytes / f;
-                        let compute =
-                            pr.fixed_compute_s + (pr.compute_s - pr.fixed_compute_s).max(0.0) / f;
-                        ModeTerm {
-                            busy: compute + tp_comm + dispatch,
-                            sync,
-                            mem,
-                            feasible: pr.batch_ok && pr.mb_samples / f >= 1.0 && mem <= budget,
-                        }
-                    })
-                })
-                .collect();
-
-            // Boundary cost between stage s-1 in mode mp and stage s in
-            // mode m, at this accumulation factor.
-            let boundary = |s: usize, mp: usize, m: usize| -> f64 {
-                let range = &cell.partition.ranges[s];
-                let bytes = graph.ops[range.start - 1].out_bytes * global_batch as f64 / b as f64;
-                let same_layout =
-                    mp == 0 && m == 0 && cell.partition.gpus[s - 1] == cell.partition.gpus[s];
-                let factor = if same_layout { 1.0 } else { p.reshard_factor };
-                tables.lookup(CollectiveKind::P2p, cell.num_gpus, bytes * factor)
-            };
-
-            if let Some((modes, iter)) = assemble_best(&terms, &boundary, b, 1.0 - p.dp_overlap) {
-                if best_assembly.as_ref().is_none_or(|(_, cur)| iter < *cur) {
-                    best_assembly = Some((modes, iter));
-                }
-            }
-        }
-        let (modes, iter_time_s) = best_assembly?;
-
-        let favors: Vec<Favor> = modes
-            .iter()
-            .map(|&m| if m == 0 { Favor::Dp } else { Favor::Tp })
-            .collect();
-        let plan = PipelinePlan {
-            stages: cell
-                .partition
-                .ranges
-                .iter()
-                .zip(&cell.partition.gpus)
-                .zip(&modes)
-                .map(|((r, &g), &m)| StageAssignment {
-                    op_range: r.clone(),
-                    plan: if m == 0 {
-                        StagePlan::dp_only(g)
-                    } else {
-                        StagePlan::tp_only(g)
-                    },
-                })
-                .collect(),
-        };
-        let max_mem_bytes = modes
-            .iter()
-            .enumerate()
-            .map(|(s, &m)| profiles.stages[s][m].mem_bytes)
-            .fold(0.0, f64::max);
-
-        Some(CellEstimate {
-            plan,
-            iter_time_s,
-            throughput_sps: global_batch as f64 / iter_time_s,
-            favors,
-            max_mem_bytes,
+        SCRATCH.with(|scratch| {
+            assemble_cell(
+                &self.params,
+                tables,
+                &profiles,
+                graph,
+                global_batch,
+                cell,
+                hw,
+                &mut scratch.borrow_mut(),
+            )
         })
+    }
+
+    /// Estimates every Cell generated for one job in one batched pass:
+    /// the communication tables are fetched once for the whole batch and
+    /// each Cell's assembly reuses the calling thread's scratch arenas.
+    ///
+    /// Bitwise-identical to calling [`CellEstimator::estimate`] on each
+    /// Cell in order — every Cell still counts exactly one estimate hit
+    /// or miss, misses are timed, and fresh estimates enter the cache.
+    /// Only the table hit/miss counters move once per batch rather than
+    /// once per Cell.
+    #[must_use]
+    pub fn estimate_batch(
+        &self,
+        graph: &ModelGraph,
+        global_batch: usize,
+        cells: &[Cell],
+        hw: &HwTarget,
+    ) -> Vec<Option<CellEstimate>> {
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        let max_group = cells.iter().map(|c| c.num_gpus).max().unwrap_or(1);
+        let tables = self.tables_for(hw, max_group);
+        cells
+            .iter()
+            .map(|cell| {
+                let key = self.cell_key(graph, global_batch, cell, hw);
+                if let Some(e) = self.estimates.get(&key, key.hash_value()) {
+                    self.stats.estimate_hits.fetch_add(1, Ordering::Relaxed);
+                    return e;
+                }
+                self.stats.estimate_misses.fetch_add(1, Ordering::Relaxed);
+                let started = std::time::Instant::now();
+                let est = self.estimate_with_tables(&tables, graph, global_batch, cell, hw);
+                self.stats.estimate_ns.fetch_add(
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                self.estimates
+                    .insert(key, key.hash_value(), est.clone(), est.mem_bytes());
+                est
+            })
+            .collect()
     }
 }
 
+/// Index of the best batched estimate: highest estimated throughput,
+/// exact ties keeping the earliest (generation-order) Cell. `None` slots
+/// never select, and a NaN throughput — an upstream estimation bug, not
+/// a valid score — ranks below every real value instead of poisoning
+/// the comparison, mirroring the scheduler's `score_key` ordering.
+#[must_use]
+pub fn best_estimate(estimates: &[Option<CellEstimate>]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, e) in estimates.iter().enumerate() {
+        let Some(e) = e else { continue };
+        if e.throughput_sps.is_nan() {
+            continue;
+        }
+        if best.is_none_or(|(_, cur)| e.throughput_sps > cur) {
+            best = Some((i, e.throughput_sps));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Assembles the best plan over the `2^Ns` grid for one Cell, minimised
+/// over the gradient-accumulation factors, entirely on `scr`'s buffers.
+///
+/// The estimator mirrors the runtime's gradient-accumulation
+/// escalation: each accumulation factor's terms derive from the single
+/// profile taken at the GPipe default (compute and payloads scale with
+/// the micro-batch; fixed memory does not). Memory- or batch-infeasible
+/// per-stage plans are pruned before any of their collectives are
+/// priced; boundary transfers are priced once per factor (at most two
+/// distinct values per boundary) instead of inside every chain-DP
+/// sweep.
+#[allow(clippy::too_many_arguments)] // One call site; mirrors the estimation request tuple.
+fn assemble_cell(
+    p: &CostParams,
+    tables: &CommTables,
+    profiles: &CellProfiles,
+    graph: &ModelGraph,
+    global_batch: usize,
+    cell: &Cell,
+    hw: &HwTarget,
+    scr: &mut AssemblyScratch,
+) -> Option<CellEstimate> {
+    let n = cell.num_stages;
+    let base_b = 4 * n;
+    let budget = hw.node.gpu.mem_bytes() as f64 * p.usable_mem_frac;
+    let one_minus_ov = 1.0 - p.dp_overlap;
+    scr.soa.fill_from(profiles);
+    debug_assert_eq!(scr.soa.slots(), 2 * n);
+
+    let mut best_found = false;
+    let mut best_iter = f64::INFINITY;
+    scr.final_modes.clear();
+
+    for accum in [1_usize, 2, 4, 8, 16] {
+        let f = accum as f64;
+        let b = base_b * accum;
+
+        // Terms for this factor, with pre-assembly pruning: an
+        // infeasible (stage, mode) slot skips its table lookups entirely
+        // and can never enter a threshold candidate set or a DP state.
+        scr.busy.clear();
+        scr.sync.clear();
+        scr.feasible.clear();
+        for s in 0..n {
+            let g = cell.partition.gpus[s];
+            for m in 0..2 {
+                let i = 2 * s + m;
+                let mem = scr.soa.fixed_mem_bytes[i] + scr.soa.scalable_mem_bytes[i] / f;
+                let feasible =
+                    scr.soa.batch_ok[i] && scr.soa.mb_samples[i] / f >= 1.0 && mem <= budget;
+                scr.feasible.push(feasible);
+                if !feasible {
+                    scr.busy.push(f64::INFINITY);
+                    scr.sync.push(f64::INFINITY);
+                    continue;
+                }
+                let tp_comm = if m == 1 {
+                    tables.lookup(CollectiveKind::AllReduce, g, scr.soa.tp_payload[i] / f)
+                } else {
+                    0.0
+                };
+                let dispatch =
+                    tables.lookup(CollectiveKind::AllToAll, g, scr.soa.dispatch_payload[i] / f);
+                let sync = if m == 0 {
+                    tables.lookup(CollectiveKind::AllReduce, g, scr.soa.grad_bytes[i])
+                } else {
+                    0.0
+                };
+                let compute = scr.soa.fixed_compute_s[i]
+                    + (scr.soa.compute_s[i] - scr.soa.fixed_compute_s[i]).max(0.0) / f;
+                scr.busy.push(compute + tp_comm + dispatch);
+                scr.sync.push(sync);
+            }
+        }
+
+        // Boundary cost between stage s-1 in mode mp and stage s in mode
+        // m at this factor. Only the layout decides the cost, so each
+        // boundary needs at most two P2P lookups here — not four per
+        // chain-DP sweep.
+        scr.boundary.clear();
+        scr.boundary.resize(4 * n, 0.0);
+        for s in 1..n {
+            let range = &cell.partition.ranges[s];
+            let bytes = graph.ops[range.start - 1].out_bytes * global_batch as f64 / b as f64;
+            let same_gpus = cell.partition.gpus[s - 1] == cell.partition.gpus[s];
+            let resharded =
+                tables.lookup(CollectiveKind::P2p, cell.num_gpus, bytes * p.reshard_factor);
+            let plain = if same_gpus {
+                tables.lookup(CollectiveKind::P2p, cell.num_gpus, bytes)
+            } else {
+                resharded
+            };
+            for mp in 0..2 {
+                for m in 0..2 {
+                    let same_layout = mp == 0 && m == 0 && same_gpus;
+                    scr.boundary[4 * s + 2 * mp + m] = if same_layout { plain } else { resharded };
+                }
+            }
+        }
+
+        if let Some(iter) = assemble_best(scr, n, b, one_minus_ov) {
+            if !best_found || iter < best_iter {
+                best_found = true;
+                best_iter = iter;
+                scr.final_modes.clear();
+                scr.final_modes.extend_from_slice(&scr.best_modes);
+            }
+        }
+    }
+    if !best_found {
+        return None;
+    }
+    let modes = &scr.final_modes;
+    let iter_time_s = best_iter;
+
+    let favors: Vec<Favor> = modes
+        .iter()
+        .map(|&m| if m == 0 { Favor::Dp } else { Favor::Tp })
+        .collect();
+    let plan = PipelinePlan {
+        stages: cell
+            .partition
+            .ranges
+            .iter()
+            .zip(&cell.partition.gpus)
+            .zip(modes)
+            .map(|((r, &g), &m)| StageAssignment {
+                op_range: r.clone(),
+                plan: if m == 0 {
+                    StagePlan::dp_only(g)
+                } else {
+                    StagePlan::tp_only(g)
+                },
+            })
+            .collect(),
+    };
+    let max_mem_bytes = modes
+        .iter()
+        .enumerate()
+        .map(|(s, &m)| scr.soa.mem_bytes[2 * s + m])
+        .fold(0.0, f64::max);
+
+    Some(CellEstimate {
+        plan,
+        iter_time_s,
+        throughput_sps: global_batch as f64 / iter_time_s,
+        favors,
+        max_mem_bytes,
+    })
+}
+
 /// Finds the best assembled plan over the `2^Ns` grid *exactly*, without
-/// enumeration, via threshold-bounded chain DP.
+/// enumeration, via threshold-bounded chain DP over `scr`'s buffers.
 ///
 /// The objective
 /// `Σ busy + Σ boundary + (B−1)·max(busy, boundary) + (1−ov)·max sync`
@@ -507,58 +691,57 @@ impl CellEstimator {
 /// each reconstructed assignment is then scored, and the overall minimum
 /// is exact because the optimal assignment's own maxima appear among the
 /// candidates.
-fn assemble_best(
-    terms: &[[ModeTerm; 2]],
-    boundary: &dyn Fn(usize, usize, usize) -> f64,
-    b: usize,
-    one_minus_ov: f64,
-) -> Option<(Vec<usize>, f64)> {
-    let s_count = terms.len();
-    if s_count == 0 {
+///
+/// Returns the winning objective and leaves its mode assignment in
+/// `scr.best_modes`. Reads `scr.{busy,sync,feasible,boundary}` as filled
+/// by [`assemble_cell`] for the current accumulation factor.
+fn assemble_best(scr: &mut AssemblyScratch, n: usize, b: usize, one_minus_ov: f64) -> Option<f64> {
+    if n == 0 {
         return None;
     }
-    let mut busy_cands: Vec<f64> = terms
-        .iter()
-        .flatten()
-        .filter(|t| t.feasible)
-        .map(|t| t.busy)
-        .collect();
+    scr.busy_cands.clear();
+    scr.sync_cands.clear();
+    for i in 0..2 * n {
+        if scr.feasible[i] {
+            scr.busy_cands.push(scr.busy[i]);
+            scr.sync_cands.push(scr.sync[i]);
+        }
+    }
     // Boundary transfers can bound the steady state too.
-    for s in 1..s_count {
+    for s in 1..n {
         for mp in 0..2 {
             for m in 0..2 {
-                busy_cands.push(boundary(s, mp, m));
+                scr.busy_cands.push(scr.boundary[4 * s + 2 * mp + m]);
             }
         }
     }
-    let mut sync_cands: Vec<f64> = terms
-        .iter()
-        .flatten()
-        .filter(|t| t.feasible)
-        .map(|t| t.sync)
-        .collect();
-    if busy_cands.is_empty() {
+    if scr.busy_cands.is_empty() {
         return None;
     }
-    busy_cands.sort_by(f64::total_cmp);
-    busy_cands.dedup();
-    sync_cands.sort_by(f64::total_cmp);
-    sync_cands.dedup();
+    // Unstable sort: total_cmp is a total order, so the sorted sequence
+    // (and the dedup below) is identical to a stable sort's — without
+    // the stable sort's temporary buffer.
+    scr.busy_cands.sort_unstable_by(f64::total_cmp);
+    scr.busy_cands.dedup();
+    scr.sync_cands.sort_unstable_by(f64::total_cmp);
+    scr.sync_cands.dedup();
 
-    let mut best: Option<(Vec<usize>, f64)> = None;
-    for &m1 in &busy_cands {
-        for &m2 in &sync_cands {
-            let Some(modes) = chain_dp(terms, boundary, m1, m2) else {
+    let mut best: Option<f64> = None;
+    for c1 in 0..scr.busy_cands.len() {
+        for c2 in 0..scr.sync_cands.len() {
+            let (m1, m2) = (scr.busy_cands[c1], scr.sync_cands[c2]);
+            if !chain_dp(scr, n, m1, m2) {
                 continue;
-            };
+            }
             // True objective of the reconstructed assignment.
+            let modes = &scr.modes;
             let sum_busy: f64 = modes
                 .iter()
                 .enumerate()
-                .map(|(s, &m)| terms[s][m].busy)
+                .map(|(s, &m)| scr.busy[2 * s + m])
                 .sum();
-            let sum_bound: f64 = (1..s_count)
-                .map(|s| boundary(s, modes[s - 1], modes[s]))
+            let sum_bound: f64 = (1..n)
+                .map(|s| scr.boundary[4 * s + 2 * modes[s - 1] + modes[s]])
                 .sum();
             let max_steady = modes
                 .iter()
@@ -567,20 +750,22 @@ fn assemble_best(
                     let bnd = if s == 0 {
                         0.0
                     } else {
-                        boundary(s, modes[s - 1], m)
+                        scr.boundary[4 * s + 2 * modes[s - 1] + m]
                     };
-                    terms[s][m].busy.max(bnd)
+                    scr.busy[2 * s + m].max(bnd)
                 })
                 .fold(0.0, f64::max);
             let max_sync = modes
                 .iter()
                 .enumerate()
-                .map(|(s, &m)| terms[s][m].sync)
+                .map(|(s, &m)| scr.sync[2 * s + m])
                 .fold(0.0, f64::max);
             let obj =
                 sum_busy + sum_bound + (b as f64 - 1.0) * max_steady + one_minus_ov * max_sync;
-            if best.as_ref().is_none_or(|(_, cur)| obj < *cur) {
-                best = Some((modes, obj));
+            if best.is_none_or(|cur| obj < cur) {
+                best = Some(obj);
+                scr.best_modes.clear();
+                scr.best_modes.extend_from_slice(&scr.modes);
             }
         }
     }
@@ -588,60 +773,62 @@ fn assemble_best(
 }
 
 /// Left-to-right DP choosing per-stage modes under busy/sync caps.
-fn chain_dp(
-    terms: &[[ModeTerm; 2]],
-    boundary: &dyn Fn(usize, usize, usize) -> f64,
-    max_busy: f64,
-    max_sync: f64,
-) -> Option<Vec<usize>> {
+///
+/// Fills `scr.modes` and returns `true` when a feasible assignment
+/// exists; `scr.{cost,parent}` are reset here, never reallocated.
+fn chain_dp(scr: &mut AssemblyScratch, n: usize, max_busy: f64, max_sync: f64) -> bool {
     const EPS: f64 = 1e-12;
-    let n = terms.len();
-    let ok = |t: &ModeTerm| t.feasible && t.busy <= max_busy + EPS && t.sync <= max_sync + EPS;
+    let ok = |scr: &AssemblyScratch, i: usize| {
+        scr.feasible[i] && scr.busy[i] <= max_busy + EPS && scr.sync[i] <= max_sync + EPS
+    };
 
-    let mut cost = [[f64::INFINITY; 2]; 1].repeat(n);
-    let mut parent = vec![[usize::MAX; 2]; n];
+    scr.cost.clear();
+    scr.cost.resize(2 * n, f64::INFINITY);
+    scr.parent.clear();
+    scr.parent.resize(2 * n, usize::MAX);
     for m in 0..2 {
-        if ok(&terms[0][m]) {
-            cost[0][m] = terms[0][m].busy;
+        if ok(scr, m) {
+            scr.cost[m] = scr.busy[m];
         }
     }
     for s in 1..n {
         for m in 0..2 {
-            if !ok(&terms[s][m]) {
+            if !ok(scr, 2 * s + m) {
                 continue;
             }
             for mp in 0..2 {
-                let bnd = boundary(s, mp, m);
+                let bnd = scr.boundary[4 * s + 2 * mp + m];
                 if bnd > max_busy + EPS {
                     continue; // Transfer would exceed the steady threshold.
                 }
-                if cost[s - 1][mp].is_finite() {
-                    let c = cost[s - 1][mp] + bnd + terms[s][m].busy;
-                    if c < cost[s][m] {
-                        cost[s][m] = c;
-                        parent[s][m] = mp;
+                if scr.cost[2 * (s - 1) + mp].is_finite() {
+                    let c = scr.cost[2 * (s - 1) + mp] + bnd + scr.busy[2 * s + m];
+                    if c < scr.cost[2 * s + m] {
+                        scr.cost[2 * s + m] = c;
+                        scr.parent[2 * s + m] = mp;
                     }
                 }
             }
         }
     }
-    let last = if cost[n - 1][0] <= cost[n - 1][1] {
+    let last = if scr.cost[2 * (n - 1)] <= scr.cost[2 * (n - 1) + 1] {
         0
     } else {
         1
     };
-    if !cost[n - 1][last].is_finite() {
-        return None;
+    if !scr.cost[2 * (n - 1) + last].is_finite() {
+        return false;
     }
-    let mut modes = vec![0; n];
-    modes[n - 1] = last;
+    scr.modes.clear();
+    scr.modes.resize(n, 0);
+    scr.modes[n - 1] = last;
     for s in (1..n).rev() {
-        modes[s - 1] = parent[s][modes[s]];
-        if modes[s - 1] == usize::MAX {
-            return None;
+        scr.modes[s - 1] = scr.parent[2 * s + scr.modes[s]];
+        if scr.modes[s - 1] == usize::MAX {
+            return false;
         }
     }
-    Some(modes)
+    true
 }
 
 #[cfg(test)]
@@ -978,5 +1165,91 @@ mod tests {
                 }
             }
         }
+
+        /// The batch seam is transparent: for any job/pool shape,
+        /// `estimate_batch` over the generated Cell ladder is bitwise
+        /// identical to per-call `estimate` *and* to cache-bypassing
+        /// recomputation, on cold and warm caches alike.
+        #[test]
+        fn batch_equals_per_call(
+            fam_idx in 0_usize..3,
+            gpus_pow in 1_u32..5,
+            batch_pow in 7_u32..9,
+            on_a10 in 0_u32..2,
+        ) {
+            let (fam, size) = [
+                (ModelFamily::Bert, 1.3),
+                (ModelFamily::Moe, 1.3),
+                (ModelFamily::WideResNet, 1.0),
+            ][fam_idx];
+            let global_batch = 1_usize << batch_pow;
+            let g = ModelConfig::new(fam, size, global_batch).build();
+            let gpus = 1_usize << gpus_pow;
+            let hw = if on_a10 == 1 { a10() } else { a100() };
+            let cells = Cell::generate(&g, gpus);
+            prop_assume!(!cells.is_empty());
+
+            // Same seed, separate caches: the batch estimator runs cold
+            // while the reference estimator prices each cell alone.
+            let batched = CellEstimator::new(CostParams::default(), 43);
+            let reference = CellEstimator::new(CostParams::default(), 43);
+            let cold = batched.estimate_batch(&g, global_batch, &cells, &hw);
+            prop_assert_eq!(cold.len(), cells.len());
+            let warm = batched.estimate_batch(&g, global_batch, &cells, &hw);
+            for (i, cell) in cells.iter().enumerate() {
+                let one = reference.estimate(&g, global_batch, cell, &hw);
+                let bypassed = reference.estimate_bypassing_cache(&g, global_batch, cell, &hw);
+                match (&cold[i], &warm[i], one, bypassed) {
+                    (None, None, None, None) => {}
+                    (Some(c), Some(w), Some(o), Some(b)) => {
+                        for other in [w, &o, &b] {
+                            prop_assert_eq!(c.iter_time_s.to_bits(), other.iter_time_s.to_bits());
+                            prop_assert_eq!(
+                                c.throughput_sps.to_bits(),
+                                other.throughput_sps.to_bits()
+                            );
+                            prop_assert_eq!(
+                                c.max_mem_bytes.to_bits(),
+                                other.max_mem_bytes.to_bits()
+                            );
+                            prop_assert_eq!(c.plan.label(), other.plan.label());
+                            prop_assert_eq!(&c.favors, &other.favors);
+                        }
+                    }
+                    (c, w, o, b) => {
+                        return Err(TestCaseError::fail(format!(
+                            "feasibility disagrees for cell {i}: batch_cold={} \
+                             batch_warm={} per_call={} bypassed={}",
+                            c.is_some(), w.is_some(), o.is_some(), b.is_some()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_estimate_skips_nan_and_keeps_first_strict_maximum() {
+        let mk = |tp: f64| {
+            Some(CellEstimate {
+                plan: PipelinePlan { stages: Vec::new() },
+                iter_time_s: 1.0,
+                throughput_sps: tp,
+                favors: Vec::new(),
+                max_mem_bytes: 0.0,
+            })
+        };
+        // NaN is never selectable — even in first position, where the
+        // old per-cell loop's `>` comparison let it stick forever.
+        assert_eq!(
+            best_estimate(&[mk(f64::NAN), mk(2.0), None, mk(3.0), mk(3.0)]),
+            Some(3),
+            "ties keep the earliest winner, NaN and None are skipped"
+        );
+        assert_eq!(best_estimate(&[mk(f64::NAN), mk(f64::NAN)]), None);
+        assert_eq!(best_estimate(&[None, None]), None);
+        assert_eq!(best_estimate(&[]), None);
+        // -inf is a real (terrible) value, so it can still win alone.
+        assert_eq!(best_estimate(&[None, mk(f64::NEG_INFINITY)]), Some(1));
     }
 }

@@ -31,6 +31,6 @@ pub mod profile;
 pub mod tables;
 
 pub use cell::{Cell, Favor};
-pub use estimator::{CacheStats, CacheStatsSnapshot, CellEstimate, CellEstimator};
+pub use estimator::{best_estimate, CacheStats, CacheStatsSnapshot, CellEstimate, CellEstimator};
 pub use keys::Interner;
 pub use tables::{CollectiveKind, CommTables};

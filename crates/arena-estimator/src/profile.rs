@@ -58,6 +58,77 @@ impl arena_runtime::MemSize for CellProfiles {
     }
 }
 
+/// Struct-of-arrays view of one Cell's profiles: every field the
+/// assembly loop reads, flattened into contiguous buffers indexed
+/// `2 * stage + mode` (mode 0 = DP-only, 1 = TP-only).
+///
+/// The cached [`CellProfiles`] stays array-of-structs (it is the unit of
+/// cache accounting and eviction); this view is *filled* from it into
+/// reusable scratch buffers so the `2^Ns` assembly touches only dense
+/// arrays and allocates nothing once the buffers have grown to the
+/// largest stage count seen.
+#[derive(Debug, Default)]
+pub struct SoaProfiles {
+    /// Measured per-micro-batch compute, seconds.
+    pub compute_s: Vec<f64>,
+    /// Kernel-launch floor that does not shrink under accumulation.
+    pub fixed_compute_s: Vec<f64>,
+    /// Total per-GPU footprint at the profiled micro-batch, bytes.
+    pub mem_bytes: Vec<f64>,
+    /// Accumulation-invariant memory, bytes.
+    pub fixed_mem_bytes: Vec<f64>,
+    /// Live-activation memory at the profiled micro-batch, bytes.
+    pub scalable_mem_bytes: Vec<f64>,
+    /// Micro-batch size in samples.
+    pub mb_samples: Vec<f64>,
+    /// Whether the global batch feeds this mode's micro-batch slots.
+    pub batch_ok: Vec<bool>,
+    /// TP collective payload per micro-batch, bytes.
+    pub tp_payload: Vec<f64>,
+    /// Expert-dispatch payload per micro-batch, bytes.
+    pub dispatch_payload: Vec<f64>,
+    /// DP all-reduce payload per TP shard, bytes.
+    pub grad_bytes: Vec<f64>,
+}
+
+impl SoaProfiles {
+    /// Refills every buffer from `profiles`, reusing capacity. After the
+    /// buffers have grown to the workload's largest stage count this
+    /// performs no heap allocation.
+    pub fn fill_from(&mut self, profiles: &CellProfiles) {
+        self.compute_s.clear();
+        self.fixed_compute_s.clear();
+        self.mem_bytes.clear();
+        self.fixed_mem_bytes.clear();
+        self.scalable_mem_bytes.clear();
+        self.mb_samples.clear();
+        self.batch_ok.clear();
+        self.tp_payload.clear();
+        self.dispatch_payload.clear();
+        self.grad_bytes.clear();
+        for stage in &profiles.stages {
+            for pr in stage {
+                self.compute_s.push(pr.compute_s);
+                self.fixed_compute_s.push(pr.fixed_compute_s);
+                self.mem_bytes.push(pr.mem_bytes);
+                self.fixed_mem_bytes.push(pr.fixed_mem_bytes);
+                self.scalable_mem_bytes.push(pr.scalable_mem_bytes);
+                self.mb_samples.push(pr.mb_samples);
+                self.batch_ok.push(pr.batch_ok);
+                self.tp_payload.push(pr.tp_payload);
+                self.dispatch_payload.push(pr.dispatch_payload);
+                self.grad_bytes.push(pr.grad_bytes);
+            }
+        }
+    }
+
+    /// Number of flattened `(stage, mode)` slots (`2 × stages`).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.compute_s.len()
+    }
+}
+
 #[allow(clippy::too_many_arguments)] // One call site; mirrors the profiling request tuple.
 fn profile_stage(
     p: &CostParams,

@@ -5,8 +5,10 @@
 //! of transferred data" — Arena therefore profiles every collective once
 //! per node class, offline, over a grid of volumes and group sizes, and
 //! interpolates at estimation time.
-
-use std::collections::HashMap;
+//!
+//! Curves are stored flat — `group-level × collective` in a dense `Vec`
+//! — so the plan-assembly loop's lookups index arithmetic instead of
+//! hashing a `(kind, group)` key per priced collective.
 
 use arena_perf::noise::NoiseModel;
 use arena_perf::{collective, HwTarget};
@@ -83,7 +85,9 @@ impl VolumeCurve {
 /// derived from them are approximations of the live collectives.
 #[derive(Debug, Clone)]
 pub struct CommTables {
-    curves: HashMap<(CollectiveKind, usize), VolumeCurve>,
+    /// Dense `level-major` curve store: index `level * 4 + kind`, where
+    /// `level = log2(group)` over the profiled power-of-two groups.
+    curves: Vec<VolumeCurve>,
     max_group: usize,
 }
 
@@ -97,7 +101,7 @@ impl CommTables {
     /// (powers of two), with measurement noise drawn from `noise`.
     #[must_use]
     pub fn build(hw: &HwTarget, max_group: usize, noise: &NoiseModel) -> Self {
-        let mut curves = HashMap::new();
+        let mut curves = Vec::new();
         let mut group = 1;
         while group <= max_group.max(1) {
             for kind in CollectiveKind::ALL {
@@ -109,7 +113,7 @@ impl CommTables {
                         (v, t * noise.factor(&key))
                     })
                     .collect();
-                curves.insert((kind, group), VolumeCurve { points });
+                curves.push(VolumeCurve { points });
             }
             group *= 2;
         }
@@ -123,18 +127,23 @@ impl CommTables {
     ///
     /// Non-power-of-two groups use the next larger profiled group
     /// (pessimistic); degenerate groups are free for group collectives.
+    /// A clamp that lands on an unprofiled (non-power-of-two
+    /// `max_group`) size falls back to the group-1 curve, exactly as
+    /// the old keyed store did.
     #[must_use]
     pub fn lookup(&self, kind: CollectiveKind, group: usize, bytes: f64) -> f64 {
         if bytes <= 0.0 || (group <= 1 && kind != CollectiveKind::P2p) {
             return 0.0;
         }
         let g = group.next_power_of_two().min(self.max_group).max(1);
-        let curve = self
-            .curves
-            .get(&(kind, g))
-            .or_else(|| self.curves.get(&(kind, 1)))
-            .expect("table always holds group 1");
-        curve.lookup(bytes)
+        // Every power of two <= max_group is profiled, so its level
+        // indexes the dense store directly.
+        let level = if g.is_power_of_two() {
+            g.trailing_zeros() as usize
+        } else {
+            0
+        };
+        self.curves[level * CollectiveKind::ALL.len() + kind as usize].lookup(bytes)
     }
 
     /// Largest profiled group size.
@@ -147,12 +156,9 @@ impl CommTables {
 impl arena_runtime::MemSize for CommTables {
     fn mem_bytes(&self) -> usize {
         let per_curve = |c: &VolumeCurve| {
-            std::mem::size_of::<VolumeCurve>()
-                + c.points.len() * std::mem::size_of::<(f64, f64)>()
-                + std::mem::size_of::<(CollectiveKind, usize)>()
-                + 16 // hash-table slot overhead
+            std::mem::size_of::<VolumeCurve>() + c.points.len() * std::mem::size_of::<(f64, f64)>()
         };
-        std::mem::size_of::<Self>() + self.curves.values().map(per_curve).sum::<usize>()
+        std::mem::size_of::<Self>() + self.curves.iter().map(per_curve).sum::<usize>()
     }
 }
 

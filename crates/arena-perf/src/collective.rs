@@ -12,17 +12,21 @@ use crate::target::Channel;
 /// Each rank sends `2 (n − 1) / n × bytes` in `2 (n − 1)` latency-bound
 /// steps. Degenerates to zero for `n <= 1`.
 #[must_use]
+#[inline]
 pub fn allreduce(bytes: f64, n: usize, ch: Channel) -> f64 {
     if n <= 1 || bytes <= 0.0 {
         return 0.0;
     }
     let nf = n as f64;
+    // `steps` doubles as the traffic multiplier: it is exactly the
+    // `2 (n - 1)` the bandwidth term used to recompute.
     let steps = 2.0 * (nf - 1.0);
-    steps * ch.latency_s + 2.0 * (nf - 1.0) / nf * bytes / ch.bandwidth_bps
+    steps * ch.latency_s + steps / nf * bytes / ch.bandwidth_bps
 }
 
 /// Ring all-gather of `bytes` (total gathered payload) over `n` ranks.
 #[must_use]
+#[inline]
 pub fn allgather(bytes: f64, n: usize, ch: Channel) -> f64 {
     if n <= 1 || bytes <= 0.0 {
         return 0.0;
@@ -33,6 +37,7 @@ pub fn allgather(bytes: f64, n: usize, ch: Channel) -> f64 {
 
 /// Point-to-point transfer of `bytes` (pipeline send/recv).
 #[must_use]
+#[inline]
 pub fn p2p(bytes: f64, ch: Channel) -> f64 {
     if bytes <= 0.0 {
         return 0.0;
@@ -42,6 +47,7 @@ pub fn p2p(bytes: f64, ch: Channel) -> f64 {
 
 /// All-to-all of `bytes` (each rank's total payload) over `n` ranks.
 #[must_use]
+#[inline]
 pub fn alltoall(bytes: f64, n: usize, ch: Channel) -> f64 {
     if n <= 1 || bytes <= 0.0 {
         return 0.0;

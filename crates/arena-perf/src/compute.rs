@@ -30,11 +30,17 @@ pub fn stage_compute_time(
         GpuArch::Volta => p.volta_eff,
     };
     let frag = 1.0 + p.tp_fragmentation * (tp as f64 - 1.0);
+    // Loop-invariant factors hoisted out of the op walk. Each hoisted
+    // value is exactly the scalar the old per-op expression produced,
+    // multiplied in the same position, so the sum is bitwise unchanged.
+    let bwd = 1.0 + p.bwd_ratio;
+    let tpf = tp as f64;
+    let peak = gpu.peak_flops();
     let mut total = 0.0;
     for op in &graph.ops[range] {
-        let work = (1.0 + p.bwd_ratio) * op.flops_fwd * mb_samples / tp as f64;
+        let work = bwd * op.flops_fwd * mb_samples / tpf;
         let eff = p.eff_for(op.kind) * arch_eff / frag;
-        total += work / (gpu.peak_flops() * eff) + p.launch_overhead_s;
+        total += work / (peak * eff) + p.launch_overhead_s;
     }
     total
 }

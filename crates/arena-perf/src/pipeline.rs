@@ -180,14 +180,26 @@ impl PerfModel {
         let compute_s = stage_compute_time(p, graph, st.op_range.clone(), mb, tp, gpu);
 
         let ops = &graph.ops[st.op_range.clone()];
+        // One pass over the stage's operators for every per-op
+        // reduction. Each accumulator still sums its own terms in the
+        // same left-to-right op order as the separate passes did, so
+        // the totals are bitwise unchanged.
+        let mut tp_bytes_raw = 0.0_f64;
+        let mut dispatch_bytes_raw = 0.0_f64;
+        let mut param_bytes = 0.0_f64;
+        for o in ops {
+            tp_bytes_raw += o.tp_comm_bytes;
+            dispatch_bytes_raw += o.dispatch_bytes;
+            param_bytes += o.param_bytes();
+        }
         // Forward + backward activation collectives for tensor sharding.
-        let tp_payload: f64 = ops.iter().map(|o| o.tp_comm_bytes).sum::<f64>() * mb * 2.0;
+        let tp_payload = tp_bytes_raw * mb * 2.0;
         let tp_comm_s = collective::allreduce(tp_payload, tp, hw.channel_for(tp));
 
         // Expert dispatch spans the whole stage group (GShard shards
         // experts across every device of the stage).
         let group = st.gpus();
-        let dispatch_payload: f64 = ops.iter().map(|o| o.dispatch_bytes).sum::<f64>() * mb * 2.0;
+        let dispatch_payload = dispatch_bytes_raw * mb * 2.0;
         let dispatch_s = collective::alltoall(dispatch_payload, group, hw.channel_for(group));
 
         // Activation transfer from the previous stage: the full global
@@ -207,11 +219,7 @@ impl PerfModel {
         };
 
         // Gradient all-reduce across replicas of this stage's TP shards.
-        let grad_bytes: f64 = ops
-            .iter()
-            .map(arena_model::Operator::param_bytes)
-            .sum::<f64>()
-            / tp as f64;
+        let grad_bytes = param_bytes / tp as f64;
         let dp_sync_s = collective::allreduce(grad_bytes, dp, hw.channel_for(group));
 
         let (fixed_mem, scalable_mem) =

@@ -141,6 +141,25 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Number of workers that can actually run concurrently: the
+    /// configured thread count capped at the machine's available
+    /// parallelism. Spawning beyond the core count buys nothing and
+    /// costs a thread spawn/join per excess worker, so fan-out
+    /// decisions (inline vs. spawn, chunk sizing) should consult this
+    /// rather than [`WorkerPool::threads`]. Results are still
+    /// byte-identical either way — only wall-clock changes.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        use std::sync::OnceLock;
+        static CORES: OnceLock<usize> = OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        self.threads.min(cores).max(1)
+    }
+
     /// Applies `f` to every item, returning results in item order.
     ///
     /// `f` receives `(index, &item)` and must be a pure function of them
@@ -155,19 +174,67 @@ impl WorkerPool {
         self.map_indices(items.len(), |i| f(i, &items[i]))
     }
 
+    /// Applies `f` to every item in fixed-size chunks, returning results
+    /// in item order.
+    ///
+    /// Workers claim whole chunks of `chunk` consecutive indices from
+    /// the shared counter instead of single indices, so per-task
+    /// queue/merge overhead is amortised over the chunk — the right
+    /// granularity when each item is cheap (e.g. one cached-or-small
+    /// estimate). The merge is still by ascending chunk index, so the
+    /// output order (and any order-dependent fold over it) is identical
+    /// to [`WorkerPool::map`] at every pool size and chunk size.
+    pub fn map_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let chunk = chunk.max(1);
+        if self.effective_threads() <= 1 || n <= chunk {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let num_chunks = n.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+        std::thread::scope(|s| {
+            for _ in 0..self.effective_threads().min(num_chunks) {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let rs: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
+                        local.push((c, rs));
+                    }
+                    collected.lock().expect("worker result lock").extend(local);
+                });
+            }
+        });
+        let mut results = collected.into_inner().expect("worker result lock");
+        results.sort_by_key(|&(c, _)| c);
+        debug_assert_eq!(results.iter().map(|(_, v)| v.len()).sum::<usize>(), n);
+        results.into_iter().flat_map(|(_, rs)| rs).collect()
+    }
+
     /// Runs `f(0..n)`, returning results in index order.
     pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads <= 1 || n <= 1 {
+        if self.effective_threads() <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         std::thread::scope(|s| {
-            for _ in 0..self.threads.min(n) {
+            for _ in 0..self.effective_threads().min(n) {
                 s.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -196,7 +263,7 @@ impl WorkerPool {
         R: Send,
         F: FnOnce() -> R + Send,
     {
-        if self.threads <= 1 || tasks.len() <= 1 {
+        if self.effective_threads() <= 1 || tasks.len() <= 1 {
             return tasks.into_iter().map(|t| t()).collect();
         }
         let n = tasks.len();
@@ -230,6 +297,44 @@ mod tests {
             let par = WorkerPool::new(threads).map(&items, |i, &x| i * 1000 + x * 3);
             assert_eq!(par, seq, "pool size {threads} reordered results");
         }
+    }
+
+    #[test]
+    fn map_chunked_matches_map_across_pool_and_chunk_sizes() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq: Vec<usize> = WorkerPool::new(1).map(&items, |i, &x| i * 1000 + x * 3);
+        for threads in [1, 2, 4, 8] {
+            for chunk in [1, 3, 4, 64, 300] {
+                let got =
+                    WorkerPool::new(threads).map_chunked(&items, chunk, |i, &x| i * 1000 + x * 3);
+                assert_eq!(
+                    got, seq,
+                    "threads {threads} chunk {chunk} reordered results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunked_handles_edge_sizes() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            pool.map_chunked(&[], 4, |i, _: &usize| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(pool.map_chunked(&[9], 4, |_, &x| x + 1), vec![10]);
+        // chunk 0 clamps to 1 rather than dividing by zero.
+        assert_eq!(pool.map_chunked(&[1, 2, 3], 0, |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn effective_threads_caps_at_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(WorkerPool::new(1).effective_threads(), 1);
+        assert_eq!(WorkerPool::new(8).effective_threads(), 8.min(cores));
+        assert!(WorkerPool::new(1024).effective_threads() <= cores);
     }
 
     #[test]

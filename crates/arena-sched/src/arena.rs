@@ -312,6 +312,12 @@ const FAILED_POOL_PENALTY: f64 = 0.25;
 /// estimated inline, below the cost of spawning the workers.
 const PREFETCH_SPAWN_CUTOFF: usize = 8;
 
+/// Grid entries claimed per worker task when warming cold cell choices:
+/// each entry is one `estimate_batch` over a few-cell ladder (~tens of
+/// microseconds), so chunking amortises the spawn/queue/merge overhead
+/// that made per-entry fan-out slower than the sequential loop.
+const ESTIMATE_CHUNK: usize = 4;
+
 /// Descending-sort key: NaN (an upstream estimation bug, not a valid
 /// score) ranks *below* every real score instead of panicking the
 /// comparator or floating to the top.
@@ -338,15 +344,32 @@ fn estimate_and_rank(
 ) -> Vec<Candidate> {
     let ideal = service.ideal_sps(spec);
     let model = &spec.model;
-    let estimated = workers.map(grid, |_, &(pool, gpus)| {
-        service.cell_choice(model, gpus, pool).map(|c| Candidate {
-            pool,
-            gpus,
-            score: c.throughput_sps / ideal,
-            iter_time_s: c.iter_time_s,
+    // Warm-then-read: fan out only the entries whose cell choice is not
+    // yet memoised, in chunks, then read every entry inline in grid
+    // order. Every cached value is a pure function of its key, so
+    // warming in any thread order (or losing a warmed entry to
+    // eviction and recomputing it) yields bitwise the same reads.
+    let cold: Vec<(GpuTypeId, usize)> = grid
+        .iter()
+        .filter(|&&(pool, gpus)| service.cell_choice_cached(model, gpus, pool).is_none())
+        .copied()
+        .collect();
+    if cold.len() > ESTIMATE_CHUNK {
+        workers.map_chunked(&cold, ESTIMATE_CHUNK, |_, &(pool, gpus)| {
+            let _ = service.cell_choice(model, gpus, pool);
+        });
+    }
+    let mut out: Vec<Candidate> = grid
+        .iter()
+        .filter_map(|&(pool, gpus)| {
+            service.cell_choice(model, gpus, pool).map(|c| Candidate {
+                pool,
+                gpus,
+                score: c.throughput_sps / ideal,
+                iter_time_s: c.iter_time_s,
+            })
         })
-    });
-    let mut out: Vec<Candidate> = estimated.into_iter().flatten().collect();
+        .collect();
     rank_candidates(&mut out, pools);
     out
 }

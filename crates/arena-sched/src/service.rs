@@ -31,7 +31,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use arena_cluster::{Cluster, GpuTypeId, NodeSpec};
-use arena_estimator::{Cell, CellEstimate, CellEstimator};
+use arena_estimator::{best_estimate, Cell, CellEstimate, CellEstimator};
 use arena_model::{ModelConfig, ModelGraph};
 use arena_parallelism::{PipelinePlan, PlanSpace, StageAssignment, StagePlan};
 use arena_perf::{CostParams, GroundTruth, HwTarget};
@@ -391,6 +391,12 @@ impl PlanService {
 
     /// Arena's scheduling-time estimate: the best Cell (over stage counts)
     /// for `gpus` GPUs of `pool`, priced by the agile estimator.
+    ///
+    /// The whole candidate ladder is priced in one [`estimate_batch`]
+    /// call (shared comm tables, shared scratch arena), and the winner
+    /// picked by [`best_estimate`] — same strict-`>` first-wins tie
+    /// rule as the old per-cell loop, with NaN throughputs never
+    /// selectable.
     #[must_use]
     pub fn cell_choice(
         &self,
@@ -404,26 +410,35 @@ impl PlanService {
         }
         let graph = self.graph(model);
         let hw = self.hw(pool);
-        let mut best: Option<CellChoice> = None;
-        for cell in Cell::generate(&graph, gpus) {
-            if let Some(e) = self
-                .estimator
-                .estimate(&graph, model.global_batch, &cell, &hw)
-            {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| e.throughput_sps > b.throughput_sps)
-                {
-                    best = Some(CellChoice {
-                        stages: cell.num_stages,
-                        iter_time_s: e.iter_time_s,
-                        throughput_sps: e.throughput_sps,
-                    });
-                }
+        let cells = Cell::generate(&graph, gpus);
+        let estimates = self
+            .estimator
+            .estimate_batch(&graph, model.global_batch, &cells, &hw);
+        let best = best_estimate(&estimates).map(|i| {
+            let e = estimates[i].as_ref().expect("winning index is Some");
+            CellChoice {
+                stages: cells[i].num_stages,
+                iter_time_s: e.iter_time_s,
+                throughput_sps: e.throughput_sps,
             }
-        }
+        });
         self.cells.write().insert(key, best.clone());
         best
+    }
+
+    /// Cache-probe variant of [`PlanService::cell_choice`]: returns the
+    /// memoised choice if present, without computing anything on a miss.
+    /// The decision loop uses this to split a candidate grid into warm
+    /// entries (read inline) and cold entries (fanned out in chunks).
+    #[must_use]
+    pub fn cell_choice_cached(
+        &self,
+        model: &ModelConfig,
+        gpus: usize,
+        pool: GpuTypeId,
+    ) -> Option<Option<CellChoice>> {
+        let key = Self::key(model, gpus, pool);
+        self.cells.read().get(&key).cloned()
     }
 
     /// Arena's run path: take the chosen Cell, tune it with the pruned

@@ -211,6 +211,18 @@ pub fn simulate_sharded_with_faults_traced(
         faults.windows(2).all(|w| w[0].time_s <= w[1].time_s),
         "fault schedule must be sorted by time"
     );
+    // One shard means the deterministic merge round has nothing to
+    // merge: the sharded machinery (per-shard streams, the merge pass,
+    // worker hand-off) is pure overhead there, and the serial engine is
+    // byte-identical by the shard-equivalence suite. Route degenerate
+    // plans straight through it; the crossover is documented in
+    // DESIGN.md §12 and pinned by `sim/simulate_5000_jobs_faulted_
+    // fcfs_shard1` in the baseline bench.
+    if plan.shards() <= 1 {
+        return crate::engine::simulate_with_faults_traced(
+            cluster, jobs, policy, service, cfg, faults, obs,
+        );
+    }
     let mut engine = Engine::new(cluster, policy, service, cfg, obs, plan);
     // The asserts above are the historical batch validation; feed the
     // pre-asserted stream past the incremental checks so batch semantics
